@@ -1,0 +1,88 @@
+"""Section 6 comparison: the OBDA engine vs the rewriting triple store.
+
+The paper compares Ontop (virtual) against Stardog (materialized +
+query-time rewriting).  We reproduce the architecture comparison: the
+triple store pays a one-off materialization/loading cost and rewrites
+against the full class hierarchy at query time, while the OBDA engine
+pays per-query unfolding into SQL.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import save_report
+from repro.mixer import format_table
+from repro.obda import RewritingTripleStore, materialize
+from repro.sql import postgresql_profile
+
+# queries whose triple-store rewriting stays tractable at full hierarchy
+# expansion (big class atoms explode the UCQ -- that is the paper's point,
+# and exactly why we keep the slowest ones out of the timed comparison)
+COMPARE = ["q2", "q7", "q9", "q11", "q12", "q16", "q19"]
+
+
+def run_comparison(ctx):
+    engine = ctx.engine(1, postgresql_profile())
+    started = time.perf_counter()
+    materialization = materialize(ctx.benchmark.database, ctx.benchmark.mappings)
+    store = RewritingTripleStore(ctx.benchmark.ontology)
+    store.load_graph(materialization.graph)
+    load_seconds = time.perf_counter() - started
+    rows = []
+    agreement = True
+    for qid in COMPARE:
+        sparql = ctx.benchmark.queries[qid].sparql
+        obda_started = time.perf_counter()
+        obda_result = engine.execute(sparql)
+        obda_seconds = time.perf_counter() - obda_started
+        store_started = time.perf_counter()
+        store_result = store.execute(sparql)
+        store_seconds = time.perf_counter() - store_started
+        obda_rows = set(obda_result.to_python_rows())
+        store_rows = set(store_result.result.to_python_rows())
+        agreement = agreement and obda_rows == store_rows
+        rows.append(
+            [
+                qid,
+                round(1000 * obda_seconds, 1),
+                round(1000 * store_seconds, 1),
+                len(obda_rows),
+                len(store_rows),
+                store_result.rewriting.ucq_size if store_result.rewriting else 1,
+                obda_result.metrics.ucq_size,
+            ]
+        )
+    return rows, load_seconds, materialization.triples, agreement
+
+
+@pytest.mark.benchmark(group="sec6")
+def test_ontop_vs_triplestore(benchmark, ctx):
+    rows, load_seconds, triples, agreement = benchmark.pedantic(
+        run_comparison, args=(ctx,), rounds=1, iterations=1
+    )
+    text = format_table(
+        [
+            "query",
+            "obda_ms",
+            "store_ms",
+            "obda_rows",
+            "store_rows",
+            "store_ucq",
+            "obda_ucq",
+        ],
+        rows,
+        "Section 6: OBDA engine (virtual) vs rewriting triple store "
+        "(materialized)",
+    )
+    text += (
+        f"\n\ntriple store loading: {triples} triples materialized+loaded in "
+        f"{load_seconds:.2f}s (the OBDA engine needs no materialization)"
+    )
+    save_report("sec6_ontop_vs_triplestore", text)
+    assert agreement, "certain answers must agree between the two systems"
+    # the triple store pays hierarchy expansion at query time: its UCQs are
+    # (much) larger than the OBDA engine's tree-witness-only rewritings
+    assert sum(row[5] for row in rows) > sum(row[6] for row in rows)

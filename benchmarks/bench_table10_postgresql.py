@@ -1,0 +1,38 @@
+"""Table 10: tractable queries on the PostgreSQL-like engine profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import save_report
+from repro.mixer import (
+    MIX_HEADERS,
+    format_table,
+    mix_report_rows,
+    per_query_rows,
+    PER_QUERY_HEADERS,
+)
+from repro.sql import postgresql_profile
+
+from bench_table9_mysql import run_ladder
+
+
+@pytest.mark.benchmark(group="table10")
+def test_table10_postgresql(benchmark, ctx, scale_ladder):
+    rows, reports = benchmark.pedantic(
+        run_ladder,
+        args=(ctx, scale_ladder, postgresql_profile()),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        MIX_HEADERS, rows, "Table 10: Tractable Queries (PostgreSQL profile)"
+    )
+    detail = format_table(
+        PER_QUERY_HEADERS,
+        per_query_rows(reports[scale_ladder[-1]]),
+        f"per-query detail at NPD{int(scale_ladder[-1])} (postgresql)",
+    )
+    save_report("table10_postgresql", text + "\n\n" + detail)
+    qmph = [row[-2] for row in rows]
+    assert qmph[0] > qmph[-1]

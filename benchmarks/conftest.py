@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+The NPD instance ladder and OBDA engines are built once per process; the
+individual bench files time their specific pipeline stage with
+pytest-benchmark and print the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchContext, build_context
+from repro.sql import mysql_profile, postgresql_profile
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return build_context(seed=1)
+
+
+@pytest.fixture(scope="session")
+def scale_ladder() -> list:
+    """Growth factors standing in for the paper's NPD1..NPD1500 ladder."""
+    return [1, 2, 4]
+
+
+@pytest.fixture(scope="session")
+def profiles() -> dict:
+    return {"mysql": mysql_profile(), "postgresql": postgresql_profile()}

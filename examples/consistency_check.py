@@ -1,0 +1,53 @@
+"""OBDA consistency checking: disjointness axioms compiled to SQL.
+
+The paper's requirement O2 asks for "axioms that infer new objects and
+could lead to inconsistency, in order to test the reasoner capabilities".
+In an OBDA system, consistency is checked *without* materializing the
+virtual instance: every disjointness axiom whose two sides use compatible
+IRI templates compiles into a SQL intersection query that must be empty.
+
+This example checks the seed NPD instance (consistent by construction),
+then injects a violating row -- a facility id present in both the fixed
+and the moveable facility sheets, making one individual a member of the
+disjoint classes FixedFacility and MoveableFacility -- and shows the
+checker pinpointing the witness and the mappings responsible.
+
+Run:  python examples/consistency_check.py
+"""
+
+from __future__ import annotations
+
+from repro.npd import build_benchmark
+from repro.obda import OBDAEngine, check_consistency
+
+
+def main() -> None:
+    bench = build_benchmark(seed=42)
+    engine = OBDAEngine(bench.database, bench.ontology, bench.mappings)
+
+    print("checking the seed instance against all disjointness axioms...")
+    report = check_consistency(bench.database, engine.reasoner, engine.mappings)
+    print(f"  saturated disjoint pairs: {report.checked_pairs:,}")
+    print(f"  SQL violation queries executed: {report.executed_queries}")
+    print(
+        f"  pairs skipped statically (incompatible IRI templates): "
+        f"{report.skipped_incompatible:,}"
+    )
+    print(f"  consistent: {report.consistent}")
+
+    print("\ninjecting a violation: facility id 1 into facility_moveable...")
+    bench.database.execute(
+        "INSERT INTO facility_moveable VALUES "
+        "(1, 'GHOST RIG', 'SEMISUB', 'NORWAY', 'AOC VALID', NULL, "
+        "'2014-01-01', '2014-06-01')"
+    )
+    report = check_consistency(
+        bench.database, engine.reasoner, engine.mappings, max_witnesses=3
+    )
+    print(f"  consistent: {report.consistent}")
+    for witness in report.witnesses[:3]:
+        print(f"  witness: {witness}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Data scaling with VIG: analyze, grow, validate.
+
+Demonstrates the paper's Section 5.1/5.2 workflow: VIG analyzes the seed
+database (duplicate ratios, domains, FK cycles), grows every table by a
+tunable factor while preserving the statistics that shape the *virtual*
+RDF instance, and the validation module measures how well each ontology
+element's extension matched its expected growth -- against the purely
+random baseline of Table 8.
+
+Run:  python examples/data_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.npd import build_npd_mappings, build_seed_database
+from repro.vig import RandomGenerator, VIG, analyze, measure_growth, summarize
+
+GROWTH = 3.0
+
+
+def main() -> None:
+    print("building the seed database...")
+    seed_db = build_seed_database(seed=7)
+    profile = analyze(seed_db)
+
+    print("\nanalysis-phase highlights:")
+    wellbore = profile.tables["wellbore_exploration_all"]
+    for column in ("wlbpurpose", "wlbwellborename", "wlbtotaldepth"):
+        cp = wellbore.columns[column]
+        tag = "CONSTANT" if cp.is_constant() else "growing"
+        print(
+            f"  {column:22s} dup_ratio={cp.duplicate_ratio:5.2f} "
+            f"distinct={cp.distinct:4d}  -> {tag}"
+        )
+    print(f"  FK cycles: {[c.tables for c in profile.cycles]}")
+
+    print(f"\ngrowing with VIG (x{GROWTH}) and with the random baseline...")
+    vig_db = build_seed_database(seed=7)
+    vig_report = VIG(vig_db, seed=1).grow(GROWTH)
+    print(
+        f"  VIG inserted {vig_report.rows_inserted:,} rows in "
+        f"{vig_report.elapsed_seconds:.1f}s "
+        f"({vig_report.rows_per_second:,.0f} rows/s)"
+    )
+    random_db = build_seed_database(seed=7)
+    RandomGenerator(random_db, seed=1).grow(GROWTH)
+
+    print("\nvalidating virtual-instance growth (Table 8 methodology)...")
+    mappings = build_npd_mappings(redundancy=False)
+    for name, grown in (("VIG", vig_db), ("random", random_db)):
+        summary = summarize(measure_growth(seed_db, grown, mappings, GROWTH, profile))
+        parts = ", ".join(
+            f"{kind}: avg dev {s.avg_deviation:.1%} ({s.err50_absolute} "
+            f"elements >50% off)"
+            for kind, s in summary.items()
+        )
+        print(f"  {name:7s} {parts}")
+
+    print("\nFK integrity after growth:",
+          "OK" if not vig_db.catalog.check_foreign_keys() else "VIOLATED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Reproduction of "The NPD Benchmark: Reality Check for OBDA Systems".
+
+This package re-implements, from scratch and in pure Python, the full stack
+evaluated by Lanti, Rezk, Xiao and Calvanese in their EDBT 2015 paper:
+
+* :mod:`repro.rdf` -- an RDF data model and indexed triple store;
+* :mod:`repro.sql` -- a relational database engine (lexer, parser, planner,
+  executor) with pluggable *engine profiles* emulating MySQL/PostgreSQL
+  planner differences;
+* :mod:`repro.sparql` -- a SPARQL 1.1 SELECT parser, algebra and evaluator;
+* :mod:`repro.owl` -- an OWL 2 QL ontology model and reasoner;
+* :mod:`repro.obda` -- the OBDA machinery: R2RML-style mappings,
+  T-mappings, tree-witness query rewriting, SPARQL-to-SQL unfolding,
+  semantic query optimization and a rewriting triple-store baseline;
+* :mod:`repro.npd` -- the NPD benchmark assets (schema, ontology, mappings,
+  queries, seed data);
+* :mod:`repro.vig` -- the VIG data generator and a purely random baseline;
+* :mod:`repro.mixer` -- the OBDA Mixer automated testing platform.
+
+Quickstart::
+
+    from repro.npd import build_benchmark
+    from repro.obda import OBDAEngine
+
+    bench = build_benchmark(seed=1)
+    engine = OBDAEngine(bench.database, bench.ontology, bench.mappings)
+    result = engine.execute(bench.queries["q1"].sparql)
+    print(result.rows[:5])
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

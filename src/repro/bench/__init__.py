@@ -1,0 +1,17 @@
+"""Shared infrastructure for the benchmark harness in ``benchmarks/``."""
+
+from .harness import (
+    BenchContext,
+    ScaledInstance,
+    build_context,
+    query_sql_stats,
+    save_report,
+)
+
+__all__ = [
+    "BenchContext",
+    "ScaledInstance",
+    "build_context",
+    "query_sql_stats",
+    "save_report",
+]

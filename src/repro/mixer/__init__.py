@@ -1,0 +1,34 @@
+"""OBDA Mixer: the automated testing platform."""
+
+from .runner import Mixer, MixReport, QueryStats, run_mix
+from .reporting import (
+    MIX_HEADERS,
+    PER_QUERY_HEADERS,
+    format_table,
+    mix_report_rows,
+    per_query_rows,
+)
+from .systems import (
+    ExecutionRecord,
+    OBDASystemAdapter,
+    PhaseBreakdown,
+    QueryAnsweringSystem,
+    TripleStoreAdapter,
+)
+
+__all__ = [
+    "Mixer",
+    "MixReport",
+    "QueryStats",
+    "run_mix",
+    "QueryAnsweringSystem",
+    "OBDASystemAdapter",
+    "TripleStoreAdapter",
+    "ExecutionRecord",
+    "PhaseBreakdown",
+    "format_table",
+    "mix_report_rows",
+    "per_query_rows",
+    "MIX_HEADERS",
+    "PER_QUERY_HEADERS",
+]

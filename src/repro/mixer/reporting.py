@@ -1,0 +1,106 @@
+"""Plain-text table rendering for bench output.
+
+Formats the rows the paper's tables report, in the same layout, so the
+benchmark harness output can be eyeballed against the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from .runner import MixReport
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def mix_report_rows(report: MixReport, db_label: str, triples: int) -> List[List[Any]]:
+    """One Tables-9/10-style row: db, avg times (ms), sizes, QMpH, #triples."""
+    executions = [stats.avg_execution for stats in report.per_query.values()]
+    outputs = [stats.avg_output for stats in report.per_query.values()]
+    sizes = [stats.avg_result_size for stats in report.per_query.values()]
+    count = max(1, len(executions))
+    return [
+        [
+            db_label,
+            round(1000 * sum(executions) / count, 2),
+            round(1000 * sum(outputs) / count, 2),
+            round(sum(sizes) / count, 1),
+            round(report.qmph, 2),
+            triples,
+        ]
+    ]
+
+
+def per_query_rows(report: MixReport) -> List[List[Any]]:
+    rows = []
+    for query_id in sorted(report.per_query, key=_query_sort_key):
+        stats = report.per_query[query_id]
+        rows.append(
+            [
+                query_id,
+                round(1000 * stats.avg_execution, 2),
+                round(1000 * stats.avg_output, 2),
+                round(1000 * stats.avg_overall, 2),
+                int(stats.avg_result_size),
+                int(stats.quality.get("ucq_size", 0)),
+                int(stats.quality.get("tree_witnesses", 0)),
+            ]
+        )
+    return rows
+
+
+PER_QUERY_HEADERS = [
+    "query",
+    "exec_ms",
+    "out_ms",
+    "overall_ms",
+    "rows",
+    "ucq",
+    "tw",
+]
+
+MIX_HEADERS = [
+    "db",
+    "avg(ex_time) ms",
+    "avg(out_time) ms",
+    "avg(res_size)",
+    "qmph",
+    "#(triples)",
+]
+
+
+def _query_sort_key(query_id: str):
+    digits = "".join(c for c in query_id if c.isdigit())
+    return (int(digits) if digits else 0, query_id)

@@ -1,0 +1,170 @@
+"""The Mixer runner: executes query mixes and aggregates statistics.
+
+Reproduces the measurement protocol behind Tables 9/10 and Figure 1: a
+*query mix* is one pass over the whole query set; the headline throughput
+metric is **QMpH** (query mixes per hour), and per-query averages of
+execution time, output (rewrite+unfold+translate) time and result size
+are collected across the runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .systems import ExecutionRecord, QueryAnsweringSystem
+
+
+@dataclass
+class QueryStats:
+    """Aggregates for one query across mix runs."""
+
+    query_id: str
+    runs: int
+    avg_execution: float
+    avg_output: float
+    avg_overall: float
+    avg_result_size: float
+    max_overall: float
+    quality: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class MixReport:
+    """Result of running N query mixes against one system."""
+
+    system: str
+    runs: int
+    loading_seconds: float
+    mix_seconds: List[float]
+    per_query: Dict[str, QueryStats]
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def avg_mix_seconds(self) -> float:
+        return statistics.mean(self.mix_seconds) if self.mix_seconds else 0.0
+
+    clients: int = 1
+
+    @property
+    def qmph(self) -> float:
+        """Query mixes per hour (aggregated over all simulated clients)."""
+        average = self.avg_mix_seconds
+        if average <= 0:
+            return float("inf")
+        return self.clients * 3600.0 / average
+
+    def total_results(self) -> float:
+        return sum(stats.avg_result_size for stats in self.per_query.values())
+
+
+class Mixer:
+    """Runs query mixes against a system, with warm-up and timeouts."""
+
+    def __init__(
+        self,
+        system: QueryAnsweringSystem,
+        queries: Mapping[str, str],
+        warmup_runs: int = 1,
+        query_timeout: Optional[float] = None,
+        clients: int = 1,
+    ):
+        """``clients`` simulates N concurrent clients by interleaving N
+        query streams round-robin within one measured mix period (the
+        engine is single-threaded, so this models a one-core server --
+        aggregate QMpH stays flat instead of scaling like the paper's
+        24-core testbed)."""
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        self.system = system
+        self.queries = dict(queries)
+        self.warmup_runs = warmup_runs
+        self.query_timeout = query_timeout
+        self.clients = clients
+
+    def run(self, runs: int = 3) -> MixReport:
+        errors: Dict[str, str] = {}
+        # warm-up (not measured), also discovers failing queries and
+        # queries exceeding the timeout (the paper excludes intractable
+        # queries from the mixes the same way)
+        for _ in range(self.warmup_runs):
+            for query_id, sparql in self.queries.items():
+                if query_id in errors:
+                    continue
+                try:
+                    started = time.perf_counter()
+                    self.system.run_query(query_id, sparql)
+                    elapsed = time.perf_counter() - started
+                    if (
+                        self.query_timeout is not None
+                        and elapsed > self.query_timeout
+                    ):
+                        errors[query_id] = (
+                            f"timeout: {elapsed:.1f}s > {self.query_timeout:.1f}s"
+                        )
+                except Exception as exc:  # noqa: BLE001 - record and skip
+                    errors[query_id] = f"{type(exc).__name__}: {exc}"
+        records: Dict[str, List[ExecutionRecord]] = {
+            query_id: [] for query_id in self.queries if query_id not in errors
+        }
+        mix_seconds: List[float] = []
+        for _ in range(runs):
+            mix_started = time.perf_counter()
+            for query_id, sparql in self.queries.items():
+                if query_id in errors:
+                    continue
+                # interleave the simulated clients' streams round-robin
+                for _client in range(self.clients):
+                    try:
+                        record = self.system.run_query(query_id, sparql)
+                    except Exception as exc:  # noqa: BLE001
+                        errors[query_id] = f"{type(exc).__name__}: {exc}"
+                        records.pop(query_id, None)
+                        break
+                    if query_id in records:
+                        records[query_id].append(record)
+            mix_seconds.append(time.perf_counter() - mix_started)
+        per_query: Dict[str, QueryStats] = {}
+        for query_id, query_records in records.items():
+            if not query_records:
+                continue
+            executions = [r.phases.execution for r in query_records]
+            outputs = [r.phases.output_time for r in query_records]
+            overalls = [r.phases.overall for r in query_records]
+            sizes = [r.result_size for r in query_records]
+            quality: Dict[str, float] = {}
+            for record in query_records:
+                for key, value in record.quality.items():
+                    if isinstance(value, (int, float)):
+                        quality[key] = max(quality.get(key, 0.0), float(value))
+            per_query[query_id] = QueryStats(
+                query_id=query_id,
+                runs=len(query_records),
+                avg_execution=statistics.mean(executions),
+                avg_output=statistics.mean(outputs),
+                avg_overall=statistics.mean(overalls),
+                avg_result_size=statistics.mean(sizes),
+                max_overall=max(overalls),
+                quality=quality,
+            )
+        return MixReport(
+            system=self.system.name,
+            runs=runs,
+            loading_seconds=self.system.loading_time(),
+            mix_seconds=mix_seconds,
+            per_query=per_query,
+            errors=errors,
+            clients=self.clients,
+        )
+
+
+def run_mix(
+    system: QueryAnsweringSystem,
+    queries: Mapping[str, str],
+    runs: int = 3,
+    warmup_runs: int = 1,
+) -> MixReport:
+    """One-shot convenience wrapper."""
+    return Mixer(system, queries, warmup_runs).run(runs)

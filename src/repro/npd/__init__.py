@@ -1,0 +1,62 @@
+"""The NPD benchmark: schema, ontology, mappings, queries, seed data."""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..obda.mapping import MappingCollection
+from ..owl.model import Ontology
+from ..sql.engine import Database
+from ..sql.profiles import EngineProfile
+from .mappings import build_npd_mappings
+from .ontology import build_npd_ontology
+from .prior_benchmarks import PriorBenchmark, all_prior_benchmarks
+from .queries import PREFIXES, BenchmarkQuery, build_query_set, tractable_queries
+from .schema import create_schema, schema_statistics, table_definitions
+from .seed import NPDSeedGenerator, SeedProfile, build_seed_database
+
+
+@dataclass
+class Benchmark:
+    """Everything needed to run the NPD benchmark."""
+
+    database: Database
+    ontology: Ontology
+    mappings: MappingCollection
+    queries: Dict[str, BenchmarkQuery]
+
+
+def build_benchmark(
+    seed: int = 42,
+    profile: Optional[SeedProfile] = None,
+    engine_profile: Optional[EngineProfile] = None,
+    mapping_redundancy: bool = True,
+) -> Benchmark:
+    """Assemble a ready-to-query benchmark instance."""
+    database = Database(engine_profile, enforce_foreign_keys=False)
+    build_seed_database(seed, profile, database)
+    return Benchmark(
+        database=database,
+        ontology=build_npd_ontology(),
+        mappings=build_npd_mappings(mapping_redundancy),
+        queries=build_query_set(),
+    )
+
+
+__all__ = [
+    "Benchmark",
+    "build_benchmark",
+    "build_npd_ontology",
+    "build_npd_mappings",
+    "build_query_set",
+    "tractable_queries",
+    "BenchmarkQuery",
+    "PREFIXES",
+    "create_schema",
+    "table_definitions",
+    "schema_statistics",
+    "NPDSeedGenerator",
+    "SeedProfile",
+    "build_seed_database",
+    "PriorBenchmark",
+    "all_prior_benchmarks",
+]

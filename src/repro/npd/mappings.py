@@ -1,0 +1,1394 @@
+"""Generator for the NPD benchmark's R2RML-style mapping collection.
+
+The real benchmark ships 1190 mapping assertions covering 464 ontology
+entities, with sources averaging 2.6 unions of select-project-join blocks
+and 1.7 joins per SPJ; the paper stresses that the mappings are *not*
+optimized ("redundancies, and suboptimal SQL queries to test
+optimizations").  This generator rebuilds that profile:
+
+* every queried class/property gets at least one assertion;
+* wellbore entities map over up to three overlapping sheets (the paper's
+  redundancy between ``wellbore_exploration_all`` and
+  ``wellbore_development_all``);
+* taxonomy classes map with selection filters on code columns;
+* role classes (Operator, Licensee, ...) map through joins;
+* a deliberate fraction of assertions is emitted twice, the second time
+  with a gratuitously nested source, so T-mapping/SQO optimizations have
+  redundancy to remove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obda.mapping import (
+    ConstantTermMap,
+    IriTermMap,
+    LiteralTermMap,
+    MappingAssertion,
+    MappingCollection,
+    RDF_TYPE_IRI,
+    Template,
+)
+from ..rdf.namespaces import NPDV, NPD_DATA
+from ..rdf.terms import IRI, XSD_DATE, XSD_DOUBLE, XSD_INTEGER, XSD_STRING
+from .ontology import (
+    GENERATED_DATA_PROPERTY_FAMILIES,
+    GENERATED_OBJECT_PROPERTY_FAMILIES,
+    TAXONOMY_FAMILIES,
+)
+
+V = NPDV.base
+D = NPD_DATA.base
+
+# IRI templates per entity kind
+T_WELLBORE = Template(D + "wellbore/{wlbnpdidwellbore}")
+T_COMPANY = Template(D + "company/{cmpnpdidcompany}")
+T_LICENCE = Template(D + "licence/{prlnpdidlicence}")
+T_FIELD = Template(D + "field/{fldnpdidfield}")
+T_DISCOVERY = Template(D + "discovery/{dscnpdiddiscovery}")
+T_FACILITY = Template(D + "facility/{fclnpdidfacility}")
+T_TUF = Template(D + "tuf/{tufnpdidtuf}")
+T_PIPELINE = Template(D + "pipeline/{pplnpdidpipeline}")
+T_SURVEY = Template(D + "survey/{seanpdidsurvey}")
+T_BAA = Template(D + "baa/{baanpdidbsnsarrarea}")
+T_CORE = Template(D + "wellbore/{wlbnpdidwellbore}/core/{wlbcorenumber}")
+T_CORE_PHOTO = Template(D + "wellbore/{wlbnpdidwellbore}/core-photo/{wlbcorephotonumber}")
+T_OIL_SAMPLE = Template(D + "wellbore/{wlbnpdidwellbore}/oil-sample/{wlboilsampleno}")
+T_DOCUMENT = Template(D + "wellbore/{wlbnpdidwellbore}/document/{wlbdocumentno}")
+T_TASK = Template(D + "licence/{prlnpdidlicence}/task/{prltaskno}")
+T_STRATUM = Template(D + "stratum/{lsunpdidlithostrat}")
+T_BLOCK = Template(D + "block/{blkname}")
+T_QUADRANT = Template(D + "quadrant/{qadname}")
+T_RESERVE_FIELD = Template(D + "field/{fldnpdidfield}/reserves")
+T_RESERVE_DISCOVERY = Template(D + "discovery/{dscnpdiddiscovery}/reserves")
+T_RESERVE_COMPANY = Template(D + "company/{cmpnpdidcompany}/reserves/{cmpyear}")
+T_PRODUCTION = Template(
+    D + "field/{fldnpdidfield}/production/{prfyear}/{prfmonth}"
+)
+T_INVESTMENT = Template(D + "field/{fldnpdidfield}/investment/{prfyear}")
+T_POINT = Template(D + "wellbore/{wlbnpdidwellbore}/point/{wlbcoordinateno}")
+
+WELLBORE_SHEETS = (
+    "wellbore_exploration_all",
+    "wellbore_development_all",
+    "wellbore_shallow_all",
+)
+
+
+class _Builder:
+    """Accumulates assertions with automatic ids and redundancy knobs."""
+
+    def __init__(self, redundancy: bool = True):
+        self.collection = MappingCollection()
+        self.redundancy = redundancy
+        self._counter = 0
+        self._redundant_counter = 0
+
+    def _next_id(self, hint: str) -> str:
+        self._counter += 1
+        return f"npd-{hint}-{self._counter}"
+
+    def _maybe_redundant(self, source: str, emit) -> None:
+        """Emit the paper's "suboptimal SQL" twin for most assertions.
+
+        Every second assertion gets a second, semantically equivalent
+        variant whose source is gratuitously nested -- redundancy the
+        OBDA system's load-time optimizations are supposed to remove.
+        """
+        if not self.redundancy:
+            return
+        self._redundant_counter += 1
+        if self._redundant_counter % 2:
+            nested = f"SELECT * FROM ({source}) sub{self._counter}"
+            emit(nested)
+
+    def add_class(
+        self,
+        cls: str,
+        subject: Template,
+        source: str,
+        hint: str = "cls",
+        redundant: bool = True,
+    ) -> None:
+        def emit(sql: str) -> None:
+            self.collection.add(
+                MappingAssertion(
+                    self._next_id(hint),
+                    sql,
+                    IriTermMap(subject),
+                    RDF_TYPE_IRI,
+                    ConstantTermMap(IRI(cls)),
+                )
+            )
+
+        emit(source)
+        if redundant:
+            self._maybe_redundant(source, emit)
+
+    def add_object(
+        self,
+        prop: str,
+        subject: Template,
+        obj: Template,
+        source: str,
+        hint: str = "obj",
+    ) -> None:
+        def emit(sql: str) -> None:
+            self.collection.add(
+                MappingAssertion(
+                    self._next_id(hint),
+                    sql,
+                    IriTermMap(subject),
+                    prop,
+                    IriTermMap(obj),
+                )
+            )
+
+        emit(source)
+        self._maybe_redundant(source, emit)
+
+    def add_data(
+        self,
+        prop: str,
+        subject: Template,
+        column: str,
+        source: str,
+        datatype: str = XSD_STRING,
+        hint: str = "data",
+    ) -> None:
+        def emit(sql: str) -> None:
+            self.collection.add(
+                MappingAssertion(
+                    self._next_id(hint),
+                    sql,
+                    IriTermMap(subject),
+                    prop,
+                    LiteralTermMap(column, datatype),
+                )
+            )
+
+        emit(source)
+        self._maybe_redundant(source, emit)
+
+
+def _wb_union(columns: Sequence[str], where: Optional[str] = None,
+              sheets: Sequence[str] = WELLBORE_SHEETS) -> str:
+    """A union over the overlapping wellbore sheets (avg-2.6-unions knob)."""
+    column_list = ", ".join(columns)
+    suffix = f" WHERE {where}" if where else ""
+    return " UNION ".join(
+        f"SELECT {column_list} FROM {sheet}{suffix}" for sheet in sheets
+    )
+
+
+def build_npd_mappings(redundancy: bool = True) -> MappingCollection:
+    """Generate the full mapping collection."""
+    builder = _Builder(redundancy)
+
+    _map_wellbore_classes(builder)
+    _map_core_entities(builder)
+    _map_taxonomies(builder)
+    _map_object_properties(builder)
+    _map_data_properties(builder)
+    _map_generated_families(builder)
+    return builder.collection
+
+
+# ---------------------------------------------------------------------------
+# classes
+# ---------------------------------------------------------------------------
+
+
+def _map_wellbore_classes(builder: _Builder) -> None:
+    wb = "wlbnpdidwellbore"
+    builder.add_class(
+        V + "Wellbore", T_WELLBORE, _wb_union([wb]), hint="wellbore", redundant=True
+    )
+    builder.add_class(
+        V + "ExplorationWellbore",
+        T_WELLBORE,
+        f"SELECT {wb} FROM wellbore_exploration_all",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "DevelopmentWellbore",
+        T_WELLBORE,
+        f"SELECT {wb} FROM wellbore_development_all",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "ShallowWellbore",
+        T_WELLBORE,
+        f"SELECT {wb} FROM wellbore_shallow_all",
+    )
+    purpose_classes = {
+        "WildcatWellbore": ("wellbore_exploration_all", "wlbpurpose = 'WILDCAT'"),
+        "AppraisalWellbore": ("wellbore_exploration_all", "wlbpurpose = 'APPRAISAL'"),
+        "ReentryWellbore": (
+            "wellbore_exploration_all",
+            "wlbreentry = 'YES'",
+        ),
+        "ProductionWellbore": (
+            "wellbore_development_all",
+            "wlbpurpose = 'PRODUCTION'",
+        ),
+        "InjectionWellbore": ("wellbore_development_all", "wlbpurpose = 'INJECTION'"),
+        "ObservationWellbore": (
+            "wellbore_development_all",
+            "wlbpurpose = 'OBSERVATION'",
+        ),
+        "DisposalWellbore": ("wellbore_development_all", "wlbpurpose = 'DISPOSAL'"),
+        "OilProducingWellbore": (
+            "wellbore_development_all",
+            "wlbpurpose = 'PRODUCTION' AND wlbcontent = 'OIL'",
+        ),
+        "GasProducingWellbore": (
+            "wellbore_development_all",
+            "wlbpurpose = 'PRODUCTION' AND wlbcontent = 'GAS'",
+        ),
+        "WaterInjectionWellbore": (
+            "wellbore_development_all",
+            "wlbpurpose = 'INJECTION' AND wlbcontent = 'WATER'",
+        ),
+        "GasInjectionWellbore": (
+            "wellbore_development_all",
+            "wlbpurpose = 'INJECTION' AND wlbcontent = 'GAS'",
+        ),
+        "MultilateralWellbore": (
+            "wellbore_development_all",
+            "wlbmultilateral = 'YES'",
+        ),
+        "SidetrackedWellbore": (
+            "wellbore_development_all",
+            "wlbnamepart6 = 'ST'",
+        ),
+        "DeepWildcatWellbore": (
+            "wellbore_exploration_all",
+            "wlbpurpose = 'WILDCAT' AND wlbtotaldepth > 4000",
+        ),
+        "HpHtWildcatWellbore": (
+            "wellbore_exploration_all",
+            "wlbpurpose = 'WILDCAT' AND wlbtotaldepth > 4000 "
+            "AND wlbbottomholetemperature > 150",
+        ),
+        "SubseaHpHtWildcatWellbore": (
+            "wellbore_exploration_all",
+            "wlbpurpose = 'WILDCAT' AND wlbtotaldepth > 4000 "
+            "AND wlbbottomholetemperature > 150 AND wlbwaterdepth > 300",
+        ),
+        "SubseaHpHtWildcatWellboreNorthSea": (
+            "wellbore_exploration_all",
+            "wlbpurpose = 'WILDCAT' AND wlbtotaldepth > 4000 "
+            "AND wlbbottomholetemperature > 150 AND wlbwaterdepth > 300 "
+            "AND wlbmainarea = 'NORTH SEA'",
+        ),
+        "SubseaHpHtWildcatWellboreNorthSeaQ35": (
+            "wellbore_exploration_all",
+            "wlbpurpose = 'WILDCAT' AND wlbtotaldepth > 4000 "
+            "AND wlbbottomholetemperature > 150 AND wlbwaterdepth > 300 "
+            "AND wlbmainarea = 'NORTH SEA' AND wlbnamepart2 = 35",
+        ),
+    }
+    for name, (table, where) in purpose_classes.items():
+        builder.add_class(
+            V + name,
+            T_WELLBORE,
+            f"SELECT {wb} FROM {table} WHERE {where}",
+        )
+    # status code classes map over all three sheets (union sources)
+    statuses = {
+        "DrillingWellboreStatusClass": "DRILLING",
+        "OnlineWellboreStatusClass": "ONLINE",
+        "SuspendedWellboreStatusClass": "SUSPENDED",
+        "PluggedAndAbandonedWellboreStatusClass": "P&A",
+        "PredrilledWellboreStatusClass": "PREDRILLED",
+        "ReclassedToDevWellboreStatusClass": "RECLASS-DEV",
+        "ReclassedToExpWellboreStatusClass": "RECLASS-EXP",
+        "ClosedWellboreStatusClass": "CLOSED",
+        "JunkedWellboreStatusClass": "JUNKED",
+        "ProducingWellboreStatusClass": "PRODUCING",
+        "InjectingWellboreStatusClass": "INJECTING",
+        "BlowingOutWellboreStatusClass": "BLOWOUT",
+    }
+    for name, code in statuses.items():
+        builder.add_class(
+            V + name,
+            T_WELLBORE,
+            _wb_union([wb], where=f"wlbstatus = '{code}'"),
+        )
+
+
+def _map_core_entities(builder: _Builder) -> None:
+    builder.add_class(
+        V + "Company",
+        T_COMPANY,
+        "SELECT cmpnpdidcompany FROM company",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "ProductionLicence",
+        T_LICENCE,
+        "SELECT prlnpdidlicence FROM licence",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "StratigraphicalLicence",
+        T_LICENCE,
+        "SELECT prlnpdidlicence FROM licence WHERE prlstratigraphical = 'YES'",
+    )
+    builder.add_class(
+        V + "APALicence",
+        T_LICENCE,
+        "SELECT prlnpdidlicence FROM licence "
+        "WHERE prllicensingactivityname LIKE 'TFO%'",
+    )
+    builder.add_class(
+        V + "OrdinaryLicence",
+        T_LICENCE,
+        "SELECT prlnpdidlicence FROM licence "
+        "WHERE prllicensingactivityname LIKE 'ROUND%'",
+    )
+    builder.add_class(
+        V + "Field", T_FIELD, "SELECT fldnpdidfield FROM field", redundant=True
+    )
+    builder.add_class(
+        V + "Discovery",
+        T_DISCOVERY,
+        "SELECT dscnpdiddiscovery FROM discovery",
+        redundant=True,
+    )
+    hc_types = {
+        "OilDiscovery": "OIL",
+        "GasDiscovery": "GAS",
+        "OilGasDiscovery": "OIL/GAS",
+        "CondensateDiscovery": "CONDENSATE",
+    }
+    for name, code in hc_types.items():
+        builder.add_class(
+            V + name,
+            T_DISCOVERY,
+            f"SELECT dscnpdiddiscovery FROM discovery WHERE dschctype = '{code}'",
+        )
+    builder.add_class(
+        V + "FixedFacility",
+        T_FACILITY,
+        "SELECT fclnpdidfacility FROM facility_fixed",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "MoveableFacility",
+        T_FACILITY,
+        "SELECT fclnpdidfacility FROM facility_moveable",
+    )
+    builder.add_class(V + "TUF", T_TUF, "SELECT tufnpdidtuf FROM tuf")
+    builder.add_class(
+        V + "Pipeline", T_PIPELINE, "SELECT pplnpdidpipeline FROM pipeline"
+    )
+    builder.add_class(
+        V + "SeismicSurvey",
+        T_SURVEY,
+        "SELECT seanpdidsurvey FROM seis_acquisition",
+        redundant=True,
+    )
+    for name, code in (
+        ("Seismic2DSurvey", "2D"),
+        ("Seismic3DSurvey", "3D"),
+        ("Seismic4DSurvey", "4D"),
+        ("ElectromagneticSurvey", "EM"),
+        ("SiteSurvey", "SITE"),
+    ):
+        builder.add_class(
+            V + name,
+            T_SURVEY,
+            "SELECT seanpdidsurvey FROM seis_acquisition "
+            f"WHERE seasurveytypemain = '{code}'",
+        )
+    builder.add_class(
+        V + "BusinessArrangementArea",
+        T_BAA,
+        "SELECT baanpdidbsnsarrarea FROM baa",
+    )
+    for name, code in (
+        ("UnitisedAreaBAAKind", "UNITISED"),
+        ("MergedAreaBAAKind", "MERGED"),
+        ("TransportationAreaBAAKind", "TRANSPORT"),
+        ("TerminalAreaBAAKind", "TERMINAL"),
+    ):
+        builder.add_class(
+            V + name,
+            T_BAA,
+            f"SELECT baanpdidbsnsarrarea FROM baa WHERE baakind = '{code}'",
+        )
+    builder.add_class(
+        V + "WellboreCore",
+        T_CORE,
+        "SELECT wlbnpdidwellbore, wlbcorenumber FROM wellbore_core",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "CorePhoto",
+        T_CORE_PHOTO,
+        "SELECT wlbnpdidwellbore, wlbcorephotonumber FROM wellbore_core_photo",
+    )
+    builder.add_class(
+        V + "OilSample",
+        T_OIL_SAMPLE,
+        "SELECT wlbnpdidwellbore, wlboilsampleno FROM wellbore_oil_sample",
+    )
+    builder.add_class(
+        V + "WellboreDocument",
+        T_DOCUMENT,
+        "SELECT wlbnpdidwellbore, wlbdocumentno FROM wellbore_document",
+    )
+    builder.add_class(
+        V + "LicenceTask",
+        T_TASK,
+        "SELECT prlnpdidlicence, prltaskno FROM licence_task",
+    )
+    builder.add_class(
+        V + "LithostratigraphicUnit",
+        T_STRATUM,
+        "SELECT lsunpdidlithostrat FROM strat_litho_overview",
+    )
+    for name, level in (
+        ("Group", "GROUP"),
+        ("Formation", "FORMATION"),
+        ("Member", "MEMBER"),
+    ):
+        builder.add_class(
+            V + name,
+            T_STRATUM,
+            "SELECT lsunpdidlithostrat FROM strat_litho_overview "
+            f"WHERE lsulevel = '{level}'",
+        )
+    builder.add_class(V + "Block", T_BLOCK, "SELECT blkname FROM block")
+    builder.add_class(V + "Quadrant", T_QUADRANT, "SELECT qadname FROM quadrant")
+    # role classes: joins (the paper's 1.7-joins-per-SPJ knob)
+    builder.add_class(
+        V + "Operator",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN licence l ON c.cmpnpdidcompany = l.prlnpdidoperator",
+    )
+    builder.add_class(
+        V + "OperatorCompany",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN field f ON c.cmpnpdidcompany = f.fldnpdidoperator",
+    )
+    builder.add_class(
+        V + "Licensee",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN licence_licensee_hst h ON c.cmpnpdidcompany = h.cmpnpdidcompany",
+    )
+    builder.add_class(
+        V + "LicenseeCompany",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN field_licensee_hst h ON c.cmpnpdidcompany = h.cmpnpdidcompany",
+    )
+    builder.add_class(
+        V + "DrillingOperatorCompany",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN wellbore_exploration_all w ON c.cmpnpdidcompany = w.wlbnpdidcompany "
+        "UNION "
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN wellbore_development_all w ON c.cmpnpdidcompany = w.wlbnpdidcompany",
+    )
+    builder.add_class(
+        V + "SurveyingCompany",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN seis_acquisition s ON c.cmpnpdidcompany = s.cmpnpdidcompany",
+    )
+    builder.add_class(
+        V + "OwnerCompany",
+        T_COMPANY,
+        "SELECT c.cmpnpdidcompany FROM company c "
+        "JOIN tuf_owner_hst h ON c.cmpnpdidcompany = h.cmpnpdidcompany",
+    )
+    # reserves / production / investment entities
+    builder.add_class(
+        V + "Reserve",
+        T_RESERVE_FIELD,
+        "SELECT fldnpdidfield FROM field_reserves",
+        redundant=True,
+    )
+    builder.add_class(
+        V + "OilReserveReserveKind",
+        T_RESERVE_FIELD,
+        "SELECT fldnpdidfield FROM field_reserves WHERE fldrecoverableoil > 0",
+    )
+    builder.add_class(
+        V + "GasReserveReserveKind",
+        T_RESERVE_FIELD,
+        "SELECT fldnpdidfield FROM field_reserves WHERE fldrecoverablegas > 0",
+    )
+    builder.add_class(
+        V + "ProductionVolume",
+        T_PRODUCTION,
+        "SELECT fldnpdidfield, prfyear, prfmonth FROM field_production_monthly",
+    )
+    builder.add_class(
+        V + "Investment",
+        T_INVESTMENT,
+        "SELECT fldnpdidfield, prfyear FROM field_investment_yearly",
+    )
+    builder.add_class(
+        V + "WellborePoint",
+        T_POINT,
+        "SELECT wlbnpdidwellbore, wlbcoordinateno FROM wellbore_coordinates",
+    )
+
+
+def _map_taxonomies(builder: _Builder) -> None:
+    # named formations / groups / members -> strat_litho_overview
+    for parent, root, members in TAXONOMY_FAMILIES:
+        if root in ("NamedFormation", "NamedGroup", "NamedMember"):
+            level = {
+                "NamedFormation": "FORMATION",
+                "NamedGroup": "GROUP",
+                "NamedMember": "MEMBER",
+            }[root]
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_STRATUM,
+                    "SELECT lsunpdidlithostrat FROM strat_litho_overview "
+                    f"WHERE lsuname = '{member.upper()}' AND lsulevel = '{level}'",
+                    hint="strat",
+                )
+        elif root in ("Era", "Period", "Epoch"):
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_WELLBORE,
+                    "SELECT wlbnpdidwellbore FROM wellbore_exploration_all "
+                    f"WHERE wlbageattd = '{member.upper()}'",
+                    hint="chrono",
+                )
+        elif root == "LicensingRound":
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_LICENCE,
+                    "SELECT prlnpdidlicence FROM licence "
+                    f"WHERE prllicensingactivityname = '{member.upper()}'",
+                    hint="round",
+                )
+        elif root == "NamedQuadrant":
+            for member in members:
+                number = member.replace("Quadrant", "")
+                builder.add_class(
+                    V + member + root,
+                    T_QUADRANT,
+                    f"SELECT qadname FROM quadrant WHERE qadname = '{number}'",
+                    hint="quadrant",
+                )
+        elif root == "FacilityKind":
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_FACILITY,
+                    "SELECT fclnpdidfacility FROM facility_fixed "
+                    f"WHERE fclkind = '{member.upper()}'",
+                    hint="fclkind",
+                )
+        elif root == "PipelineKind":
+            medium = {
+                "OilPipeline": "OIL",
+                "GasPipeline": "GAS",
+                "CondensatePipeline": "CONDENSATE",
+                "WaterPipeline": "WATER",
+            }
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_PIPELINE,
+                    "SELECT pplnpdidpipeline FROM pipeline "
+                    f"WHERE pplmedium = '{medium.get(member, member.upper())}'",
+                    hint="pplkind",
+                )
+        elif root == "DocumentKind":
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_DOCUMENT,
+                    "SELECT wlbnpdidwellbore, wlbdocumentno FROM wellbore_document "
+                    f"WHERE wlbdocumenttype = '{member.upper()}'",
+                    hint="dockind",
+                )
+        elif root == "LicenceTaskKind":
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_TASK,
+                    "SELECT prlnpdidlicence, prltaskno FROM licence_task "
+                    f"WHERE prltasktype = '{member.upper()}'",
+                    hint="taskkind",
+                )
+        elif root == "MainArea":
+            code = {
+                "NorthSea": "NORTH SEA",
+                "NorwegianSea": "NORWEGIAN SEA",
+                "BarentsSea": "BARENTS SEA",
+            }
+            for member in members:
+                builder.add_class(
+                    V + member + root,
+                    T_WELLBORE,
+                    _wb_union(
+                        ["wlbnpdidwellbore"],
+                        where=f"wlbmainarea = '{code[member]}'",
+                        sheets=WELLBORE_SHEETS[:2],
+                    ),
+                    hint="mainarea",
+                )
+
+
+# ---------------------------------------------------------------------------
+# object properties
+# ---------------------------------------------------------------------------
+
+
+def _map_object_properties(builder: _Builder) -> None:
+    wb = "wlbnpdidwellbore"
+    builder.add_object(
+        V + "drillingOperatorCompany",
+        T_WELLBORE,
+        Template(D + "company/{wlbnpdidcompany}"),
+        _wb_union([wb, "wlbnpdidcompany"], sheets=WELLBORE_SHEETS[:2]),
+    )
+    builder.add_object(
+        V + "coreForWellbore",
+        T_CORE,
+        T_WELLBORE,
+        "SELECT wlbnpdidwellbore, wlbcorenumber FROM wellbore_core",
+    )
+    builder.add_object(
+        V + "corePhotoForWellbore",
+        T_CORE_PHOTO,
+        T_WELLBORE,
+        "SELECT wlbnpdidwellbore, wlbcorephotonumber FROM wellbore_core_photo",
+    )
+    builder.add_object(
+        V + "oilSampleForWellbore",
+        T_OIL_SAMPLE,
+        T_WELLBORE,
+        "SELECT wlbnpdidwellbore, wlboilsampleno FROM wellbore_oil_sample",
+    )
+    builder.add_object(
+        V + "documentForWellbore",
+        T_DOCUMENT,
+        T_WELLBORE,
+        "SELECT wlbnpdidwellbore, wlbdocumentno FROM wellbore_document",
+    )
+    builder.add_object(
+        V + "formationTopForWellbore",
+        T_STRATUM,
+        T_WELLBORE,
+        "SELECT lsunpdidlithostrat, wlbnpdidwellbore FROM wellbore_formation_top",
+    )
+    builder.add_object(
+        V + "stratumForCore",
+        T_CORE,
+        T_STRATUM,
+        "SELECT wlbnpdidwellbore, lsucoreno AS wlbcorenumber, lsunpdidlithostrat "
+        "FROM strat_litho_wellbore_core",
+    )
+    builder.add_object(
+        V + "parentStratum",
+        T_STRATUM,
+        Template(D + "stratum/{lsunpdidparent}"),
+        "SELECT lsunpdidlithostrat, lsunpdidparent FROM strat_litho_overview "
+        "WHERE lsunpdidparent IS NOT NULL",
+    )
+    builder.add_object(
+        V + "wellboreForDiscovery",
+        T_WELLBORE,
+        T_DISCOVERY,
+        "SELECT wlbnpdidwellbore, dscnpdiddiscovery FROM discovery "
+        "WHERE wlbnpdidwellbore IS NOT NULL",
+    )
+    builder.add_object(
+        V + "includedInField",
+        T_DISCOVERY,
+        T_FIELD,
+        "SELECT dscnpdiddiscovery, fldnpdidfield FROM discovery "
+        "WHERE fldnpdidfield IS NOT NULL",
+    )
+    builder.add_object(
+        V + "drilledInLicence",
+        T_WELLBORE,
+        Template(D + "licence/{wlbnpdidproductionlicence}"),
+        _wb_union(
+            [wb, "wlbnpdidproductionlicence"],
+            where="wlbnpdidproductionlicence IS NOT NULL",
+            sheets=WELLBORE_SHEETS[:2],
+        ),
+    )
+    builder.add_object(
+        V + "wellboreForField",
+        T_WELLBORE,
+        Template(D + "field/{wlbnpdidfield}"),
+        _wb_union(
+            [wb, "wlbnpdidfield"],
+            where="wlbnpdidfield IS NOT NULL",
+            sheets=WELLBORE_SHEETS[:2],
+        ),
+    )
+    builder.add_object(
+        V + "belongsToFacility",
+        T_WELLBORE,
+        Template(D + "facility/{wlbnpdidfacility}"),
+        _wb_union(
+            [wb, "wlbnpdidfacility"],
+            where="wlbnpdidfacility IS NOT NULL",
+            sheets=WELLBORE_SHEETS[:2],
+        ),
+    )
+    builder.add_object(
+        V + "operatorForLicence",
+        T_COMPANY,
+        T_LICENCE,
+        "SELECT l.prlnpdidoperator AS cmpnpdidcompany, l.prlnpdidlicence "
+        "FROM licence l WHERE l.prlnpdidoperator IS NOT NULL",
+    )
+    builder.add_object(
+        V + "currentOperatorLicence",
+        T_COMPANY,
+        T_LICENCE,
+        "SELECT c.cmpnpdidcompany, c.cmplicenceopercurrent AS prlnpdidlicence "
+        "FROM company c WHERE c.cmplicenceopercurrent IS NOT NULL",
+    )
+    builder.add_object(
+        V + "licenseeForLicence",
+        T_COMPANY,
+        T_LICENCE,
+        "SELECT cmpnpdidcompany, prlnpdidlicence FROM licence_licensee_hst",
+    )
+    builder.add_object(
+        V + "operatorForField",
+        T_COMPANY,
+        T_FIELD,
+        "SELECT cmpnpdidcompany, fldnpdidfield FROM field_operator_hst",
+    )
+    builder.add_object(
+        V + "operatorForField",
+        T_COMPANY,
+        T_FIELD,
+        "SELECT f.fldnpdidoperator AS cmpnpdidcompany, f.fldnpdidfield "
+        "FROM field f WHERE f.fldnpdidoperator IS NOT NULL",
+    )
+    builder.add_object(
+        V + "licenseeForField",
+        T_COMPANY,
+        T_FIELD,
+        "SELECT cmpnpdidcompany, fldnpdidfield FROM field_licensee_hst",
+    )
+    builder.add_object(
+        V + "ownerForField",
+        T_LICENCE,
+        T_FIELD,
+        "SELECT f.fldnpdidowner AS prlnpdidlicence, f.fldnpdidfield FROM field f "
+        "WHERE f.fldnpdidowner IS NOT NULL",
+    )
+    builder.add_object(
+        V + "taskForLicence",
+        T_TASK,
+        T_LICENCE,
+        "SELECT prlnpdidlicence, prltaskno FROM licence_task",
+    )
+    builder.add_object(
+        V + "operatorForBAA",
+        T_COMPANY,
+        T_BAA,
+        "SELECT b.baanpdidoperator AS cmpnpdidcompany, b.baanpdidbsnsarrarea "
+        "FROM baa b WHERE b.baanpdidoperator IS NOT NULL",
+    )
+    builder.add_object(
+        V + "licenseeForBAA",
+        T_COMPANY,
+        T_BAA,
+        "SELECT cmpnpdidcompany, baanpdidbsnsarrarea FROM baa_licensee_hst",
+    )
+    builder.add_object(
+        V + "operatorForTUF",
+        T_COMPANY,
+        T_TUF,
+        "SELECT cmpnpdidcompany, tufnpdidtuf FROM tuf_operator_hst",
+    )
+    builder.add_object(
+        V + "ownerForTUF",
+        T_COMPANY,
+        T_TUF,
+        "SELECT cmpnpdidcompany, tufnpdidtuf FROM tuf_owner_hst",
+    )
+    builder.add_object(
+        V + "operatorForSurvey",
+        T_COMPANY,
+        T_SURVEY,
+        "SELECT cmpnpdidcompany, seanpdidsurvey FROM seis_acquisition "
+        "WHERE cmpnpdidcompany IS NOT NULL",
+    )
+    builder.add_object(
+        V + "surveyForCompany",
+        T_SURVEY,
+        T_COMPANY,
+        "SELECT seanpdidsurvey, cmpnpdidcompany FROM seis_acquisition "
+        "WHERE cmpnpdidcompany IS NOT NULL",
+    )
+    builder.add_object(
+        V + "pipelineFromFacility",
+        T_PIPELINE,
+        Template(D + "facility/{pplfromfacility}"),
+        "SELECT pplnpdidpipeline, pplfromfacility FROM pipeline "
+        "WHERE pplfromfacility IS NOT NULL",
+    )
+    builder.add_object(
+        V + "pipelineToFacility",
+        T_PIPELINE,
+        Template(D + "facility/{ppltofacility}"),
+        "SELECT pplnpdidpipeline, ppltofacility FROM pipeline "
+        "WHERE ppltofacility IS NOT NULL",
+    )
+    builder.add_object(
+        V + "pipelineForTUF",
+        T_PIPELINE,
+        T_TUF,
+        "SELECT pplnpdidpipeline, tufnpdidtuf FROM pipeline "
+        "WHERE tufnpdidtuf IS NOT NULL",
+    )
+    builder.add_object(
+        V + "facilityForField",
+        T_FACILITY,
+        Template(D + "field/{fldnpdidfield}"),
+        "SELECT fclnpdidfacility, fldnpdidfield FROM facility_fixed "
+        "WHERE fldnpdidfield IS NOT NULL",
+    )
+    builder.add_object(
+        V + "reservesForField",
+        T_RESERVE_FIELD,
+        T_FIELD,
+        "SELECT fldnpdidfield FROM field_reserves",
+    )
+    builder.add_object(
+        V + "reservesForDiscovery",
+        T_RESERVE_DISCOVERY,
+        T_DISCOVERY,
+        "SELECT dscnpdiddiscovery FROM discovery_reserves",
+    )
+    builder.add_object(
+        V + "reservesForCompany",
+        T_RESERVE_COMPANY,
+        T_COMPANY,
+        "SELECT cmpnpdidcompany, cmpyear FROM company_reserves",
+    )
+    builder.add_object(
+        V + "productionForField",
+        T_PRODUCTION,
+        T_FIELD,
+        "SELECT fldnpdidfield, prfyear, prfmonth FROM field_production_monthly",
+    )
+    builder.add_object(
+        V + "investmentForField",
+        T_INVESTMENT,
+        T_FIELD,
+        "SELECT fldnpdidfield, prfyear FROM field_investment_yearly",
+    )
+    builder.add_object(
+        V + "blockInQuadrant",
+        T_BLOCK,
+        T_QUADRANT,
+        "SELECT blkname, qadname FROM block",
+    )
+    builder.add_object(
+        V + "memberOfBlock",
+        T_WELLBORE,
+        Template(D + "block/{wlbnamepart1}"),
+        _wb_union(
+            [wb, "wlbnamepart1"],
+            where="wlbnamepart1 IS NOT NULL",
+            sheets=WELLBORE_SHEETS[:2],
+        ),
+    )
+    builder.add_object(
+        V + "coordinateForWellbore",
+        T_POINT,
+        T_WELLBORE,
+        "SELECT wlbnpdidwellbore, wlbcoordinateno FROM wellbore_coordinates",
+    )
+
+
+# ---------------------------------------------------------------------------
+# data properties
+# ---------------------------------------------------------------------------
+
+
+def _map_data_properties(builder: _Builder) -> None:
+    wb = "wlbnpdidwellbore"
+    wellbore_props: List[Tuple[str, str, str]] = [
+        ("wellboreName", "wlbwellborename", XSD_STRING),
+        ("wellboreEntryDate", "wlbentrydate", XSD_DATE),
+        ("wellboreCompletionDate", "wlbcompletiondate", XSD_DATE),
+        ("wellboreCompletionYear", "wlbcompletionyear", XSD_INTEGER),
+        ("wellboreEntryYear", "wlbentryyear", XSD_INTEGER),
+        ("drillingDays", "wlbdrillingdays", XSD_INTEGER),
+        ("totalDepth", "wlbtotaldepth", XSD_DOUBLE),
+        ("waterDepth", "wlbwaterdepth", XSD_DOUBLE),
+        ("kellyBushingElevation", "wlbkellybushingelevation", XSD_DOUBLE),
+        ("bottomHoleTemperature", "wlbbottomholetemperature", XSD_DOUBLE),
+        ("wellborePurpose", "wlbpurpose", XSD_STRING),
+        ("wellboreStatus", "wlbstatus", XSD_STRING),
+        ("wellboreContent", "wlbcontent", XSD_STRING),
+        ("wellboreMainArea", "wlbmainarea", XSD_STRING),
+    ]
+    for prop, column, datatype in wellbore_props:
+        builder.add_data(
+            V + prop,
+            T_WELLBORE,
+            column,
+            _wb_union([wb, column], sheets=WELLBORE_SHEETS[:2]),
+            datatype,
+        )
+    core_props = [
+        ("coresTotalLength", "wlbtotalcorelength", XSD_DOUBLE),
+        ("coreIntervalTop", "wlbcoreintervaltop", XSD_DOUBLE),
+        ("coreIntervalBottom", "wlbcoreintervalbottom", XSD_DOUBLE),
+        ("coreIntervalUom", "wlbcoreintervaluom", XSD_STRING),
+    ]
+    for prop, column, datatype in core_props:
+        builder.add_data(
+            V + prop,
+            T_CORE,
+            column,
+            f"SELECT wlbnpdidwellbore, wlbcorenumber, {column} FROM wellbore_core",
+            datatype,
+        )
+    licence_props = [
+        ("licenceName", "prlname", XSD_STRING),
+        ("dateLicenceGranted", "prldategranted", XSD_DATE),
+        ("yearLicenceGranted", "prlyeargranted", XSD_INTEGER),
+        ("dateLicenceValidTo", "prldatevalidto", XSD_DATE),
+        ("licenceCurrentArea", "prlcurrentarea", XSD_DOUBLE),
+        ("licenceStatus", "prlstatus", XSD_STRING),
+        ("licensingActivityName", "prllicensingactivityname", XSD_STRING),
+        ("stratigraphical", "prlstratigraphical", XSD_STRING),
+    ]
+    for prop, column, datatype in licence_props:
+        builder.add_data(
+            V + prop,
+            T_LICENCE,
+            column,
+            f"SELECT prlnpdidlicence, {column} FROM licence",
+            datatype,
+        )
+    company_props = [
+        ("shortName", "cmpshortname", XSD_STRING),
+        ("longName", "cmplongname", XSD_STRING),
+        ("orgNumber", "cmporgnumberbrreg", XSD_STRING),
+        ("nationCode", "cmpnationcode", XSD_STRING),
+    ]
+    for prop, column, datatype in company_props:
+        builder.add_data(
+            V + prop,
+            T_COMPANY,
+            column,
+            f"SELECT cmpnpdidcompany, {column} FROM company",
+            datatype,
+        )
+    # the generic npdv:name maps to every named entity (redundant w.r.t.
+    # the sub-properties -- deliberately, like the original mappings)
+    for template, source in (
+        (T_WELLBORE, _wb_union([wb, "wlbwellborename"], sheets=WELLBORE_SHEETS[:2])),
+        (T_COMPANY, "SELECT cmpnpdidcompany, cmpshortname AS name_col FROM company"),
+        (T_LICENCE, "SELECT prlnpdidlicence, prlname AS name_col FROM licence"),
+        (T_FIELD, "SELECT fldnpdidfield, fldname AS name_col FROM field"),
+        (T_DISCOVERY, "SELECT dscnpdiddiscovery, dscname AS name_col FROM discovery"),
+        (T_FACILITY, "SELECT fclnpdidfacility, fclname AS name_col FROM facility_fixed"),
+        (T_SURVEY, "SELECT seanpdidsurvey, seasurveyname AS name_col FROM seis_acquisition"),
+        (T_BAA, "SELECT baanpdidbsnsarrarea, baaname AS name_col FROM baa"),
+        (T_PIPELINE, "SELECT pplnpdidpipeline, pplname AS name_col FROM pipeline"),
+        (T_TUF, "SELECT tufnpdidtuf, tufname AS name_col FROM tuf"),
+        (T_STRATUM, "SELECT lsunpdidlithostrat, lsuname AS name_col FROM strat_litho_overview"),
+    ):
+        column = "wlbwellborename" if template is T_WELLBORE else "name_col"
+        builder.add_data(V + "name", template, column, source, XSD_STRING)
+    field_props = [
+        ("fieldName", "fldname", XSD_STRING),
+        ("currentActivityStatus", "fldcurrentactivitystatus", XSD_STRING),
+        ("mainSupplyBase", "fldmainsupplybase", XSD_STRING),
+    ]
+    for prop, column, datatype in field_props:
+        builder.add_data(
+            V + prop,
+            T_FIELD,
+            column,
+            f"SELECT fldnpdidfield, {column} FROM field",
+            datatype,
+        )
+    discovery_props = [
+        ("discoveryName", "dscname", XSD_STRING),
+        ("discoveryYear", "dscdiscoveryyear", XSD_INTEGER),
+        ("hcType", "dschctype", XSD_STRING),
+    ]
+    for prop, column, datatype in discovery_props:
+        builder.add_data(
+            V + prop,
+            T_DISCOVERY,
+            column,
+            f"SELECT dscnpdiddiscovery, {column} FROM discovery",
+            datatype,
+        )
+    reserve_props = [
+        ("recoverableOil", "fldrecoverableoil"),
+        ("recoverableGas", "fldrecoverablegas"),
+        ("recoverableNGL", "fldrecoverablengl"),
+        ("recoverableCondensate", "fldrecoverablecondensate"),
+        ("remainingOil", "fldremainingoil"),
+        ("remainingGas", "fldremaininggas"),
+    ]
+    for prop, column in reserve_props:
+        builder.add_data(
+            V + prop,
+            T_RESERVE_FIELD,
+            column,
+            f"SELECT fldnpdidfield, {column} FROM field_reserves",
+            XSD_DOUBLE,
+        )
+    production_props = [
+        ("producedOil", "prfprdoilnetmillsm3"),
+        ("producedGas", "prfprdgasnetbillsm3"),
+        ("producedNGL", "prfprdnglnetmillsm3"),
+        ("producedCondensate", "prfprdcondensatenetmillsm3"),
+        ("producedOe", "prfprdoenetmillsm3"),
+        ("producedWater", "prfprdproducedwaterinfieldmillsm3"),
+    ]
+    for prop, column in production_props:
+        builder.add_data(
+            V + prop,
+            T_PRODUCTION,
+            column,
+            "SELECT fldnpdidfield, prfyear, prfmonth, "
+            f"{column} FROM field_production_monthly",
+            XSD_DOUBLE,
+        )
+    builder.add_data(
+        V + "productionYear",
+        T_PRODUCTION,
+        "prfyear",
+        "SELECT fldnpdidfield, prfyear, prfmonth FROM field_production_monthly",
+        XSD_INTEGER,
+    )
+    builder.add_data(
+        V + "productionMonth",
+        T_PRODUCTION,
+        "prfmonth",
+        "SELECT fldnpdidfield, prfyear, prfmonth FROM field_production_monthly",
+        XSD_INTEGER,
+    )
+    builder.add_data(
+        V + "investmentMillNOK",
+        T_INVESTMENT,
+        "prfinvestmentsmillnok",
+        "SELECT fldnpdidfield, prfyear, prfinvestmentsmillnok "
+        "FROM field_investment_yearly",
+        XSD_DOUBLE,
+    )
+    builder.add_data(
+        V + "investmentYear",
+        T_INVESTMENT,
+        "prfyear",
+        "SELECT fldnpdidfield, prfyear FROM field_investment_yearly",
+        XSD_INTEGER,
+    )
+    facility_props = [
+        ("facilityKind", "fclkind", XSD_STRING),
+        ("facilityPhase", "fclphase", XSD_STRING),
+        ("facilityStartupDate", "fclstartupdate", XSD_DATE),
+        ("facilityDesignLifetime", "fcldesignlifetime", XSD_INTEGER),
+        ("facilityFunctions", "fclfunctions", XSD_STRING),
+        ("facilityNation", "fclnationname", XSD_STRING),
+        ("facilityWaterDepth", "fclwaterdepth", XSD_DOUBLE),
+    ]
+    for prop, column, datatype in facility_props:
+        builder.add_data(
+            V + prop,
+            T_FACILITY,
+            column,
+            f"SELECT fclnpdidfacility, {column} FROM facility_fixed",
+            datatype,
+        )
+    survey_props = [
+        ("surveyStatus", "seastatus", XSD_STRING),
+        ("surveyTypeMain", "seasurveytypemain", XSD_STRING),
+        ("surveyTypePart", "seasurveytypepart", XSD_STRING),
+        ("surveyStartDate", "seadatestarting", XSD_DATE),
+        ("surveyFinalizedDate", "seadatefinalized", XSD_DATE),
+        ("surveyCdpKm", "seacdpkm", XSD_DOUBLE),
+        ("surveyBoatKm", "seaboatkm", XSD_DOUBLE),
+        ("survey3DKm2", "sea3dkm2", XSD_DOUBLE),
+    ]
+    for prop, column, datatype in survey_props:
+        builder.add_data(
+            V + prop,
+            T_SURVEY,
+            column,
+            f"SELECT seanpdidsurvey, {column} FROM seis_acquisition",
+            datatype,
+        )
+    task_props = [
+        ("taskType", "prltasktype", XSD_STRING),
+        ("taskStatus", "prltaskstatus", XSD_STRING),
+        ("taskDate", "prltaskdate", XSD_DATE),
+    ]
+    for prop, column, datatype in task_props:
+        builder.add_data(
+            V + prop,
+            T_TASK,
+            column,
+            f"SELECT prlnpdidlicence, prltaskno, {column} FROM licence_task",
+            datatype,
+        )
+    baa_props = [
+        ("baaKind", "baakind", XSD_STRING),
+        ("baaStatus", "baastatus", XSD_STRING),
+        ("baaDateApproved", "baadateapproved", XSD_DATE),
+    ]
+    for prop, column, datatype in baa_props:
+        builder.add_data(
+            V + prop,
+            T_BAA,
+            column,
+            f"SELECT baanpdidbsnsarrarea, {column} FROM baa",
+            datatype,
+        )
+    pipeline_props = [
+        ("pipelineMedium", "pplmedium", XSD_STRING),
+        ("pipelineDimension", "ppldimension", XSD_DOUBLE),
+    ]
+    for prop, column, datatype in pipeline_props:
+        builder.add_data(
+            V + prop,
+            T_PIPELINE,
+            column,
+            f"SELECT pplnpdidpipeline, {column} FROM pipeline",
+            datatype,
+        )
+    stratum_props = [
+        ("stratumName", "lsuname", XSD_STRING),
+        ("stratumLevel", "lsulevel", XSD_STRING),
+    ]
+    for prop, column, datatype in stratum_props:
+        builder.add_data(
+            V + prop,
+            T_STRATUM,
+            column,
+            f"SELECT lsunpdidlithostrat, {column} FROM strat_litho_overview",
+            datatype,
+        )
+    builder.add_data(
+        V + "licenseeInterest",
+        T_COMPANY,
+        "prllicenseeinterest",
+        "SELECT cmpnpdidcompany, prllicenseeinterest FROM licence_licensee_hst",
+        XSD_DOUBLE,
+    )
+    point_props = [
+        ("utmEast", "utmeast"),
+        ("utmNorth", "utmnorth"),
+    ]
+    for prop, column in point_props:
+        builder.add_data(
+            V + prop,
+            T_POINT,
+            column,
+            "SELECT wlbnpdidwellbore, wlbcoordinateno, "
+            f"{column} FROM wellbore_coordinates",
+            XSD_DOUBLE,
+        )
+    builder.add_data(
+        V + "utmZone",
+        T_POINT,
+        "utmzone",
+        "SELECT wlbnpdidwellbore, wlbcoordinateno, utmzone FROM wellbore_coordinates",
+        XSD_INTEGER,
+    )
+    document_props = [
+        ("documentName", "wlbdocumentname", XSD_STRING),
+        ("documentUrl", "wlbdocumenturl", XSD_STRING),
+        ("documentType", "wlbdocumenttype", XSD_STRING),
+        ("documentDate", "wlbdocumentdateupdated", XSD_DATE),
+    ]
+    for prop, column, datatype in document_props:
+        builder.add_data(
+            V + prop,
+            T_DOCUMENT,
+            column,
+            "SELECT wlbnpdidwellbore, wlbdocumentno, "
+            f"{column} FROM wellbore_document",
+            datatype,
+        )
+    # dates synced/updated across the main sheets (three entities)
+    for template, table, pk_cols in (
+        (T_WELLBORE, "wellbore_exploration_all", "wlbnpdidwellbore"),
+        (T_LICENCE, "licence", "prlnpdidlicence"),
+        (T_FIELD, "field", "fldnpdidfield"),
+        (T_COMPANY, "company", "cmpnpdidcompany"),
+    ):
+        builder.add_data(
+            V + "dateUpdated",
+            template,
+            "dateupdated",
+            f"SELECT {pk_cols}, dateupdated FROM {table}",
+            XSD_DATE,
+        )
+        builder.add_data(
+            V + "dateSyncNPD",
+            template,
+            "datesyncnpd",
+            f"SELECT {pk_cols}, datesyncnpd FROM {table}",
+            XSD_DATE,
+        )
+
+
+# ---------------------------------------------------------------------------
+# generated families (the long tail of the 1190 assertions)
+# ---------------------------------------------------------------------------
+
+_HISTORY_SOURCES: Dict[str, Tuple[Template, str, str, Template]] = {
+    # family base -> (subject template, history table, company column, object)
+    "historyRelationField": (
+        T_FIELD,
+        "field_operator_hst",
+        "fldnpdidfield",
+        T_COMPANY,
+    ),
+    "historyRelationLicence": (
+        T_LICENCE,
+        "licence_licensee_hst",
+        "prlnpdidlicence",
+        T_COMPANY,
+    ),
+    "historyRelationBAA": (
+        T_BAA,
+        "baa_licensee_hst",
+        "baanpdidbsnsarrarea",
+        T_COMPANY,
+    ),
+    "historyRelationTUF": (
+        T_TUF,
+        "tuf_owner_hst",
+        "tufnpdidtuf",
+        T_COMPANY,
+    ),
+}
+
+_DETAIL_SOURCES: Dict[str, Tuple[Template, str, str, List[str]]] = {
+    # family base -> (subject template, table, pk column list, value columns)
+    "wellboreDetail": (
+        T_WELLBORE,
+        "wellbore_exploration_all",
+        "wlbnpdidwellbore",
+        [
+            "wlbageattd", "wlbformationattd", "wlbseismiclocation",
+            "wlbgeodeticdatum", "wlbdiskoswellboretype", "wlbnamepart1",
+            "wlbnamepart3", "wlbnamepart5", "wlbsitesurvey",
+            "wlbseismicsurveys", "wlbcontentplanned", "wlbpurposeplanned",
+        ],
+    ),
+    "fieldDetail": (
+        T_FIELD,
+        "field",
+        "fldnpdidfield",
+        ["fldhctype", "fldprlrefs", "fldmainarea", "fldmainsupplybase"],
+    ),
+    "licenceDetail": (
+        T_LICENCE,
+        "licence",
+        "prlnpdidlicence",
+        ["prlmainarea", "prlphasecurrent", "prlstatus", "prlstratigraphical"],
+    ),
+    "facilityDetail": (
+        T_FACILITY,
+        "facility_fixed",
+        "fclnpdidfacility",
+        ["fclphase", "fclbelongstoname", "fclbelongstokind", "fclfunctions"],
+    ),
+    "surveyDetail": (
+        T_SURVEY,
+        "seis_acquisition",
+        "seanpdidsurvey",
+        ["seageographicalarea", "seamarketavailable", "seastatus"],
+    ),
+    "discoveryDetail": (
+        T_DISCOVERY,
+        "discovery",
+        "dscnpdiddiscovery",
+        ["dscresinclass", "dscmainarea", "dsccurrentactivitystatus"],
+    ),
+    "companyDetail": (
+        T_COMPANY,
+        "company",
+        "cmpnpdidcompany",
+        ["cmpgroup", "cmpnationcode", "cmpsurveyprefix"],
+    ),
+    "quantityDetail": (
+        T_RESERVE_FIELD,
+        "field_reserves",
+        "fldnpdidfield",
+        ["fldrecoverableoil", "fldrecoverablegas"],
+    ),
+}
+
+
+def _map_generated_families(builder: _Builder) -> None:
+    for base, _, _, count in GENERATED_OBJECT_PROPERTY_FAMILIES:
+        if base not in _HISTORY_SOURCES:
+            continue
+        subject, table, key_column, obj = _HISTORY_SOURCES[base]
+        # parent property maps to the plain history table...
+        builder.add_object(
+            V + base,
+            subject,
+            obj,
+            f"SELECT {key_column}, cmpnpdidcompany FROM {table}",
+            hint="hist",
+        )
+        # ...children add year filters, so each is a distinct selection
+        for index in range(1, count):
+            year = 1995 + (index % 20)
+            builder.add_object(
+                V + f"{base}{index}",
+                subject,
+                obj,
+                f"SELECT {key_column}, cmpnpdidcompany FROM {table} "
+                f"WHERE dateupdated > '{year}-01-01'",
+                hint="hist",
+            )
+    for base, _, count in GENERATED_DATA_PROPERTY_FAMILIES:
+        if base not in _DETAIL_SOURCES:
+            continue
+        subject, table, key_column, columns = _DETAIL_SOURCES[base]
+        builder.add_data(
+            V + base,
+            subject,
+            columns[0],
+            f"SELECT {key_column}, {columns[0]} FROM {table}",
+            XSD_STRING,
+            hint="detail",
+        )
+        for index in range(1, count):
+            column = columns[index % len(columns)]
+            builder.add_data(
+                V + f"{base}{index}",
+                subject,
+                column,
+                f"SELECT {key_column}, {column} FROM {table} "
+                f"WHERE {column} IS NOT NULL",
+                XSD_STRING,
+                hint="detail",
+            )

@@ -1,0 +1,580 @@
+"""The NPD ontology (OWL 2 QL fragment), rebuilt to the paper's shape.
+
+The original ontology (University of Oslo) has 343 classes, 142 object
+properties, 238 data properties, 1451 axioms and a class hierarchy of
+depth 10.  We reconstruct a synthetic equivalent with the same skeleton:
+
+* a handwritten **core** of domain classes and properties -- everything the
+  21 benchmark queries and the mapping generator touch;
+* systematic **taxonomy families** (wellbore purposes and contents,
+  facility kinds, lithostratigraphic units, licence statuses, document
+  kinds, ...) that give the ontology its size, its rich hierarchies and
+  its depth-10 chains;
+* **domain/range axioms** for every property, **qualified existential
+  axioms** (the tree-witness fuel) and **disjointness** assertions.
+
+Counts land within a few percent of the paper's (report them with
+:func:`repro.owl.stats.compute_stats`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..owl.model import Ontology, Role
+from ..rdf.namespaces import NPDV
+
+V = NPDV.base  # vocabulary namespace prefix
+
+
+def _c(name: str) -> str:
+    return V + name
+
+
+# ---------------------------------------------------------------------------
+# core class hierarchy (parent -> children), handwritten
+# ---------------------------------------------------------------------------
+
+CORE_HIERARCHY: List[Tuple[str, List[str]]] = [
+    # depth-1 roots under the implicit top
+    ("Activity", ["DrillingActivity", "SurveyActivity", "LicensingActivity", "ProductionActivity"]),
+    ("Facility", ["FixedFacility", "MoveableFacility", "TUF", "Pipeline"]),
+    ("Agent", ["Company", "Authority", "CompanyGroup"]),
+    (
+        "Company",
+        [
+            "Operator", "Licensee", "OperatorCompany", "LicenseeCompany",
+            "SurveyingCompany", "DrillingOperatorCompany", "OwnerCompany",
+        ],
+    ),
+    ("Area", ["Block", "Quadrant", "BusinessArrangementArea", "AwardArea", "PointArea"]),
+    ("Document", ["WellboreDocument", "SurveyDocument", "LicenceDocument"]),
+    ("Quantity", ["Reserve", "ProductionVolume", "Investment"]),
+    # wellbores: the deep part of the hierarchy
+    ("DrillingActivity", ["Wellbore"]),
+    (
+        "Wellbore",
+        [
+            "ExplorationWellbore",
+            "DevelopmentWellbore",
+            "ShallowWellbore",
+            "MultilateralWellbore",
+            "SidetrackedWellbore",
+        ],
+    ),
+    (
+        "ExplorationWellbore",
+        ["WildcatWellbore", "AppraisalWellbore", "ReentryWellbore"],
+    ),
+    ("WildcatWellbore", ["DeepWildcatWellbore"]),
+    ("DeepWildcatWellbore", ["HpHtWildcatWellbore"]),
+    ("HpHtWildcatWellbore", ["SubseaHpHtWildcatWellbore"]),
+    (
+        "DevelopmentWellbore",
+        [
+            "ProductionWellbore",
+            "InjectionWellbore",
+            "ObservationWellbore",
+            "DisposalWellbore",
+        ],
+    ),
+    ("ProductionWellbore", ["OilProducingWellbore", "GasProducingWellbore"]),
+    ("InjectionWellbore", ["WaterInjectionWellbore", "GasInjectionWellbore"]),
+    # cores & samples
+    ("SampleActivity", ["WellboreCore", "OilSample", "CorePhoto"]),
+    ("Activity", ["SampleActivity"]),
+    # licence family
+    ("LicensingActivity", ["ProductionLicence", "SurveyLicence", "BusinessArrangement"]),
+    ("ProductionLicence", ["StratigraphicalLicence", "APALicence", "OrdinaryLicence"]),
+    # surveys
+    ("SurveyActivity", ["SeismicSurvey", "ElectromagneticSurvey", "SiteSurvey"]),
+    ("SeismicSurvey", ["Seismic2DSurvey", "Seismic3DSurvey", "Seismic4DSurvey"]),
+    # production/geology entities
+    ("ProductionActivity", ["Field", "Discovery"]),
+    ("Discovery", ["OilDiscovery", "GasDiscovery", "OilGasDiscovery", "CondensateDiscovery"]),
+    ("FixedFacility", ["Platform", "SubseaFacility", "OnshoreFacility"]),
+    ("Platform", ["ConcretePlatform", "SteelPlatform"]),
+    ("MoveableFacility", ["DrillingRig", "FPSO", "Flotel"]),
+    ("DrillingRig", ["JackupRig", "SemisubRig", "DrillShip"]),
+    # stratigraphy
+    ("GeologicEntity", ["LithostratigraphicUnit", "ChronostratigraphicUnit"]),
+    ("LithostratigraphicUnit", ["Group", "Formation", "Member"]),
+    # tasks & points
+    ("Task", ["LicenceTask", "SurveyTask"]),
+    ("PointArea", ["WellborePoint", "FacilityPoint"]),
+]
+
+# taxonomy families: (root class under parent, member names, chain depth)
+TAXONOMY_FAMILIES: List[Tuple[str, str, List[str]]] = [
+    (
+        "ChronostratigraphicUnit",
+        "Era",
+        ["Paleozoic", "Mesozoic", "Cenozoic"],
+    ),
+    (
+        "ChronostratigraphicUnit",
+        "Period",
+        [
+            "Cambrian", "Ordovician", "Silurian", "Devonian", "Carboniferous",
+            "Permian", "Triassic", "Jurassic", "Cretaceous", "Paleogene",
+            "Neogene", "Quaternary",
+        ],
+    ),
+    (
+        "ChronostratigraphicUnit",
+        "Epoch",
+        [
+            "EarlyTriassic", "MiddleTriassic", "LateTriassic",
+            "EarlyJurassic", "MiddleJurassic", "LateJurassic",
+            "EarlyCretaceous", "LateCretaceous", "Paleocene", "Eocene",
+            "Oligocene", "Miocene", "Pliocene", "Pleistocene", "Holocene",
+        ],
+    ),
+    (
+        "Formation",
+        "NamedFormation",
+        [
+            "Ekofisk", "Tor", "Hod", "Draupne", "Heather", "Brent", "Statfjord",
+            "Dunlin", "Cook", "Johansen", "Amundsen", "Burton", "Rannoch",
+            "Etive", "Ness", "Tarbert", "Hugin", "Sleipner", "Skagerrak",
+            "Smith_Bank", "Ula", "Farsund", "Sauda", "Tau", "Egersund",
+        ],
+    ),
+    (
+        "WellboreDocument",
+        "DocumentKind",
+        [
+            "CompletionLog", "CompletionReport", "CorePhotoDocument",
+            "FinalReport", "LogReport", "MudReport", "PressureReport",
+            "PalyReport", "GeochemReport",
+        ],
+    ),
+    (
+        "LicenceTask",
+        "LicenceTaskKind",
+        ["SeismicTask", "DrillingTask", "SurrenderTask", "PDOTask", "BoKTask"],
+    ),
+    (
+        "Reserve",
+        "ReserveKind",
+        ["OilReserve", "GasReserve", "NGLReserve", "CondensateReserve"],
+    ),
+    (
+        "ProductionVolume",
+        "ProductionVolumeKind",
+        [
+            "OilProduction", "GasProduction", "NGLProduction",
+            "CondensateProduction", "WaterProduction", "OeProduction",
+        ],
+    ),
+    (
+        "BusinessArrangementArea",
+        "BAAKind",
+        ["UnitisedArea", "MergedArea", "TransportationArea", "TerminalArea"],
+    ),
+    (
+        "FixedFacility",
+        "FacilityKind",
+        [
+            "Jacket", "Condeep", "Monotower", "Loadingbuoy", "Landfall",
+            "SubseaTemplate", "Manifold", "RiserBase", "TLP", "SPAR",
+        ],
+    ),
+    (
+        "Pipeline",
+        "PipelineKind",
+        ["OilPipeline", "GasPipeline", "CondensatePipeline", "WaterPipeline"],
+    ),
+    (
+        "Group",
+        "NamedGroup",
+        [
+            "Viking", "Vestland", "Hordaland", "Rogaland", "Shetland",
+            "Cromer_Knoll", "Tyne", "Boknfjord", "Vefsn", "Fangst",
+            "Baat", "Halten", "Dunlin_Gp", "Zechstein", "Rotliegend",
+            "Nordland", "Adventdalen", "Kapp_Toscana",
+        ],
+    ),
+    (
+        "Member",
+        "NamedMember",
+        [
+            "Rannoch_Mb", "Etive_Mb", "Ness_Mb", "Tarbert_Mb", "Broom",
+            "Oseberg_Mb", "Intra_Draupne", "Eiriksson", "Raude", "Nansen",
+            "Alke", "Friggsand", "Heimdal_Mb", "Lista_Mb", "Sele_Mb",
+            "Balder_Mb",
+        ],
+    ),
+    (
+        "Wellbore",
+        "WellboreStatusClass",
+        [
+            "Drilling", "Online", "Suspended", "PluggedAndAbandoned",
+            "Predrilled", "ReclassedToDev", "ReclassedToExp", "Closed",
+            "Junked", "Producing", "Injecting", "BlowingOut",
+        ],
+    ),
+    (
+        "AwardArea",
+        "LicensingRound",
+        [f"Round{n}" for n in range(1, 24)] + [f"TFO{y}" for y in range(2003, 2015)],
+    ),
+    (
+        "Area",
+        "MainArea",
+        ["NorthSea", "NorwegianSea", "BarentsSea"],
+    ),
+    (
+        "SurveyTask",
+        "SurveyTaskKind",
+        ["Acquisition", "Processing", "Reprocessing", "Interpretation", "Mobilisation"],
+    ),
+    (
+        "SurveyDocument",
+        "SurveyDocumentKind",
+        ["NavigationData", "FieldTapes", "ProcessedData", "ObserverLog"],
+    ),
+    (
+        "Investment",
+        "InvestmentKind",
+        ["ExplorationInvestment", "DevelopmentInvestment", "OperationInvestment"],
+    ),
+    (
+        "Authority",
+        "AuthorityKind",
+        ["Directorate", "Ministry", "Agency"],
+    ),
+    (
+        "OnshoreFacility",
+        "OnshoreFacilityKind",
+        ["Terminal", "Refinery", "ProcessingPlant", "SupplyBase"],
+    ),
+    (
+        "Quadrant",
+        "NamedQuadrant",
+        [f"Quadrant{n}" for n in range(1, 37)],
+    ),
+]
+
+# deep chains to push the hierarchy depth to 10
+DEEP_CHAINS: List[List[str]] = [
+    [
+        "Activity", "DrillingActivity", "Wellbore", "ExplorationWellbore",
+        "WildcatWellbore", "DeepWildcatWellbore", "HpHtWildcatWellbore",
+        "SubseaHpHtWildcatWellbore", "SubseaHpHtWildcatWellboreNorthSea",
+        "SubseaHpHtWildcatWellboreNorthSeaQ35",
+    ],
+    [
+        "Area", "BusinessArrangementArea", "UnitisedArea",
+        "CrossBorderUnitisedArea", "CrossBorderUnitisedAreaUK",
+    ],
+]
+
+
+# object properties: (name, domain, range, parent or None)
+OBJECT_PROPERTIES: List[Tuple[str, str, str, str | None]] = [
+    ("operatorFor", "Company", "Activity", None),
+    ("licenseeFor", "Company", "ProductionLicence", None),
+    ("operatorForLicence", "Company", "ProductionLicence", "operatorFor"),
+    ("operatorForField", "Company", "Field", "operatorFor"),
+    ("operatorForBAA", "Company", "BusinessArrangementArea", "operatorFor"),
+    ("operatorForSurvey", "Company", "SeismicSurvey", "operatorFor"),
+    ("drillingOperatorCompany", "Wellbore", "Company", None),
+    ("coreForWellbore", "WellboreCore", "Wellbore", None),
+    ("corePhotoForWellbore", "CorePhoto", "Wellbore", None),
+    ("oilSampleForWellbore", "OilSample", "Wellbore", None),
+    ("documentForWellbore", "WellboreDocument", "Wellbore", None),
+    ("formationTopForWellbore", "LithostratigraphicUnit", "Wellbore", None),
+    ("wellboreForDiscovery", "Wellbore", "Discovery", None),
+    ("includedInField", "Discovery", "Field", None),
+    ("drilledInLicence", "Wellbore", "ProductionLicence", None),
+    ("wellboreForField", "Wellbore", "Field", None),
+    ("belongsToFacility", "Wellbore", "Facility", None),
+    ("licenseeForLicence", "Company", "ProductionLicence", "licenseeFor"),
+    ("licenseeForBAA", "Company", "BusinessArrangementArea", "licenseeFor"),
+    ("licenseeForField", "Company", "Field", "licenseeFor"),
+    ("taskForLicence", "LicenceTask", "ProductionLicence", None),
+    ("ownerForField", "ProductionLicence", "Field", None),
+    ("currentOperatorLicence", "Company", "ProductionLicence", "operatorForLicence"),
+    ("pipelineFromFacility", "Pipeline", "Facility", None),
+    ("pipelineToFacility", "Pipeline", "Facility", None),
+    ("pipelineForTUF", "Pipeline", "TUF", None),
+    ("facilityForField", "FixedFacility", "Field", None),
+    ("reservesForField", "Reserve", "Field", None),
+    ("reservesForDiscovery", "Reserve", "Discovery", None),
+    ("reservesForCompany", "Reserve", "Company", None),
+    ("productionForField", "ProductionVolume", "Field", None),
+    ("investmentForField", "Investment", "Field", None),
+    ("surveyForCompany", "SeismicSurvey", "Company", None),
+    ("progressForSurvey", "SurveyTask", "SeismicSurvey", None),
+    ("memberOfBlock", "Wellbore", "Block", None),
+    ("blockInQuadrant", "Block", "Quadrant", None),
+    ("transferForLicence", "LicenceTask", "ProductionLicence", "taskForLicence"),
+    ("phaseForLicence", "LicenceTask", "ProductionLicence", "taskForLicence"),
+    ("areaForLicence", "Area", "ProductionLicence", None),
+    ("areaForBAA", "Area", "BusinessArrangementArea", None),
+    ("areaForDiscovery", "Area", "Discovery", None),
+    ("operatorForTUF", "Company", "TUF", "operatorFor"),
+    ("ownerForTUF", "Company", "TUF", None),
+    ("stratumForCore", "WellboreCore", "LithostratigraphicUnit", None),
+    ("parentStratum", "LithostratigraphicUnit", "LithostratigraphicUnit", None),
+    ("coordinateForWellbore", "WellborePoint", "Wellbore", None),
+]
+
+# generated object-property families to reach the target count
+GENERATED_OBJECT_PROPERTY_FAMILIES: List[Tuple[str, str, str, int]] = [
+    # (base name, domain, range, count)
+    ("historyRelationField", "Field", "Company", 12),
+    ("historyRelationLicence", "ProductionLicence", "Company", 14),
+    ("historyRelationBAA", "BusinessArrangementArea", "Company", 10),
+    ("historyRelationTUF", "TUF", "Company", 8),
+    ("documentRelation", "Document", "Activity", 14),
+    ("measurementRelation", "Quantity", "Activity", 14),
+    ("spatialRelation", "Area", "Area", 12),
+    ("stratRelation", "GeologicEntity", "GeologicEntity", 11),
+]
+
+# data properties: (name, domain, parent or None); generated families after
+DATA_PROPERTIES: List[Tuple[str, str | None, str | None]] = [
+    # npdv:name and the sync dates apply to *everything* nameable
+    # (activities, agents, documents, areas); constraining their domain
+    # would make named documents Activities and trip the Document/Activity
+    # disjointness -- the OBDA consistency checker catches exactly that.
+    ("name", None, None),
+    ("shortName", "Company", "name"),
+    ("longName", "Company", "name"),
+    ("wellboreName", "Wellbore", "name"),
+    ("fieldName", "Field", "name"),
+    ("discoveryName", "Discovery", "name"),
+    ("licenceName", "ProductionLicence", "name"),
+    ("dateUpdated", None, None),
+    ("dateSyncNPD", None, None),
+    ("wellboreEntryDate", "Wellbore", None),
+    ("wellboreCompletionDate", "Wellbore", None),
+    ("wellboreCompletionYear", "Wellbore", None),
+    ("wellboreEntryYear", "Wellbore", None),
+    ("drillingDays", "Wellbore", None),
+    ("totalDepth", "Wellbore", None),
+    ("waterDepth", "Wellbore", None),
+    ("kellyBushingElevation", "Wellbore", None),
+    ("bottomHoleTemperature", "Wellbore", None),
+    ("wellborePurpose", "Wellbore", None),
+    ("wellboreStatus", "Wellbore", None),
+    ("wellboreContent", "Wellbore", None),
+    ("wellboreMainArea", "Wellbore", None),
+    ("coresTotalLength", "WellboreCore", None),
+    ("coreIntervalTop", "WellboreCore", None),
+    ("coreIntervalBottom", "WellboreCore", None),
+    ("coreIntervalUom", "WellboreCore", None),
+    ("dateLicenceGranted", "ProductionLicence", None),
+    ("yearLicenceGranted", "ProductionLicence", None),
+    ("dateLicenceValidTo", "ProductionLicence", None),
+    ("licenceCurrentArea", "ProductionLicence", None),
+    ("licenceStatus", "ProductionLicence", None),
+    ("licensingActivityName", "ProductionLicence", None),
+    ("licenseeInterest", "Company", None),
+    ("stratigraphical", "ProductionLicence", None),
+    ("currentActivityStatus", "ProductionActivity", None),
+    ("discoveryYear", "Discovery", None),
+    ("hcType", "Discovery", None),
+    ("mainArea", "Activity", None),
+    ("mainSupplyBase", "Field", None),
+    ("recoverableOil", "Reserve", None),
+    ("recoverableGas", "Reserve", None),
+    ("recoverableNGL", "Reserve", None),
+    ("recoverableCondensate", "Reserve", None),
+    ("remainingOil", "Reserve", None),
+    ("remainingGas", "Reserve", None),
+    ("producedOil", "ProductionVolume", None),
+    ("producedGas", "ProductionVolume", None),
+    ("producedNGL", "ProductionVolume", None),
+    ("producedCondensate", "ProductionVolume", None),
+    ("producedOe", "ProductionVolume", None),
+    ("producedWater", "ProductionVolume", None),
+    ("productionYear", "ProductionVolume", None),
+    ("productionMonth", "ProductionVolume", None),
+    ("investmentMillNOK", "Investment", None),
+    ("investmentYear", "Investment", None),
+    ("facilityKind", "Facility", None),
+    ("facilityPhase", "Facility", None),
+    ("facilityStartupDate", "Facility", None),
+    ("facilityDesignLifetime", "Facility", None),
+    ("facilityFunctions", "Facility", None),
+    ("facilityNation", "Facility", None),
+    ("facilityWaterDepth", "Facility", None),
+    ("pipelineMedium", "Pipeline", None),
+    ("pipelineDimension", "Pipeline", None),
+    ("surveyStatus", "SeismicSurvey", None),
+    ("surveyTypeMain", "SeismicSurvey", None),
+    ("surveyTypePart", "SeismicSurvey", None),
+    ("surveyStartDate", "SeismicSurvey", None),
+    ("surveyFinalizedDate", "SeismicSurvey", None),
+    ("surveyCdpKm", "SeismicSurvey", None),
+    ("surveyBoatKm", "SeismicSurvey", None),
+    ("survey3DKm2", "SeismicSurvey", None),
+    ("taskType", "LicenceTask", None),
+    ("taskStatus", "LicenceTask", None),
+    ("taskDate", "LicenceTask", None),
+    ("baaKind", "BusinessArrangementArea", None),
+    ("baaStatus", "BusinessArrangementArea", None),
+    ("baaDateApproved", "BusinessArrangementArea", None),
+    ("stratumName", "LithostratigraphicUnit", None),
+    ("stratumLevel", "LithostratigraphicUnit", None),
+    ("stratumTopDepth", "LithostratigraphicUnit", None),
+    ("stratumBottomDepth", "LithostratigraphicUnit", None),
+    ("utmEast", "PointArea", None),
+    ("utmNorth", "PointArea", None),
+    ("utmZone", "PointArea", None),
+    ("orgNumber", "Company", None),
+    ("nationCode", "Company", None),
+    ("documentName", "Document", "name"),
+    ("documentUrl", "Document", None),
+    ("documentType", "Document", None),
+    ("documentDate", "Document", None),
+]
+
+GENERATED_DATA_PROPERTY_FAMILIES: List[Tuple[str, str, int]] = [
+    ("wellboreDetail", "Wellbore", 36),
+    ("fieldDetail", "Field", 20),
+    ("licenceDetail", "ProductionLicence", 20),
+    ("facilityDetail", "Facility", 18),
+    ("surveyDetail", "SeismicSurvey", 16),
+    ("discoveryDetail", "Discovery", 14),
+    ("companyDetail", "Company", 12),
+    ("quantityDetail", "Quantity", 10),
+]
+
+# qualified existentials: (subclass, role, inverse?, filler)
+EXISTENTIAL_AXIOMS: List[Tuple[str, str, bool, str]] = [
+    # every wellbore was drilled by some company, in some licence, ...
+    ("Wellbore", "drillingOperatorCompany", False, "Company"),
+    ("Wellbore", "drilledInLicence", False, "ProductionLicence"),
+    ("Wellbore", "memberOfBlock", False, "Block"),
+    # cores/documents belong to wellbores (inverse: wellbores *may* have
+    # cores -- the existential that gives q6 its tree witnesses)
+    ("WellboreCore", "coreForWellbore", False, "Wellbore"),
+    ("ExplorationWellbore", "coreForWellbore", True, "WellboreCore"),
+    ("WellboreDocument", "documentForWellbore", False, "Wellbore"),
+    ("OilSample", "oilSampleForWellbore", False, "Wellbore"),
+    ("ProductionLicence", "operatorForLicence", True, "Operator"),
+    ("ProductionLicence", "licenseeForLicence", True, "Licensee"),
+    ("Field", "operatorForField", True, "Operator"),
+    ("Field", "ownerForField", True, "ProductionLicence"),
+    ("Field", "facilityForField", True, "FixedFacility"),
+    ("Field", "reservesForField", True, "Reserve"),
+    ("Discovery", "wellboreForDiscovery", True, "Wellbore"),
+    ("Discovery", "includedInField", False, "Field"),
+    ("SeismicSurvey", "operatorForSurvey", True, "SurveyingCompany"),
+    ("Pipeline", "pipelineFromFacility", False, "Facility"),
+    ("Pipeline", "pipelineToFacility", False, "Facility"),
+    ("LicenceTask", "taskForLicence", False, "ProductionLicence"),
+    ("Block", "blockInQuadrant", False, "Quadrant"),
+    ("BusinessArrangementArea", "operatorForBAA", True, "Operator"),
+    ("TUF", "operatorForTUF", True, "Operator"),
+    ("Member", "parentStratum", False, "Formation"),
+    ("Formation", "parentStratum", False, "Group"),
+]
+
+DISJOINTNESS: List[Tuple[str, str]] = [
+    ("Wellbore", "Company"),
+    ("Wellbore", "ProductionLicence"),
+    ("Wellbore", "Field"),
+    ("Company", "Field"),
+    ("Company", "ProductionLicence"),
+    ("Company", "Facility"),
+    ("Field", "Discovery"),
+    ("ExplorationWellbore", "DevelopmentWellbore"),
+    ("ExplorationWellbore", "ShallowWellbore"),
+    ("DevelopmentWellbore", "ShallowWellbore"),
+    ("OilProducingWellbore", "GasProducingWellbore"),
+    ("WaterInjectionWellbore", "GasInjectionWellbore"),
+    ("FixedFacility", "MoveableFacility"),
+    ("OilDiscovery", "GasDiscovery"),
+    ("Platform", "SubseaFacility"),
+    ("Document", "Activity"),
+    ("Quantity", "Activity"),
+    ("Area", "Agent"),
+    ("GeologicEntity", "Facility"),
+    ("Task", "Facility"),
+]
+
+
+def build_npd_ontology() -> Ontology:
+    """Assemble the full ontology."""
+    ontology = Ontology(V)
+    # core hierarchy
+    for parent, children in CORE_HIERARCHY:
+        ontology.declare_class(_c(parent))
+        for child in children:
+            ontology.add_subclass(_c(child), _c(parent))
+    # taxonomy families: root under parent, members under root
+    for parent, root, members in TAXONOMY_FAMILIES:
+        ontology.add_subclass(_c(root), _c(parent))
+        for member in members:
+            ontology.add_subclass(_c(member + root), _c(root))
+    # deep chains
+    for chain in DEEP_CHAINS:
+        for upper, lower in zip(chain, chain[1:]):
+            ontology.add_subclass(_c(lower), _c(upper))
+    # object properties
+    for name, domain, range_, parent in OBJECT_PROPERTIES:
+        prop = _c(name)
+        ontology.declare_object_property(prop)
+        ontology.add_domain(prop, _c(domain))
+        ontology.add_range(prop, _c(range_))
+        if parent is not None:
+            ontology.add_subproperty(prop, _c(parent))
+    for base, domain, range_, count in GENERATED_OBJECT_PROPERTY_FAMILIES:
+        parent = _c(base)
+        ontology.declare_object_property(parent)
+        ontology.add_domain(parent, _c(domain))
+        ontology.add_range(parent, _c(range_))
+        for index in range(1, count):
+            prop = _c(f"{base}{index}")
+            ontology.add_subproperty(prop, parent)
+            ontology.add_domain(prop, _c(domain))
+            ontology.add_range(prop, _c(range_))
+    # data properties
+    for name, domain, parent in DATA_PROPERTIES:
+        prop = _c(name)
+        ontology.declare_data_property(prop)
+        if domain is not None:
+            ontology.add_data_domain(prop, _c(domain))
+        if parent is not None:
+            ontology.add_data_subproperty(prop, _c(parent))
+    for base, domain, count in GENERATED_DATA_PROPERTY_FAMILIES:
+        parent = _c(base)
+        ontology.declare_data_property(parent)
+        ontology.add_data_domain(parent, _c(domain))
+        for index in range(1, count):
+            prop = _c(f"{base}{index}")
+            ontology.add_data_subproperty(prop, parent)
+            ontology.add_data_domain(prop, _c(domain))
+    # existentials
+    for sub, role, inverse, filler in EXISTENTIAL_AXIOMS:
+        ontology.add_existential(_c(sub), Role(_c(role), inverse), _c(filler))
+    # disjointness
+    for first, second in DISJOINTNESS:
+        ontology.add_disjoint(_c(first), _c(second))
+    # pairwise disjointness inside mutually-exclusive taxonomy families,
+    # like the real ontology's "disjointness assertions" over code lists
+    # NOTE: ReserveKind members are deliberately NOT disjoint -- one
+    # field's reserve record can hold both oil and gas (the consistency
+    # checker flagged a draft that declared them disjoint).
+    exclusive_roots = {
+        "Era",
+        "Period",
+        "Epoch",
+        "WellboreStatusClass",
+        "FacilityKind",
+        "PipelineKind",
+    }
+    import itertools as _it
+
+    for parent, root, members in TAXONOMY_FAMILIES:
+        if root not in exclusive_roots:
+            continue
+        member_classes = [_c(member + root) for member in members]
+        for first, second in _it.combinations(member_classes, 2):
+            ontology.add_disjoint(first, second)
+    return ontology

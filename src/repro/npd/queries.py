@@ -1,0 +1,504 @@
+"""The NPD benchmark query set: 21 SPARQL queries (Table 7).
+
+Mirrors the structure of the paper's query set: q1-q14 are
+selection/join queries over the ontology (several with OPTIONAL parts,
+rich class hierarchies and tree-witness-inducing shapes -- q6 is the
+paper's flagship example with two tree witnesses), and q15-q21 are the
+aggregate queries added in this journal version (q15 derives from q1;
+q16 counts production licences granted after 2000 exactly like the
+paper's example; q17/q19 are fragments of original aggregate queries).
+
+Each query carries the metadata Table 7 reports so the bench harness can
+regenerate the table: whether it aggregates, filters, uses solution
+modifiers, and which entity drives its hierarchy expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+PREFIXES = """\
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX xsd:  <http://www.w3.org/2001/XMLSchema#>
+PREFIX npdv: <http://sws.ifi.uio.no/vocab/npd-v2#>
+PREFIX npd:  <http://sws.ifi.uio.no/data/npd-v2/>
+"""
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One benchmark query plus its Table 7 row metadata."""
+
+    id: str
+    description: str
+    sparql: str
+    has_aggregates: bool
+    has_filter: bool
+    has_modifiers: bool  # DISTINCT / ORDER BY / LIMIT
+    tractable: bool = True  # included in the Tables 9/10 "tractable" mix
+
+
+def _q(body: str) -> str:
+    return PREFIXES + body
+
+
+def build_query_set() -> Dict[str, BenchmarkQuery]:
+    """The 21 queries, keyed ``q1`` .. ``q21``."""
+    queries: List[BenchmarkQuery] = []
+
+    queries.append(
+        BenchmarkQuery(
+            "q1",
+            "wellbores with their names and completion years",
+            _q(
+                """
+SELECT DISTINCT ?wellbore ?name ?year
+WHERE {
+  ?wellbore a npdv:Wellbore ;
+            npdv:name ?name ;
+            npdv:wellboreCompletionYear ?year .
+}
+ORDER BY ?name
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q2",
+            "exploration wellbores drilled by some company",
+            _q(
+                """
+SELECT DISTINCT ?name ?company
+WHERE {
+  ?w a npdv:ExplorationWellbore ;
+     npdv:name ?name ;
+     npdv:drillingOperatorCompany ?c .
+  ?c npdv:name ?company .
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q3",
+            "deep wellbores completed recently",
+            _q(
+                """
+SELECT DISTINCT ?name ?depth ?year
+WHERE {
+  ?w a npdv:Wellbore ;
+     npdv:name ?name ;
+     npdv:totalDepth ?depth ;
+     npdv:wellboreCompletionYear ?year .
+  FILTER(?depth > 3000 && ?year >= "2005"^^xsd:integer)
+}
+ORDER BY DESC(?depth)
+"""
+            ),
+            has_aggregates=False,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q4",
+            "licences with operator companies and grant dates",
+            _q(
+                """
+SELECT DISTINCT ?licence ?company ?granted
+WHERE {
+  ?l a npdv:ProductionLicence ;
+     npdv:name ?licence ;
+     npdv:dateLicenceGranted ?granted .
+  ?c npdv:operatorForLicence ?l ;
+     npdv:name ?company .
+  FILTER(?granted > "1990-01-01")
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q5",
+            "fields with optional operator and supply base",
+            _q(
+                """
+SELECT DISTINCT ?field ?company ?base
+WHERE {
+  ?f a npdv:Field ;
+     npdv:name ?field .
+  OPTIONAL { ?c npdv:operatorForField ?f . ?c npdv:name ?company }
+  OPTIONAL { ?f npdv:mainSupplyBase ?base }
+}
+ORDER BY ?field
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q6",
+            "paper's example: cored wellbores with length, company, year",
+            _q(
+                """
+SELECT DISTINCT ?wellbore (?length AS ?lengthM) ?company ?year
+WHERE {
+  ?wc npdv:coreForWellbore [
+        rdf:type npdv:Wellbore ;
+        npdv:name ?wellbore ;
+        npdv:wellboreCompletionYear ?year ;
+        npdv:drillingOperatorCompany [ npdv:name ?company ]
+      ] .
+  { ?wc npdv:coresTotalLength ?length }
+  FILTER(?year >= "2008"^^xsd:integer && ?length > 50)
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q7",
+            "discoveries included in fields, with hydrocarbon type",
+            _q(
+                """
+SELECT DISTINCT ?discovery ?field ?hctype
+WHERE {
+  ?d a npdv:Discovery ;
+     npdv:name ?discovery ;
+     npdv:hcType ?hctype ;
+     npdv:includedInField ?f .
+  ?f npdv:name ?field .
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q8",
+            "production licences with tasks of a given kind",
+            _q(
+                """
+SELECT DISTINCT ?licence ?tasktype ?taskdate
+WHERE {
+  ?t npdv:taskForLicence ?l ;
+     npdv:taskType ?tasktype ;
+     npdv:taskDate ?taskdate .
+  ?l a npdv:ProductionLicence ;
+     npdv:name ?licence .
+  FILTER(?tasktype = "DRILLING")
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q9",
+            "facilities of fields with their kind and startup date",
+            _q(
+                """
+SELECT DISTINCT ?facility ?field ?kind ?startup
+WHERE {
+  ?fc a npdv:FixedFacility ;
+      npdv:name ?facility ;
+      npdv:facilityForField ?f .
+  ?f npdv:name ?field .
+  OPTIONAL { ?fc npdv:facilityKind ?kind }
+  OPTIONAL { ?fc npdv:facilityStartupDate ?startup }
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q10",
+            "wildcat wellbores in licences granted after 2000",
+            _q(
+                """
+SELECT DISTINCT ?name ?licence
+WHERE {
+  ?w a npdv:WildcatWellbore ;
+     npdv:name ?name ;
+     npdv:drilledInLicence ?l .
+  ?l npdv:name ?licence ;
+     npdv:yearLicenceGranted ?year .
+  FILTER(?year > 2000)
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q11",
+            "seismic surveys by operators, with survey type",
+            _q(
+                """
+SELECT DISTINCT ?survey ?company ?type
+WHERE {
+  ?s a npdv:SeismicSurvey ;
+     npdv:name ?survey ;
+     npdv:surveyTypeMain ?type .
+  ?c npdv:operatorForSurvey ?s ;
+     npdv:name ?company .
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q12",
+            "pipelines between facilities (existential ends)",
+            _q(
+                """
+SELECT DISTINCT ?pipeline ?medium
+WHERE {
+  ?p a npdv:Pipeline ;
+     npdv:name ?pipeline ;
+     npdv:pipelineMedium ?medium ;
+     npdv:pipelineFromFacility ?from .
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q13",
+            "cores with stratigraphic units (deep hierarchy)",
+            _q(
+                """
+SELECT DISTINCT ?wellbore ?stratum
+WHERE {
+  ?core npdv:coreForWellbore ?w ;
+        npdv:stratumForCore ?unit .
+  ?w npdv:name ?wellbore .
+  ?unit a npdv:LithostratigraphicUnit ;
+        npdv:stratumName ?stratum .
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q14",
+            "operators that are also licensees (role hierarchy)",
+            _q(
+                """
+SELECT DISTINCT ?company
+WHERE {
+  ?c a npdv:Operator ;
+     npdv:name ?company .
+  ?c a npdv:Licensee .
+}
+"""
+            ),
+            has_aggregates=False,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    # -- aggregate queries (q15 - q21) -------------------------------------
+    queries.append(
+        BenchmarkQuery(
+            "q15",
+            "q1 with aggregation: wellbores completed per year",
+            _q(
+                """
+SELECT ?year (COUNT(?w) AS ?n)
+WHERE {
+  ?w a npdv:Wellbore ;
+     npdv:wellboreCompletionYear ?year .
+}
+GROUP BY ?year
+ORDER BY ?year
+"""
+            ),
+            has_aggregates=True,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q16",
+            "paper's example: licences granted after 2000",
+            _q(
+                """
+SELECT (COUNT(?licence) AS ?licnumber)
+WHERE {
+  [] a npdv:ProductionLicence ;
+     npdv:name ?licence ;
+     npdv:dateLicenceGranted ?dateGranted .
+  FILTER(?dateGranted > "2000-01-01")
+}
+"""
+            ),
+            has_aggregates=True,
+            has_filter=True,
+            has_modifiers=False,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q17",
+            "average total depth of exploration wellbores per purpose",
+            _q(
+                """
+SELECT ?purpose (AVG(?depth) AS ?avgdepth)
+WHERE {
+  ?w a npdv:ExplorationWellbore ;
+     npdv:wellborePurpose ?purpose ;
+     npdv:totalDepth ?depth .
+}
+GROUP BY ?purpose
+ORDER BY DESC(?avgdepth)
+"""
+            ),
+            has_aggregates=True,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q18",
+            "number of wellbores drilled per company (busy drillers)",
+            _q(
+                """
+SELECT ?company (COUNT(?w) AS ?n)
+WHERE {
+  ?w a npdv:Wellbore ;
+     npdv:drillingOperatorCompany ?c .
+  ?c npdv:name ?company .
+}
+GROUP BY ?company
+HAVING (?n >= 2)
+ORDER BY DESC(?n)
+"""
+            ),
+            has_aggregates=True,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q19",
+            "total recoverable oil and gas per field",
+            _q(
+                """
+SELECT ?field (SUM(?oil) AS ?totaloil)
+WHERE {
+  ?r npdv:reservesForField ?f ;
+     npdv:recoverableOil ?oil .
+  ?f npdv:name ?field .
+}
+GROUP BY ?field
+ORDER BY DESC(?totaloil)
+LIMIT 20
+"""
+            ),
+            has_aggregates=True,
+            has_filter=False,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q20",
+            "monthly oil production per field in a year range",
+            _q(
+                """
+SELECT ?field (SUM(?oil) AS ?production)
+WHERE {
+  ?p npdv:productionForField ?f ;
+     npdv:producedOil ?oil ;
+     npdv:productionYear ?year .
+  ?f npdv:name ?field .
+  FILTER(?year >= 2005 && ?year <= 2010)
+}
+GROUP BY ?field
+ORDER BY ?field
+"""
+            ),
+            has_aggregates=True,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    queries.append(
+        BenchmarkQuery(
+            "q21",
+            "count of cores per wellbore with long core intervals",
+            _q(
+                """
+SELECT ?wellbore (COUNT(?core) AS ?cores) (MAX(?length) AS ?maxlength)
+WHERE {
+  ?core npdv:coreForWellbore ?w ;
+        npdv:coresTotalLength ?length .
+  ?w npdv:name ?wellbore .
+  FILTER(?length > 10)
+}
+GROUP BY ?wellbore
+HAVING (?cores >= 1)
+ORDER BY DESC(?maxlength)
+"""
+            ),
+            has_aggregates=True,
+            has_filter=True,
+            has_modifiers=True,
+        )
+    )
+    return {query.id: query for query in queries}
+
+
+def tractable_queries() -> List[str]:
+    """Query ids included in the Tables 9/10 query mix."""
+    return [query_id for query_id, query in build_query_set().items() if query.tractable]

@@ -1,0 +1,1075 @@
+"""The NPD FactPages relational schema.
+
+The real schema (translated from the FactPages CSV dump by the University
+of Oslo) has 70 tables, 276 distinct column names (~1000 columns in total,
+with heavy replication across tables -- some tables exceed 100 columns)
+and 94 foreign keys.  We rebuild a faithful synthetic equivalent: the same
+table inventory organized around the same entities (wellbores, licences,
+companies, fields, discoveries, facilities, surveys, pipelines, BAAs),
+with shared/overlapping column groups, geometry columns, and a foreign-key
+cycle (``company -> licence -> company``) so VIG's chase-cycle analysis has
+something real to chew on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..sql.engine import Database
+from ..sql.profiles import EngineProfile
+
+# Column groups replicated across tables, mirroring how the FactPages
+# denormalize "date synced", positioning and name attributes everywhere.
+_AUDIT_COLUMNS = [
+    ("dateupdated", "DATE"),
+    ("datesyncnpd", "DATE"),
+]
+
+_GEO_COLUMNS = [
+    ("utmeast", "DOUBLE"),
+    ("utmnorth", "DOUBLE"),
+    ("utmzone", "INTEGER"),
+    ("geometry", "GEOMETRY"),
+]
+
+
+def _cols(*pairs: Tuple[str, str]) -> List[Tuple[str, str]]:
+    return list(pairs)
+
+
+# ---------------------------------------------------------------------------
+# table definitions: name -> (columns, primary key, foreign keys)
+# fk: (local columns, referenced table, referenced columns)
+# ---------------------------------------------------------------------------
+
+TableDef = Tuple[
+    List[Tuple[str, str]],
+    Tuple[str, ...],
+    List[Tuple[Tuple[str, ...], str, Tuple[str, ...]]],
+]
+
+
+def _wellbore_columns() -> List[Tuple[str, str]]:
+    """The big shared wellbore column block (the >100 column tables)."""
+    columns = _cols(
+        ("wlbnpdidwellbore", "INTEGER"),
+        ("wlbwellborename", "VARCHAR"),
+        ("wlbwell", "VARCHAR"),
+        ("wlbdrillingoperator", "VARCHAR"),
+        ("wlbnpdidcompany", "INTEGER"),
+        ("wlbpurpose", "VARCHAR"),
+        ("wlbstatus", "VARCHAR"),
+        ("wlbcontent", "VARCHAR"),
+        ("wlbentrydate", "DATE"),
+        ("wlbcompletiondate", "DATE"),
+        ("wlbcompletionyear", "INTEGER"),
+        ("wlbentryyear", "INTEGER"),
+        ("wlbfield", "VARCHAR"),
+        ("wlbnpdidfield", "INTEGER"),
+        ("wlbproductionlicence", "VARCHAR"),
+        ("wlbnpdidproductionlicence", "INTEGER"),
+        ("wlbfacility", "VARCHAR"),
+        ("wlbnpdidfacility", "INTEGER"),
+        ("wlbdrillingfacility", "VARCHAR"),
+        ("wlbtotaldepth", "DOUBLE"),
+        ("wlbwaterdepth", "DOUBLE"),
+        ("wlbkellybushingelevation", "DOUBLE"),
+        ("wlbmaininlclination", "DOUBLE"),
+        ("wlbageattd", "VARCHAR"),
+        ("wlbformationattd", "VARCHAR"),
+        ("wlbmainarea", "VARCHAR"),
+        ("wlbseismiclocation", "VARCHAR"),
+        ("wlbgeodeticdatum", "VARCHAR"),
+        ("wlbnsdeg", "INTEGER"),
+        ("wlbnsmin", "INTEGER"),
+        ("wlbnssec", "DOUBLE"),
+        ("wlbewdeg", "INTEGER"),
+        ("wlbewmin", "INTEGER"),
+        ("wlbewsec", "DOUBLE"),
+        ("wlbnsdecdeg", "DOUBLE"),
+        ("wlbewdecdeg", "DOUBLE"),
+        ("wlbnamepart1", "VARCHAR"),
+        ("wlbnamepart2", "INTEGER"),
+        ("wlbnamepart3", "VARCHAR"),
+        ("wlbnamepart4", "INTEGER"),
+        ("wlbnamepart5", "VARCHAR"),
+        ("wlbnamepart6", "VARCHAR"),
+        ("wlbdiskoswellboretype", "VARCHAR"),
+        ("wlbdiskoswellboreparent", "VARCHAR"),
+        ("wlbreentryexplorationactivity", "VARCHAR"),
+        ("wlbplotsymbol", "INTEGER"),
+        ("wlbbottomholetemperature", "DOUBLE"),
+        ("wlbsitesurvey", "VARCHAR"),
+        ("wlbseismicsurveys", "VARCHAR"),
+        ("wlbdrillingdays", "INTEGER"),
+        ("wlbreentry", "VARCHAR"),
+        ("wlblicensingactivity", "VARCHAR"),
+        ("wlbmultilateral", "VARCHAR"),
+        ("wlbpurposeplanned", "VARCHAR"),
+        ("wlbcontentplanned", "VARCHAR"),
+        ("wlbagewithhc1", "VARCHAR"),
+        ("wlbagewithhc2", "VARCHAR"),
+        ("wlbformationwithhc1", "VARCHAR"),
+        ("wlbformationwithhc2", "VARCHAR"),
+        ("wlbdiscovery", "VARCHAR"),
+        ("wlbnpdiddiscovery", "INTEGER"),
+    )
+    columns.extend(_GEO_COLUMNS)
+    columns.extend(_AUDIT_COLUMNS)
+    return columns
+
+
+def table_definitions() -> Dict[str, TableDef]:
+    """The full 70-table inventory."""
+    tables: Dict[str, TableDef] = {}
+
+    def add(
+        name: str,
+        columns: List[Tuple[str, str]],
+        pk: Tuple[str, ...],
+        fks: List[Tuple[Tuple[str, ...], str, Tuple[str, ...]]] | None = None,
+    ) -> None:
+        tables[name] = (columns, pk, fks or [])
+
+    # -- companies ---------------------------------------------------------
+    add(
+        "company",
+        _cols(
+            ("cmpnpdidcompany", "INTEGER"),
+            ("cmplongname", "VARCHAR"),
+            ("cmpshortname", "VARCHAR"),
+            ("cmporgnumberbrreg", "VARCHAR"),
+            ("cmpgroup", "VARCHAR"),
+            ("cmpnationcode", "VARCHAR"),
+            ("cmpsurveyprefix", "VARCHAR"),
+            ("cmplicenceopercurrent", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("cmpnpdidcompany",),
+        # part of the FK cycle company -> licence -> company
+        [(("cmplicenceopercurrent",), "licence", ("prlnpdidlicence",))],
+    )
+    add(
+        "company_reserves",
+        _cols(
+            ("cmpnpdidcompany", "INTEGER"),
+            ("cmprecoverableoil", "DOUBLE"),
+            ("cmprecoverablegas", "DOUBLE"),
+            ("cmprecoverablengl", "DOUBLE"),
+            ("cmprecoverablecondensate", "DOUBLE"),
+            ("cmpremainingoil", "DOUBLE"),
+            ("cmpremaininggas", "DOUBLE"),
+            ("cmpyear", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("cmpnpdidcompany", "cmpyear"),
+        [(("cmpnpdidcompany",), "company", ("cmpnpdidcompany",))],
+    )
+
+    # -- licences ----------------------------------------------------------
+    add(
+        "licence",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prlname", "VARCHAR"),
+            ("prllicensingactivityname", "VARCHAR"),
+            ("prlmainarea", "VARCHAR"),
+            ("prlstatus", "VARCHAR"),
+            ("prlstratigraphical", "VARCHAR"),
+            ("prldategranted", "DATE"),
+            ("prlyeargranted", "INTEGER"),
+            ("prldatevalidto", "DATE"),
+            ("prlcurrentarea", "DOUBLE"),
+            ("prlphasecurrent", "VARCHAR"),
+            ("prlnpdidoperator", "INTEGER"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence",),
+        [(("prlnpdidoperator",), "company", ("cmpnpdidcompany",))],
+    )
+    add(
+        "licence_licensee_hst",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prllicenseedatefrom", "DATE"),
+            ("prllicenseedateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+            ("prllicenseeinterest", "DOUBLE"),
+            ("prllicenseesdfi", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence", "cmpnpdidcompany", "prllicenseedatefrom"),
+        [
+            (("prlnpdidlicence",), "licence", ("prlnpdidlicence",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "licence_oper_hst",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prloperdatefrom", "DATE"),
+            ("prloperdateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence", "prloperdatefrom"),
+        [
+            (("prlnpdidlicence",), "licence", ("prlnpdidlicence",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "licence_phase_hst",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prlphasedatefrom", "DATE"),
+            ("prlphasedateto", "DATE"),
+            ("prlphase", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence", "prlphasedatefrom"),
+        [(("prlnpdidlicence",), "licence", ("prlnpdidlicence",))],
+    )
+    add(
+        "licence_area_poly_hst",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prlareadatefrom", "DATE"),
+            ("prlareadateto", "DATE"),
+            ("prlpolygonno", "INTEGER"),
+            ("prlarea", "DOUBLE"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence", "prlareadatefrom", "prlpolygonno"),
+        [(("prlnpdidlicence",), "licence", ("prlnpdidlicence",))],
+    )
+    add(
+        "licence_task",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prltaskno", "INTEGER"),
+            ("prltasktype", "VARCHAR"),
+            ("prltaskstatus", "VARCHAR"),
+            ("prltaskdate", "DATE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence", "prltaskno"),
+        [(("prlnpdidlicence",), "licence", ("prlnpdidlicence",))],
+    )
+    add(
+        "licence_transfer_hst",
+        _cols(
+            ("prlnpdidlicence", "INTEGER"),
+            ("prltransferdate", "DATE"),
+            ("prltransferdirection", "VARCHAR"),
+            ("cmpnpdidcompany", "INTEGER"),
+            ("prltransferinterest", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("prlnpdidlicence", "prltransferdate", "cmpnpdidcompany"),
+        [
+            (("prlnpdidlicence",), "licence", ("prlnpdidlicence",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "licensing_activity",
+        _cols(
+            ("lsanpdidlicensingactivity", "INTEGER"),
+            ("lsaname", "VARCHAR"),
+            ("lsatype", "VARCHAR"),
+            ("lsadateannounced", "DATE"),
+            ("lsadateapplication", "DATE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("lsanpdidlicensingactivity",),
+        [],
+    )
+
+    # -- blocks / quadrants --------------------------------------------------
+    add(
+        "quadrant",
+        _cols(("qadname", "VARCHAR"), ("qadmainarea", "VARCHAR")) + _AUDIT_COLUMNS,
+        ("qadname",),
+        [],
+    )
+    add(
+        "block",
+        _cols(
+            ("blkname", "VARCHAR"),
+            ("qadname", "VARCHAR"),
+            ("blkmainarea", "VARCHAR"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("blkname",),
+        [(("qadname",), "quadrant", ("qadname",))],
+    )
+
+    # -- fields / discoveries ---------------------------------------------------
+    add(
+        "field",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("fldname", "VARCHAR"),
+            ("fldcurrentactivitystatus", "VARCHAR"),
+            ("flddiscoveryyear", "INTEGER"),
+            ("fldmainarea", "VARCHAR"),
+            ("fldmainsupplybase", "VARCHAR"),
+            ("fldnpdidowner", "INTEGER"),
+            ("fldnpdidoperator", "INTEGER"),
+            ("fldhctype", "VARCHAR"),
+            ("fldprlrefs", "VARCHAR"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield",),
+        [
+            (("fldnpdidowner",), "licence", ("prlnpdidlicence",)),
+            (("fldnpdidoperator",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "field_operator_hst",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("fldoperdatefrom", "DATE"),
+            ("fldoperdateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "fldoperdatefrom"),
+        [
+            (("fldnpdidfield",), "field", ("fldnpdidfield",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "field_owner_hst",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("fldownerdatefrom", "DATE"),
+            ("fldownerdateto", "DATE"),
+            ("fldownerkind", "VARCHAR"),
+            ("fldownername", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "fldownerdatefrom"),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "field_licensee_hst",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("fldlicenseedatefrom", "DATE"),
+            ("fldlicenseedateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+            ("fldlicenseeinterest", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "fldlicenseedatefrom", "cmpnpdidcompany"),
+        [
+            (("fldnpdidfield",), "field", ("fldnpdidfield",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "field_investment_yearly",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("prfyear", "INTEGER"),
+            ("prfinvestmentsmillnok", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "prfyear"),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "field_production_monthly",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("prfyear", "INTEGER"),
+            ("prfmonth", "INTEGER"),
+            ("prfprdoilnetmillsm3", "DOUBLE"),
+            ("prfprdgasnetbillsm3", "DOUBLE"),
+            ("prfprdnglnetmillsm3", "DOUBLE"),
+            ("prfprdcondensatenetmillsm3", "DOUBLE"),
+            ("prfprdoenetmillsm3", "DOUBLE"),
+            ("prfprdproducedwaterinfieldmillsm3", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "prfyear", "prfmonth"),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "field_production_yearly",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("prfyear", "INTEGER"),
+            ("prfprdoilnetmillsm3", "DOUBLE"),
+            ("prfprdgasnetbillsm3", "DOUBLE"),
+            ("prfprdoenetmillsm3", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "prfyear"),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "field_reserves",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("fldrecoverableoil", "DOUBLE"),
+            ("fldrecoverablegas", "DOUBLE"),
+            ("fldrecoverablengl", "DOUBLE"),
+            ("fldrecoverablecondensate", "DOUBLE"),
+            ("fldremainingoil", "DOUBLE"),
+            ("fldremaininggas", "DOUBLE"),
+            ("flddateoffresest", "DATE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield",),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "field_activity_status_hst",
+        _cols(
+            ("fldnpdidfield", "INTEGER"),
+            ("fldstatusfromdate", "DATE"),
+            ("fldstatustodate", "DATE"),
+            ("fldstatus", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fldnpdidfield", "fldstatusfromdate"),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "discovery",
+        _cols(
+            ("dscnpdiddiscovery", "INTEGER"),
+            ("dscname", "VARCHAR"),
+            ("dsccurrentactivitystatus", "VARCHAR"),
+            ("dschctype", "VARCHAR"),
+            ("dscdiscoveryyear", "INTEGER"),
+            ("dscmainarea", "VARCHAR"),
+            ("dscresinclass", "VARCHAR"),
+            ("fldnpdidfield", "INTEGER"),
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("prlnpdidlicence", "INTEGER"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("dscnpdiddiscovery",),
+        [
+            (("fldnpdidfield",), "field", ("fldnpdidfield",)),
+            (("prlnpdidlicence",), "licence", ("prlnpdidlicence",)),
+        ],
+    )
+    add(
+        "discovery_reserves",
+        _cols(
+            ("dscnpdiddiscovery", "INTEGER"),
+            ("dscrecoverableoil", "DOUBLE"),
+            ("dscrecoverablegas", "DOUBLE"),
+            ("dscrecoverablengl", "DOUBLE"),
+            ("dscdateoffresest", "DATE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("dscnpdiddiscovery",),
+        [(("dscnpdiddiscovery",), "discovery", ("dscnpdiddiscovery",))],
+    )
+    add(
+        "discovery_area_poly_hst",
+        _cols(
+            ("dscnpdiddiscovery", "INTEGER"),
+            ("dscareadatefrom", "DATE"),
+            ("dscpolygonno", "INTEGER"),
+            ("dscarea", "DOUBLE"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("dscnpdiddiscovery", "dscareadatefrom", "dscpolygonno"),
+        [(("dscnpdiddiscovery",), "discovery", ("dscnpdiddiscovery",))],
+    )
+
+    # -- wellbores ----------------------------------------------------------------
+    wellbore_fks: List[Tuple[Tuple[str, ...], str, Tuple[str, ...]]] = [
+        (("wlbnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        (("wlbnpdidfield",), "field", ("fldnpdidfield",)),
+        (("wlbnpdidproductionlicence",), "licence", ("prlnpdidlicence",)),
+    ]
+    add("wellbore_development_all", _wellbore_columns(), ("wlbnpdidwellbore",), wellbore_fks)
+    add("wellbore_exploration_all", _wellbore_columns(), ("wlbnpdidwellbore",), wellbore_fks)
+    add(
+        "wellbore_shallow_all",
+        _wellbore_columns()[:30] + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore",),
+        [(("wlbnpdidcompany",), "company", ("cmpnpdidcompany",))],
+    )
+    add(
+        "wellbore_npdid_overview",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbwellborename", "VARCHAR"),
+            ("wlbwelltype", "VARCHAR"),
+            ("wlbmainarea", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore",),
+        [],
+    )
+    add(
+        "wellbore_core",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbcorenumber", "INTEGER"),
+            ("wlbcoreintervaltop", "DOUBLE"),
+            ("wlbcoreintervalbottom", "DOUBLE"),
+            ("wlbtotalcorelength", "DOUBLE"),
+            ("wlbcoreintervaluom", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbcorenumber"),
+        [],
+    )
+    add(
+        "wellbore_core_photo",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbcorephotonumber", "INTEGER"),
+            ("wlbcorephototitle", "VARCHAR"),
+            ("wlbcorephotourl", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbcorephotonumber"),
+        [],
+    )
+    add(
+        "wellbore_dst",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbdsttestnumber", "INTEGER"),
+            ("wlbdstfromdepth", "DOUBLE"),
+            ("wlbdsttodepth", "DOUBLE"),
+            ("wlbdstchokesize", "DOUBLE"),
+            ("wlbdstoilprod", "DOUBLE"),
+            ("wlbdstgasprod", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbdsttestnumber"),
+        [],
+    )
+    add(
+        "wellbore_casing_and_lot",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbcasingtype", "VARCHAR"),
+            ("wlbcasingdiameter", "DOUBLE"),
+            ("wlbcasingdepth", "DOUBLE"),
+            ("wlbholediameter", "DOUBLE"),
+            ("wlbholedepth", "DOUBLE"),
+            ("wlblotmuddencity", "DOUBLE"),
+            ("wlbcasingno", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbcasingno"),
+        [],
+    )
+    add(
+        "wellbore_document",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbdocumentno", "INTEGER"),
+            ("wlbdocumenttype", "VARCHAR"),
+            ("wlbdocumentname", "VARCHAR"),
+            ("wlbdocumenturl", "VARCHAR"),
+            ("wlbdocumentdateupdated", "DATE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbdocumentno"),
+        [],
+    )
+    add(
+        "wellbore_formation_top",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("lsunpdidlithostrat", "INTEGER"),
+            ("lsutopdepth", "DOUBLE"),
+            ("lsubottomdepth", "DOUBLE"),
+            ("lsuname", "VARCHAR"),
+            ("lsulevel", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "lsunpdidlithostrat", "lsutopdepth"),
+        [(("lsunpdidlithostrat",), "strat_litho_overview", ("lsunpdidlithostrat",))],
+    )
+    add(
+        "wellbore_mud",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbmudrecordno", "INTEGER"),
+            ("wlbmuddatemeasured", "DATE"),
+            ("wlbmudweightatdepth", "DOUBLE"),
+            ("wlbmudviscosity", "DOUBLE"),
+            ("wlbmudtype", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbmudrecordno"),
+        [],
+    )
+    add(
+        "wellbore_oil_sample",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlboilsampleno", "INTEGER"),
+            ("wlboilsampledate", "DATE"),
+            ("wlboilsampledepth", "DOUBLE"),
+            ("wlboilsampletestresult", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlboilsampleno"),
+        [],
+    )
+    add(
+        "wellbore_coordinates",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("wlbcoordinateno", "INTEGER"),
+            ("wlbcoordinatetype", "VARCHAR"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "wlbcoordinateno"),
+        [],
+    )
+
+    # -- stratigraphy ----------------------------------------------------------------
+    add(
+        "strat_litho_overview",
+        _cols(
+            ("lsunpdidlithostrat", "INTEGER"),
+            ("lsuname", "VARCHAR"),
+            ("lsulevel", "VARCHAR"),
+            ("lsunameparent", "VARCHAR"),
+            ("lsunpdidparent", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("lsunpdidlithostrat",),
+        [],
+    )
+    add(
+        "strat_litho_wellbore_core",
+        _cols(
+            ("wlbnpdidwellbore", "INTEGER"),
+            ("lsunpdidlithostrat", "INTEGER"),
+            ("lsucoreno", "INTEGER"),
+            ("lsucorelength", "DOUBLE"),
+            ("lsuintervaltop", "DOUBLE"),
+            ("lsuintervalbottom", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("wlbnpdidwellbore", "lsunpdidlithostrat", "lsucoreno"),
+        [
+            (
+                ("lsunpdidlithostrat",),
+                "strat_litho_overview",
+                ("lsunpdidlithostrat",),
+            )
+        ],
+    )
+
+    # -- facilities --------------------------------------------------------------------
+    facility_columns = _cols(
+        ("fclnpdidfacility", "INTEGER"),
+        ("fclname", "VARCHAR"),
+        ("fclkind", "VARCHAR"),
+        ("fclphase", "VARCHAR"),
+        ("fclbelongstoname", "VARCHAR"),
+        ("fclbelongstokind", "VARCHAR"),
+        ("fclstartupdate", "DATE"),
+        ("fclnationname", "VARCHAR"),
+        ("fclfunctions", "VARCHAR"),
+        ("fclwaterdepth", "DOUBLE"),
+        ("fcldesignlifetime", "INTEGER"),
+        ("fldnpdidfield", "INTEGER"),
+    ) + _GEO_COLUMNS + _AUDIT_COLUMNS
+    add(
+        "facility_fixed",
+        facility_columns,
+        ("fclnpdidfacility",),
+        [(("fldnpdidfield",), "field", ("fldnpdidfield",))],
+    )
+    add(
+        "facility_moveable",
+        _cols(
+            ("fclnpdidfacility", "INTEGER"),
+            ("fclname", "VARCHAR"),
+            ("fclkind", "VARCHAR"),
+            ("fclnationname", "VARCHAR"),
+            ("fclaocstatus", "VARCHAR"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("fclnpdidfacility",),
+        [(("cmpnpdidcompany",), "company", ("cmpnpdidcompany",))],
+    )
+    add(
+        "tuf",
+        _cols(
+            ("tufnpdidtuf", "INTEGER"),
+            ("tufname", "VARCHAR"),
+            ("tufkind", "VARCHAR"),
+            ("tufownername", "VARCHAR"),
+            ("tufoperatorname", "VARCHAR"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("tufnpdidtuf",),
+        [(("cmpnpdidcompany",), "company", ("cmpnpdidcompany",))],
+    )
+    add(
+        "tuf_operator_hst",
+        _cols(
+            ("tufnpdidtuf", "INTEGER"),
+            ("tufoperdatefrom", "DATE"),
+            ("tufoperdateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("tufnpdidtuf", "tufoperdatefrom"),
+        [
+            (("tufnpdidtuf",), "tuf", ("tufnpdidtuf",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "tuf_owner_hst",
+        _cols(
+            ("tufnpdidtuf", "INTEGER"),
+            ("tufownerdatefrom", "DATE"),
+            ("tufownerdateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+            ("tufownershare", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("tufnpdidtuf", "tufownerdatefrom", "cmpnpdidcompany"),
+        [
+            (("tufnpdidtuf",), "tuf", ("tufnpdidtuf",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "pipeline",
+        _cols(
+            ("pplnpdidpipeline", "INTEGER"),
+            ("pplname", "VARCHAR"),
+            ("pplbelongstoname", "VARCHAR"),
+            ("pplmedium", "VARCHAR"),
+            ("ppldimension", "DOUBLE"),
+            ("pplwaterdepth", "DOUBLE"),
+            ("pplfromfacility", "INTEGER"),
+            ("ppltofacility", "INTEGER"),
+            ("tufnpdidtuf", "INTEGER"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("pplnpdidpipeline",),
+        [
+            (("pplfromfacility",), "facility_fixed", ("fclnpdidfacility",)),
+            (("ppltofacility",), "facility_fixed", ("fclnpdidfacility",)),
+            (("tufnpdidtuf",), "tuf", ("tufnpdidtuf",)),
+        ],
+    )
+
+    # -- seismic / surveys -----------------------------------------------------------------
+    add(
+        "seis_acquisition",
+        _cols(
+            ("seanpdidsurvey", "INTEGER"),
+            ("seasurveyname", "VARCHAR"),
+            ("seastatus", "VARCHAR"),
+            ("seageographicalarea", "VARCHAR"),
+            ("seamarketavailable", "VARCHAR"),
+            ("seasurveytypemain", "VARCHAR"),
+            ("seasurveytypepart", "VARCHAR"),
+            ("seadatestarting", "DATE"),
+            ("seadatefinalized", "DATE"),
+            ("seaplanfromdate", "DATE"),
+            ("seacdpkm", "DOUBLE"),
+            ("seaboatkm", "DOUBLE"),
+            ("sea3dkm2", "DOUBLE"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("seanpdidsurvey",),
+        [(("cmpnpdidcompany",), "company", ("cmpnpdidcompany",))],
+    )
+    add(
+        "seis_acquisition_progress",
+        _cols(
+            ("seanpdidsurvey", "INTEGER"),
+            ("seaprogressdate", "DATE"),
+            ("seaprogressstatus", "VARCHAR"),
+        )
+        + _AUDIT_COLUMNS,
+        ("seanpdidsurvey", "seaprogressdate"),
+        [(("seanpdidsurvey",), "seis_acquisition", ("seanpdidsurvey",))],
+    )
+
+    # -- business arrangement areas ------------------------------------------------------------
+    add(
+        "baa",
+        _cols(
+            ("baanpdidbsnsarrarea", "INTEGER"),
+            ("baaname", "VARCHAR"),
+            ("baakind", "VARCHAR"),
+            ("baastatus", "VARCHAR"),
+            ("baadateapproved", "DATE"),
+            ("baanpdidoperator", "INTEGER"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("baanpdidbsnsarrarea",),
+        [(("baanpdidoperator",), "company", ("cmpnpdidcompany",))],
+    )
+    add(
+        "baa_licensee_hst",
+        _cols(
+            ("baanpdidbsnsarrarea", "INTEGER"),
+            ("baalicenseedatefrom", "DATE"),
+            ("baalicenseedateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+            ("baalicenseeinterest", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("baanpdidbsnsarrarea", "baalicenseedatefrom", "cmpnpdidcompany"),
+        [
+            (("baanpdidbsnsarrarea",), "baa", ("baanpdidbsnsarrarea",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "baa_operator_hst",
+        _cols(
+            ("baanpdidbsnsarrarea", "INTEGER"),
+            ("baaoperdatefrom", "DATE"),
+            ("baaoperdateto", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+        )
+        + _AUDIT_COLUMNS,
+        ("baanpdidbsnsarrarea", "baaoperdatefrom"),
+        [
+            (("baanpdidbsnsarrarea",), "baa", ("baanpdidbsnsarrarea",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "baa_transfer_hst",
+        _cols(
+            ("baanpdidbsnsarrarea", "INTEGER"),
+            ("baatransferdate", "DATE"),
+            ("cmpnpdidcompany", "INTEGER"),
+            ("baatransferinterest", "DOUBLE"),
+        )
+        + _AUDIT_COLUMNS,
+        ("baanpdidbsnsarrarea", "baatransferdate", "cmpnpdidcompany"),
+        [
+            (("baanpdidbsnsarrarea",), "baa", ("baanpdidbsnsarrarea",)),
+            (("cmpnpdidcompany",), "company", ("cmpnpdidcompany",)),
+        ],
+    )
+    add(
+        "baa_area_poly_hst",
+        _cols(
+            ("baanpdidbsnsarrarea", "INTEGER"),
+            ("baaareadatefrom", "DATE"),
+            ("baapolygonno", "INTEGER"),
+            ("baaarea", "DOUBLE"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("baanpdidbsnsarrarea", "baaareadatefrom", "baapolygonno"),
+        [(("baanpdidbsnsarrarea",), "baa", ("baanpdidbsnsarrarea",))],
+    )
+
+    # -- APA / awards ------------------------------------------------------------------------
+    add(
+        "apa_area_net",
+        _cols(
+            ("apanpdidapa", "INTEGER"),
+            ("apaareakind", "VARCHAR"),
+            ("apadatevalidfrom", "DATE"),
+        )
+        + _GEO_COLUMNS
+        + _AUDIT_COLUMNS,
+        ("apanpdidapa",),
+        [],
+    )
+
+    # -- the remaining inventory: per-entity "description"/overview tables
+    # replicated the way the FactPages splits its CSV sheets.
+    simple_tables = [
+        ("company_all", "cmpnpdidcompany", "company", "cmpnpdidcompany"),
+        ("licence_all", "prlnpdidlicence", "licence", "prlnpdidlicence"),
+        ("field_description", "fldnpdidfield", "field", "fldnpdidfield"),
+        ("discovery_description", "dscnpdiddiscovery", "discovery", "dscnpdiddiscovery"),
+        ("facility_description", "fclnpdidfacility", "facility_fixed", "fclnpdidfacility"),
+        ("tuf_description", "tufnpdidtuf", "tuf", "tufnpdidtuf"),
+        ("pipeline_description", "pplnpdidpipeline", "pipeline", "pplnpdidpipeline"),
+        ("survey_description", "seanpdidsurvey", "seis_acquisition", "seanpdidsurvey"),
+        ("baa_description", "baanpdidbsnsarrarea", "baa", "baanpdidbsnsarrarea"),
+    ]
+    for name, pk_column, ref_table, ref_column in simple_tables:
+        add(
+            name,
+            _cols(
+                (pk_column, "INTEGER"),
+                ("dsc_text", "TEXT"),
+                ("dsc_kind", "VARCHAR"),
+                ("dsc_url", "VARCHAR"),
+            )
+            + _AUDIT_COLUMNS,
+            (pk_column,),
+            [((pk_column,), ref_table, (ref_column,))],
+        )
+
+    # per-year statistic sheets (same shape, different prefix)
+    yearly_tables = [
+        ("licence_area_yearly", "prlnpdidlicence", "licence", "prl"),
+        ("discovery_resources_yearly", "dscnpdiddiscovery", "discovery", "dsc"),
+        ("company_production_yearly", "cmpnpdidcompany", "company", "cmp"),
+        ("tuf_investment_yearly", "tufnpdidtuf", "tuf", "tuf"),
+        ("pipeline_throughput_yearly", "pplnpdidpipeline", "pipeline", "ppl"),
+        ("facility_production_yearly", "fclnpdidfacility", "facility_fixed", "fcl"),
+    ]
+    for name, pk_column, ref_table, prefix in yearly_tables:
+        ref_pk = table_pk = pk_column
+        add(
+            name,
+            _cols(
+                (pk_column, "INTEGER"),
+                (f"{prefix}year", "INTEGER"),
+                (f"{prefix}valuemillnok", "DOUBLE"),
+                (f"{prefix}volumemillsm3", "DOUBLE"),
+            )
+            + _AUDIT_COLUMNS,
+            (pk_column, f"{prefix}year"),
+            [((pk_column,), ref_table, (ref_pk,))],
+        )
+
+    # wellbore history / points sheets to round out the inventory; all of
+    # the per-wellbore detail sheets reference the NPDID overview table,
+    # which is how the Oslo schema anchors the shared wellbore identifier.
+    extra_wellbore = [
+        "wellbore_history",
+        "wellbore_drilling_mud",
+    ]
+    for name in extra_wellbore:
+        add(
+            name,
+            _cols(
+                ("wlbnpdidwellbore", "INTEGER"),
+                ("recordno", "INTEGER"),
+                ("recordtext", "TEXT"),
+                ("recorddate", "DATE"),
+            )
+            + _AUDIT_COLUMNS,
+            ("wlbnpdidwellbore", "recordno"),
+            [(("wlbnpdidwellbore",), "wellbore_npdid_overview", ("wlbnpdidwellbore",))],
+        )
+
+    # retro-fit the wellbore detail sheets with their overview FK
+    wellbore_detail_sheets = [
+        "wellbore_core",
+        "wellbore_core_photo",
+        "wellbore_dst",
+        "wellbore_casing_and_lot",
+        "wellbore_document",
+        "wellbore_formation_top",
+        "wellbore_mud",
+        "wellbore_oil_sample",
+        "wellbore_coordinates",
+    ]
+    for name in wellbore_detail_sheets:
+        columns, pk, fks = tables[name]
+        fks = fks + [
+            (("wlbnpdidwellbore",), "wellbore_npdid_overview", ("wlbnpdidwellbore",))
+        ]
+        tables[name] = (columns, pk, fks)
+    # the three big wellbore sheets and the discovery sheet too
+    for name in (
+        "wellbore_development_all",
+        "wellbore_exploration_all",
+        "wellbore_shallow_all",
+    ):
+        columns, pk, fks = tables[name]
+        tables[name] = (
+            columns,
+            pk,
+            fks
+            + [
+                (
+                    ("wlbnpdidwellbore",),
+                    "wellbore_npdid_overview",
+                    ("wlbnpdidwellbore",),
+                )
+            ],
+        )
+    columns, pk, fks = tables["discovery"]
+    tables["discovery"] = (
+        columns,
+        pk,
+        fks
+        + [(("wlbnpdidwellbore",), "wellbore_npdid_overview", ("wlbnpdidwellbore",))],
+    )
+    # discovery links on the big wellbore sheets (second FK cycle:
+    # wellbore -> discovery -> wellbore_npdid_overview)
+    for name in ("wellbore_development_all", "wellbore_exploration_all"):
+        columns, pk, fks = tables[name]
+        tables[name] = (
+            columns,
+            pk,
+            fks + [(("wlbnpdiddiscovery",), "discovery", ("dscnpdiddiscovery",))],
+        )
+
+    return tables
+
+
+def create_schema(database: Database) -> None:
+    """Create all NPD tables in *database* (dependency-ordered).
+
+    Foreign keys may reference tables created later (and the schema has a
+    cycle), so FK enforcement must happen per-row at load time, not at DDL
+    time; the tables are simply created in inventory order.
+    """
+    from ..sql.catalog import Column, ForeignKey, Table
+    from ..sql.types import parse_type_name
+
+    for name, (columns, pk, fks) in table_definitions().items():
+        table = Table(
+            name,
+            [Column(col, parse_type_name(type_name)) for col, type_name in columns],
+            pk,
+            [ForeignKey(local, ref_table, ref) for local, ref_table, ref in fks],
+        )
+        database.catalog.create_table(table)
+        for fk in table.foreign_keys:
+            table.create_hash_index(fk.columns)
+
+
+def schema_statistics() -> Dict[str, int]:
+    """Headline schema numbers (compare with the paper's 70/276/~1000/94)."""
+    tables = table_definitions()
+    all_columns = [
+        column for columns, _, _ in tables.values() for column, _ in columns
+    ]
+    foreign_keys = sum(len(fks) for _, _, fks in tables.values())
+    return {
+        "tables": len(tables),
+        "total_columns": len(all_columns),
+        "distinct_columns": len(set(all_columns)),
+        "foreign_keys": foreign_keys,
+    }

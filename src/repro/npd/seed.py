@@ -1,0 +1,1170 @@
+"""Deterministic synthetic seed dataset for the NPD benchmark.
+
+The paper's initial dataset is the real FactPages dump (~50 MB).  We
+cannot ship it, so this module generates an NPD-shaped seed with the
+statistical regimes VIG's analysis phase cares about (see DESIGN.md):
+
+* **intrinsically constant columns** (purpose/status/kind/content codes,
+  main areas) whose duplicate ratio stays ~1 regardless of size;
+* **identifier columns** growing linearly (NPDIDs, names);
+* **ordered numeric/date domains** (depths, years, dates) where fresh
+  values must stay adjacent to the observed interval;
+* **NULLable columns** with stable NULL ratios;
+* **geometry columns** whose polygons sit inside a common bounding box;
+* **foreign keys**, including the company→licence→company cycle.
+
+Everything is driven by one ``random.Random(seed)`` so runs are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sql.engine import Database
+from ..sql.types import Geometry
+from .schema import create_schema
+
+PURPOSES_EXPLORATION = ["WILDCAT", "APPRAISAL"]
+PURPOSES_DEVELOPMENT = ["PRODUCTION", "INJECTION", "OBSERVATION", "DISPOSAL"]
+STATUSES = [
+    "DRILLING", "ONLINE", "SUSPENDED", "P&A", "PREDRILLED", "RECLASS-DEV",
+    "RECLASS-EXP", "CLOSED", "JUNKED", "PRODUCING", "INJECTING", "BLOWOUT",
+]
+CONTENTS = ["OIL", "GAS", "OIL/GAS", "WATER", "DRY", "SHOWS"]
+MAIN_AREAS = ["NORTH SEA", "NORWEGIAN SEA", "BARENTS SEA"]
+HC_TYPES = ["OIL", "GAS", "OIL/GAS", "CONDENSATE"]
+FACILITY_KINDS = [
+    "JACKET", "CONDEEP", "MONOTOWER", "LOADINGBUOY", "LANDFALL",
+    "SUBSEATEMPLATE", "MANIFOLD", "RISERBASE", "TLP", "SPAR",
+]
+MOVEABLE_KINDS = ["JACKUP", "SEMISUB", "DRILLSHIP", "FPSO", "FLOTEL"]
+PIPELINE_MEDIA = ["OIL", "GAS", "CONDENSATE", "WATER"]
+SURVEY_TYPES = ["2D", "3D", "4D", "EM", "SITE"]
+TASK_TYPES = ["SEISMIC", "DRILLING", "SURRENDER", "PDO", "BOK"]
+TASK_STATUSES = ["PLANNED", "ONGOING", "DONE", "CANCELLED"]
+BAA_KINDS = ["UNITISED", "MERGED", "TRANSPORT", "TERMINAL"]
+AGES = [
+    "TRIASSIC", "JURASSIC", "CRETACEOUS", "PALEOGENE", "NEOGENE", "PERMIAN",
+    "CARBONIFEROUS", "DEVONIAN",
+]
+DOC_TYPES = [
+    "COMPLETIONLOG", "COMPLETIONREPORT", "COREPHOTODOCUMENT", "FINALREPORT",
+    "LOGREPORT", "MUDREPORT", "PRESSUREREPORT", "PALYREPORT", "GEOCHEMREPORT",
+]
+FORMATION_NAMES = [
+    "EKOFISK", "TOR", "HOD", "DRAUPNE", "HEATHER", "BRENT", "STATFJORD",
+    "DUNLIN", "COOK", "JOHANSEN", "AMUNDSEN", "BURTON", "RANNOCH", "ETIVE",
+    "NESS", "TARBERT", "HUGIN", "SLEIPNER", "SKAGERRAK", "SMITH_BANK", "ULA",
+    "FARSUND", "SAUDA", "TAU", "EGERSUND",
+]
+GROUP_NAMES = [
+    "VIKING", "VESTLAND", "HORDALAND", "ROGALAND", "SHETLAND", "CROMER_KNOLL",
+    "TYNE", "BOKNFJORD", "VEFSN", "FANGST", "BAAT", "HALTEN", "DUNLIN_GP",
+    "ZECHSTEIN", "ROTLIEGEND", "NORDLAND", "ADVENTDALEN", "KAPP_TOSCANA",
+]
+MEMBER_NAMES = [
+    "RANNOCH_MB", "ETIVE_MB", "NESS_MB", "TARBERT_MB", "BROOM", "OSEBERG_MB",
+    "INTRA_DRAUPNE", "EIRIKSSON", "RAUDE", "NANSEN", "ALKE", "FRIGGSAND",
+    "HEIMDAL_MB", "LISTA_MB", "SELE_MB", "BALDER_MB",
+]
+NATION_CODES = ["NO", "GB", "US", "FR", "NL", "DK", "DE", "IT"]
+COMPANY_STEMS = [
+    "Statoil", "Hydro", "Saga", "Phillips", "Elf", "Total", "Shell", "Esso",
+    "Mobil", "Amoco", "Conoco", "BP", "Agip", "Norsk", "Petoro", "DNO",
+    "Lundin", "Aker", "Talisman", "Marathon", "Idemitsu", "RWE", "Wintershall",
+    "Repsol", "Centrica", "OMV", "Dong", "Eni", "Hess", "Chevron", "Gaz",
+    "Premier", "Faroe", "Noreco", "Spring", "Core", "Edison", "Maersk",
+    "Suncor", "Bayerngas",
+]
+
+# UTM-ish bounding box of the Norwegian continental shelf
+REGION = (400_000.0, 6_400_000.0, 900_000.0, 7_900_000.0)
+
+
+@dataclass(frozen=True)
+class SeedProfile:
+    """Base table sizes; multiply by ``scale`` for a bigger seed."""
+
+    companies: int = 40
+    licences: int = 120
+    exploration_wellbores: int = 140
+    development_wellbores: int = 160
+    shallow_wellbores: int = 40
+    fields: int = 50
+    discoveries: int = 80
+    fixed_facilities: int = 70
+    moveable_facilities: int = 25
+    tufs: int = 15
+    pipelines: int = 40
+    surveys: int = 90
+    baas: int = 25
+    blocks: int = 120
+    strat_units: int = 60
+    cores: int = 200
+    core_photos: int = 150
+    documents: int = 250
+    tasks: int = 200
+    production_years: int = 10
+
+    def scaled(self, scale: float) -> "SeedProfile":
+        if scale == 1:
+            return self
+        return SeedProfile(
+            **{
+                key: max(1, int(value * scale)) if key != "production_years" else value
+                for key, value in self.__dict__.items()
+            }
+        )
+
+
+class NPDSeedGenerator:
+    """Generates and loads the seed dataset into a database."""
+
+    def __init__(self, seed: int = 42, profile: Optional[SeedProfile] = None):
+        self.random = random.Random(seed)
+        self.profile = profile or SeedProfile()
+        # id registries filled during generation
+        self.company_ids: List[int] = []
+        self.licence_ids: List[int] = []
+        self.wellbore_ids: List[int] = []
+        self.field_ids: List[int] = []
+        self.discovery_ids: List[int] = []
+        self.facility_ids: List[int] = []
+        self.moveable_ids: List[int] = []
+        self.tuf_ids: List[int] = []
+        self.pipeline_ids: List[int] = []
+        self.survey_ids: List[int] = []
+        self.baa_ids: List[int] = []
+        self.block_names: List[str] = []
+        self.quadrant_names: List[str] = []
+        self.stratum_ids: List[int] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _date(self, start_year: int = 1970, end_year: int = 2014) -> str:
+        year = self.random.randint(start_year, end_year)
+        month = self.random.randint(1, 12)
+        day = self.random.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def _maybe(self, value: Any, null_ratio: float = 0.15) -> Any:
+        return None if self.random.random() < null_ratio else value
+
+    def _polygon(self) -> Geometry:
+        min_x, min_y, max_x, max_y = REGION
+        x = self.random.uniform(min_x, max_x - 20_000)
+        y = self.random.uniform(min_y, max_y - 20_000)
+        w = self.random.uniform(2_000, 20_000)
+        h = self.random.uniform(2_000, 20_000)
+        return Geometry.rectangle(x, y, x + w, y + h)
+
+    def _geo(self) -> List[Any]:
+        """Values for the shared (utmeast, utmnorth, utmzone, geometry) block."""
+        min_x, min_y, max_x, max_y = REGION
+        return [
+            round(self.random.uniform(min_x, max_x), 2),
+            round(self.random.uniform(min_y, max_y), 2),
+            self.random.choice([31, 32, 33, 34, 35]),
+            self._polygon(),
+        ]
+
+    def _audit(self) -> List[Any]:
+        return [self._date(2005, 2014), self._date(2013, 2014)]
+
+    # -- population -----------------------------------------------------------
+
+    def populate(self, database: Database) -> Dict[str, int]:
+        """Create the schema (if missing) and load all tables.
+
+        Returns per-table row counts.  Rows are inserted with FK checks
+        off (the schema has cycles) and validated once at the end.
+        """
+        if not database.catalog.has_table("company"):
+            create_schema(database)
+        self._quadrants_blocks(database)
+        self._companies_licences(database)
+        self._strat(database)
+        self._fields(database)
+        self._facilities(database)
+        # discovery ids must exist before wellbores reference them, but the
+        # discovery rows reference wellbores -- the schema's second cycle.
+        self.discovery_ids = list(range(1, self.profile.discoveries + 1))
+        self._wellbores(database)
+        self._discoveries(database)
+        self._surveys(database)
+        self._baas(database)
+        self._details(database)
+        return database.table_sizes()
+
+    # each section below fills one entity family --------------------------------
+
+    def _quadrants_blocks(self, database: Database) -> None:
+        self.quadrant_names = [str(n) for n in range(1, 37)]
+        database.insert_rows(
+            "quadrant",
+            [
+                [name, self.random.choice(MAIN_AREAS)] + self._audit()
+                for name in self.quadrant_names
+            ],
+            check_foreign_keys=False,
+        )
+        self.block_names = []
+        rows = []
+        for index in range(self.profile.blocks):
+            quadrant = self.random.choice(self.quadrant_names)
+            name = f"{quadrant}/{index % 12 + 1}"
+            if name in self.block_names:
+                name = f"{quadrant}/{index % 12 + 1}-{index}"
+            self.block_names.append(name)
+            rows.append(
+                [name, quadrant, self.random.choice(MAIN_AREAS)]
+                + self._geo()
+                + self._audit()
+            )
+        database.insert_rows("block", rows, check_foreign_keys=False)
+
+    def _companies_licences(self, database: Database) -> None:
+        p = self.profile
+        self.company_ids = list(range(1, p.companies + 1))
+        self.licence_ids = list(range(1, p.licences + 1))
+        company_rows = []
+        for cid in self.company_ids:
+            stem = COMPANY_STEMS[(cid - 1) % len(COMPANY_STEMS)]
+            suffix = "" if cid <= len(COMPANY_STEMS) else f" {cid}"
+            # cycle: ~60% of companies point at a licence they operate
+            current = self._maybe(self.random.choice(self.licence_ids), 0.4)
+            company_rows.append(
+                [
+                    cid,
+                    f"{stem} Petroleum AS{suffix}",
+                    f"{stem}{suffix}",
+                    self._maybe(f"9{cid:08d}", 0.2),
+                    self._maybe(f"{stem} Group", 0.5),
+                    self.random.choice(NATION_CODES),
+                    self._maybe(stem[:3].upper(), 0.3),
+                    current,
+                ]
+                + self._audit()
+            )
+        database.insert_rows("company", company_rows, check_foreign_keys=False)
+        rounds = [f"ROUND{n}" for n in range(1, 24)] + [
+            f"TFO{y}" for y in range(2003, 2015)
+        ]
+        licence_rows = []
+        for lid in self.licence_ids:
+            granted = self._date(1965, 2013)
+            licence_rows.append(
+                [
+                    lid,
+                    f"PL{lid:03d}",
+                    self.random.choice(rounds),
+                    self.random.choice(MAIN_AREAS),
+                    self.random.choice(["ACTIVE", "INACTIVE"]),
+                    self.random.choice(["YES", "NO", "NO", "NO"]),
+                    granted,
+                    int(granted[:4]),
+                    self._maybe(self._date(2015, 2040), 0.2),
+                    round(self.random.uniform(10.0, 900.0), 1),
+                    self.random.choice(["INITIAL", "EXTENDED", "PRODUCTION"]),
+                    self._maybe(self.random.choice(self.company_ids), 0.1),
+                ]
+                + self._geo()
+                + self._audit()
+            )
+        database.insert_rows("licence", licence_rows, check_foreign_keys=False)
+        # licence histories / tasks
+        licensee_rows = []
+        oper_rows = []
+        phase_rows = []
+        area_rows = []
+        transfer_rows = []
+        for lid in self.licence_ids:
+            for company in self.random.sample(
+                self.company_ids, k=self.random.randint(1, 4)
+            ):
+                date_from = self._date(1970, 2000)
+                licensee_rows.append(
+                    [
+                        lid,
+                        date_from,
+                        self._maybe(self._date(2001, 2014), 0.5),
+                        company,
+                        round(self.random.uniform(5.0, 60.0), 2),
+                        self._maybe(round(self.random.uniform(0.0, 30.0), 2), 0.6),
+                    ]
+                    + self._audit()
+                )
+            oper_rows.append(
+                [lid, self._date(1970, 1999), None, self.random.choice(self.company_ids)]
+                + self._audit()
+            )
+            for phase_no in range(self.random.randint(1, 3)):
+                phase_rows.append(
+                    [
+                        lid,
+                        self._date(1970 + phase_no * 10, 1979 + phase_no * 10),
+                        self._maybe(self._date(1980 + phase_no * 10, 2014), 0.4),
+                        self.random.choice(["INITIAL", "EXTENDED", "PRODUCTION"]),
+                    ]
+                    + self._audit()
+                )
+            area_rows.append(
+                [lid, self._date(1970, 2000), None, 1,
+                 round(self.random.uniform(10.0, 500.0), 1)]
+                + self._geo()
+                + self._audit()
+            )
+            if self.random.random() < 0.4:
+                transfer_rows.append(
+                    [
+                        lid,
+                        self._date(1990, 2014),
+                        self.random.choice(["IN", "OUT"]),
+                        self.random.choice(self.company_ids),
+                        round(self.random.uniform(1.0, 40.0), 2),
+                    ]
+                    + self._audit()
+                )
+        database.insert_rows("licence_licensee_hst", _dedup_pk(licensee_rows, (0, 3, 1)), check_foreign_keys=False)
+        database.insert_rows("licence_oper_hst", _dedup_pk(oper_rows, (0, 1)), check_foreign_keys=False)
+        database.insert_rows("licence_phase_hst", _dedup_pk(phase_rows, (0, 1)), check_foreign_keys=False)
+        database.insert_rows("licence_area_poly_hst", _dedup_pk(area_rows, (0, 1, 3)), check_foreign_keys=False)
+        database.insert_rows("licence_transfer_hst", _dedup_pk(transfer_rows, (0, 1, 3)), check_foreign_keys=False)
+        task_rows = []
+        for task_index in range(self.profile.tasks):
+            lid = self.random.choice(self.licence_ids)
+            task_rows.append(
+                [
+                    lid,
+                    task_index,
+                    self.random.choice(TASK_TYPES),
+                    self.random.choice(TASK_STATUSES),
+                    self._date(1980, 2014),
+                ]
+                + self._audit()
+            )
+        database.insert_rows("licence_task", task_rows, check_foreign_keys=False)
+        # licensing activity sheet
+        activity_rows = []
+        for index, name in enumerate(rounds, start=1):
+            activity_rows.append(
+                [
+                    index,
+                    name,
+                    "TFO" if name.startswith("TFO") else "NUMBERED",
+                    self._date(1965, 2013),
+                    self._maybe(self._date(1965, 2013), 0.3),
+                ]
+                + self._audit()
+            )
+        database.insert_rows("licensing_activity", activity_rows, check_foreign_keys=False)
+        # company reserves (per company-year)
+        reserve_rows = []
+        for cid in self.company_ids:
+            for year in self.random.sample(range(1995, 2015), k=self.random.randint(1, 5)):
+                reserve_rows.append(
+                    [
+                        cid,
+                        round(self.random.uniform(0.0, 120.0), 2),
+                        round(self.random.uniform(0.0, 300.0), 2),
+                        round(self.random.uniform(0.0, 30.0), 2),
+                        round(self.random.uniform(0.0, 25.0), 2),
+                        round(self.random.uniform(0.0, 80.0), 2),
+                        round(self.random.uniform(0.0, 200.0), 2),
+                        year,
+                    ]
+                    + self._audit()
+                )
+        database.insert_rows("company_reserves", reserve_rows, check_foreign_keys=False)
+
+    def _strat(self, database: Database) -> None:
+        rows = []
+        self.stratum_ids = list(range(1, self.profile.strat_units + 1))
+        names = (
+            [(name, "GROUP", None) for name in GROUP_NAMES]
+            + [(name, "FORMATION", "group") for name in FORMATION_NAMES]
+            + [(name, "MEMBER", "formation") for name in MEMBER_NAMES]
+        )
+        group_count = len(GROUP_NAMES)
+        formation_count = len(FORMATION_NAMES)
+        for sid in self.stratum_ids:
+            name, level, parent_kind = names[(sid - 1) % len(names)]
+            if parent_kind == "group":
+                parent_id = (sid - 1) % group_count + 1
+            elif parent_kind == "formation":
+                parent_id = group_count + (sid - 1) % formation_count + 1
+                parent_id = min(parent_id, len(names))
+            else:
+                parent_id = None
+            parent_name = names[parent_id - 1][0] if parent_id else None
+            suffix = "" if sid <= len(names) else f"_{sid}"
+            rows.append(
+                [sid, name + suffix, level, parent_name, parent_id] + self._audit()
+            )
+        database.insert_rows("strat_litho_overview", rows, check_foreign_keys=False)
+
+    def _fields(self, database: Database) -> None:
+        p = self.profile
+        self.field_ids = list(range(1, p.fields + 1))
+        field_rows = []
+        for fid in self.field_ids:
+            field_rows.append(
+                [
+                    fid,
+                    f"FIELD-{fid:03d}",
+                    self.random.choice(["PRODUCING", "SHUT DOWN", "PDO APPROVED"]),
+                    self.random.randint(1967, 2010),
+                    self.random.choice(MAIN_AREAS),
+                    self._maybe(self.random.choice(["TANANGER", "MONGSTAD", "KRISTIANSUND", "FLORO", "DUSAVIK"]), 0.2),
+                    self._maybe(self.random.choice(self.licence_ids), 0.1),
+                    self._maybe(self.random.choice(self.company_ids), 0.1),
+                    self.random.choice(HC_TYPES),
+                    self._maybe(f"PL{self.random.randint(1, p.licences):03d}", 0.3),
+                ]
+                + self._geo()
+                + self._audit()
+            )
+        database.insert_rows("field", field_rows, check_foreign_keys=False)
+        operator_rows = []
+        owner_rows = []
+        licensee_rows = []
+        investment_rows = []
+        production_rows = []
+        production_yearly = []
+        reserves_rows = []
+        status_rows = []
+        for fid in self.field_ids:
+            operator_rows.append(
+                [fid, self._date(1970, 2000), None, self.random.choice(self.company_ids)]
+                + self._audit()
+            )
+            owner_rows.append(
+                [fid, self._date(1970, 2000), None, "LICENCE", f"PL{fid:03d}"]
+                + self._audit()
+            )
+            for company in self.random.sample(
+                self.company_ids, k=self.random.randint(1, 3)
+            ):
+                licensee_rows.append(
+                    [
+                        fid,
+                        self._date(1975, 2005),
+                        None,
+                        company,
+                        round(self.random.uniform(5.0, 50.0), 2),
+                    ]
+                    + self._audit()
+                )
+            start_year = self.random.randint(1995, 2004)
+            for year in range(start_year, start_year + self.profile.production_years):
+                investment_rows.append(
+                    [fid, year, round(self.random.uniform(50.0, 4000.0), 1)]
+                    + self._audit()
+                )
+                oil_total = 0.0
+                oe_total = 0.0
+                for month in range(1, 13):
+                    oil = round(self.random.uniform(0.0, 1.2), 4)
+                    gas = round(self.random.uniform(0.0, 2.5), 4)
+                    oil_total += oil
+                    oe_total += oil + gas
+                    production_rows.append(
+                        [
+                            fid,
+                            year,
+                            month,
+                            oil,
+                            gas,
+                            round(self.random.uniform(0.0, 0.4), 4),
+                            round(self.random.uniform(0.0, 0.3), 4),
+                            round(oil + gas, 4),
+                            round(self.random.uniform(0.0, 0.8), 4),
+                        ]
+                        + self._audit()
+                    )
+                production_yearly.append(
+                    [fid, year, round(oil_total, 4), 0.0, round(oe_total, 4)]
+                    + self._audit()
+                )
+            reserves_rows.append(
+                [
+                    fid,
+                    round(self.random.uniform(0.0, 200.0), 2),
+                    round(self.random.uniform(0.0, 400.0), 2),
+                    round(self.random.uniform(0.0, 40.0), 2),
+                    round(self.random.uniform(0.0, 30.0), 2),
+                    round(self.random.uniform(0.0, 100.0), 2),
+                    round(self.random.uniform(0.0, 250.0), 2),
+                    self._date(2010, 2014),
+                ]
+                + self._audit()
+            )
+            status_rows.append(
+                [fid, self._date(1970, 2000), None, "PRODUCING"] + self._audit()
+            )
+        database.insert_rows("field_operator_hst", _dedup_pk(operator_rows, (0, 1)), check_foreign_keys=False)
+        database.insert_rows("field_owner_hst", _dedup_pk(owner_rows, (0, 1)), check_foreign_keys=False)
+        database.insert_rows("field_licensee_hst", _dedup_pk(licensee_rows, (0, 1, 3)), check_foreign_keys=False)
+        database.insert_rows("field_investment_yearly", investment_rows, check_foreign_keys=False)
+        database.insert_rows("field_production_monthly", production_rows, check_foreign_keys=False)
+        database.insert_rows("field_production_yearly", production_yearly, check_foreign_keys=False)
+        database.insert_rows("field_reserves", reserves_rows, check_foreign_keys=False)
+        database.insert_rows("field_activity_status_hst", _dedup_pk(status_rows, (0, 1)), check_foreign_keys=False)
+
+    def _wellbore_values(self, wid: int, kind: str) -> Dict[str, Any]:
+        """Column-name-keyed values for one wellbore row."""
+        quadrant = self.random.choice(self.quadrant_names)
+        block_part = self.random.randint(1, 12)
+        name = f"{quadrant}/{block_part}-{wid}"
+        purpose = (
+            self.random.choice(PURPOSES_EXPLORATION)
+            if kind == "exploration"
+            else self.random.choice(PURPOSES_DEVELOPMENT)
+        )
+        entry = self._date(1966, 2013)
+        entry_year = int(entry[:4])
+        completion_year = min(2014, entry_year + self.random.randint(0, 2))
+        completion = f"{completion_year:04d}-{self.random.randint(1, 12):02d}-15"
+        company = self.random.choice(self.company_ids)
+        field = self._maybe(self.random.choice(self.field_ids), 0.35)
+        licence = self._maybe(self.random.choice(self.licence_ids), 0.2)
+        content = self.random.choice(CONTENTS)
+        discovery = (
+            self._maybe(self.random.choice(self.discovery_ids), 0.6)
+            if self.discovery_ids
+            else None
+        )
+        geo = self._geo()
+        audit = self._audit()
+        return {
+            "wlbnpdidwellbore": wid,
+            "wlbwellborename": name,
+            "wlbwell": name.rsplit("-", 1)[0],
+            "wlbdrillingoperator": COMPANY_STEMS[(company - 1) % len(COMPANY_STEMS)],
+            "wlbnpdidcompany": company,
+            "wlbpurpose": purpose,
+            "wlbstatus": self.random.choice(STATUSES),
+            "wlbcontent": content,
+            "wlbentrydate": entry,
+            "wlbcompletiondate": completion,
+            "wlbcompletionyear": completion_year,
+            "wlbentryyear": entry_year,
+            "wlbfield": f"FIELD-{field:03d}" if field else None,
+            "wlbnpdidfield": field,
+            "wlbproductionlicence": f"PL{licence:03d}" if licence else None,
+            "wlbnpdidproductionlicence": licence,
+            "wlbfacility": self._maybe("FACILITY", 0.5),
+            "wlbnpdidfacility": self._maybe(
+                self.random.choice(self.facility_ids) if self.facility_ids else None,
+                0.5,
+            ),
+            "wlbdrillingfacility": self._maybe("RIG", 0.4),
+            "wlbtotaldepth": round(self.random.uniform(800.0, 6200.0), 1),
+            "wlbwaterdepth": round(self.random.uniform(60.0, 450.0), 1),
+            "wlbkellybushingelevation": round(self.random.uniform(20.0, 50.0), 1),
+            "wlbmaininlclination": round(self.random.uniform(0.0, 60.0), 1),
+            "wlbageattd": self.random.choice(AGES),
+            "wlbformationattd": self.random.choice(FORMATION_NAMES),
+            "wlbmainarea": self.random.choice(MAIN_AREAS),
+            "wlbseismiclocation": self._maybe("SEIS", 0.6),
+            "wlbgeodeticdatum": "ED50",
+            "wlbnsdeg": self.random.randint(56, 74),
+            "wlbnsmin": self.random.randint(0, 59),
+            "wlbnssec": round(self.random.uniform(0, 59.99), 2),
+            "wlbewdeg": self.random.randint(0, 10),
+            "wlbewmin": self.random.randint(0, 59),
+            "wlbewsec": round(self.random.uniform(0, 59.99), 2),
+            "wlbnsdecdeg": round(self.random.uniform(56.0, 74.0), 5),
+            "wlbewdecdeg": round(self.random.uniform(0.0, 10.0), 5),
+            "wlbnamepart1": quadrant,
+            "wlbnamepart2": block_part,
+            "wlbnamepart3": str(wid),
+            "wlbnamepart4": self._maybe(self.random.randint(1, 4), 0.7),
+            "wlbnamepart5": self._maybe("A", 0.8),
+            "wlbnamepart6": self._maybe("ST", 0.85),
+            "wlbdiskoswellboretype": self.random.choice(["INITIAL", "REENTRY"]),
+            "wlbdiskoswellboreparent": None,
+            "wlbreentryexplorationactivity": self.random.choice(["YES", "NO", "NO"]),
+            "wlbplotsymbol": self.random.randint(1, 60),
+            "wlbbottomholetemperature": round(self.random.uniform(40.0, 210.0), 1),
+            "wlbsitesurvey": self._maybe("YES", 0.6),
+            "wlbseismicsurveys": self._maybe(f"SURVEY-{self.random.randint(1, 90):04d}", 0.5),
+            "wlbdrillingdays": self.random.randint(10, 200),
+            "wlbreentry": self.random.choice(["YES", "NO", "NO", "NO"]),
+            "wlblicensingactivity": self.random.choice(["ROUND1", "TFO2004", "ROUND18"]),
+            "wlbmultilateral": self.random.choice(["YES", "NO", "NO", "NO"]),
+            "wlbpurposeplanned": purpose,
+            "wlbcontentplanned": content,
+            "wlbagewithhc1": self._maybe(self.random.choice(AGES), 0.5),
+            "wlbagewithhc2": self._maybe(self.random.choice(AGES), 0.8),
+            "wlbformationwithhc1": self._maybe(self.random.choice(FORMATION_NAMES), 0.5),
+            "wlbformationwithhc2": self._maybe(self.random.choice(FORMATION_NAMES), 0.8),
+            "wlbdiscovery": f"DISCOVERY-{discovery:03d}" if discovery else None,
+            "wlbnpdiddiscovery": discovery,
+            "utmeast": geo[0],
+            "utmnorth": geo[1],
+            "utmzone": geo[2],
+            "geometry": geo[3],
+            "dateupdated": audit[0],
+            "datesyncnpd": audit[1],
+        }
+
+    def _wellbore_row(self, wid: int, kind: str, table_columns) -> List[Any]:
+        values = self._wellbore_values(wid, kind)
+        return [values.get(column.name) for column in table_columns]
+
+    def _wellbores(self, database: Database) -> None:
+        p = self.profile
+        next_id = 1
+        exploration_ids = list(range(next_id, next_id + p.exploration_wellbores))
+        next_id += p.exploration_wellbores
+        development_ids = list(range(next_id, next_id + p.development_wellbores))
+        next_id += p.development_wellbores
+        shallow_ids = list(range(next_id, next_id + p.shallow_wellbores))
+        self.wellbore_ids = exploration_ids + development_ids + shallow_ids
+        # overview first (it is the FK anchor)
+        overview_rows = []
+        for wid in self.wellbore_ids:
+            kind = (
+                "EXPLORATION"
+                if wid in set(exploration_ids)
+                else "DEVELOPMENT" if wid in set(development_ids) else "SHALLOW"
+            )
+            overview_rows.append(
+                [wid, f"WB-{wid}", kind, self.random.choice(MAIN_AREAS)]
+                + self._audit()
+            )
+        database.insert_rows(
+            "wellbore_npdid_overview", overview_rows, check_foreign_keys=False
+        )
+        exploration_columns = database.catalog.table("wellbore_exploration_all").columns
+        development_columns = database.catalog.table("wellbore_development_all").columns
+        shallow_columns = database.catalog.table("wellbore_shallow_all").columns
+        database.insert_rows(
+            "wellbore_exploration_all",
+            [
+                self._wellbore_row(wid, "exploration", exploration_columns)
+                for wid in exploration_ids
+            ],
+            check_foreign_keys=False,
+        )
+        database.insert_rows(
+            "wellbore_development_all",
+            [
+                self._wellbore_row(wid, "development", development_columns)
+                for wid in development_ids
+            ],
+            check_foreign_keys=False,
+        )
+        database.insert_rows(
+            "wellbore_shallow_all",
+            [
+                self._wellbore_row(wid, "exploration", shallow_columns)
+                for wid in shallow_ids
+            ],
+            check_foreign_keys=False,
+        )
+        # per-wellbore detail sheets
+        self._wellbore_details(database)
+
+    def _wellbore_details(self, database: Database) -> None:
+        p = self.profile
+        core_rows = []
+        strat_core_rows = []
+        for index in range(p.cores):
+            wid = self.random.choice(self.wellbore_ids)
+            core_no = index % 6 + 1
+            top = round(self.random.uniform(1000.0, 4000.0), 1)
+            length = round(self.random.uniform(2.0, 120.0), 1)
+            core_rows.append(
+                [wid, core_no, top, round(top + length, 1), length, "m"]
+                + self._audit()
+            )
+            strat_core_rows.append(
+                [
+                    wid,
+                    self.random.choice(self.stratum_ids),
+                    core_no,
+                    length,
+                    top,
+                    round(top + length, 1),
+                ]
+                + self._audit()
+            )
+        database.insert_rows(
+            "wellbore_core", _dedup_pk(core_rows, (0, 1)), check_foreign_keys=False
+        )
+        database.insert_rows(
+            "strat_litho_wellbore_core",
+            _dedup_pk(strat_core_rows, (0, 1, 2)),
+            check_foreign_keys=False,
+        )
+        photo_rows = []
+        for index in range(p.core_photos):
+            wid = self.random.choice(self.wellbore_ids)
+            photo_rows.append(
+                [
+                    wid,
+                    index,
+                    f"Core photo {index}",
+                    f"http://factpages.npd.no/photo/{wid}/{index}.jpg",
+                ]
+                + self._audit()
+            )
+        database.insert_rows("wellbore_core_photo", photo_rows, check_foreign_keys=False)
+        document_rows = []
+        for index in range(p.documents):
+            wid = self.random.choice(self.wellbore_ids)
+            document_rows.append(
+                [
+                    wid,
+                    index,
+                    self.random.choice(DOC_TYPES),
+                    f"Document {index} for WB-{wid}",
+                    f"http://factpages.npd.no/doc/{wid}/{index}.pdf",
+                    self._date(1990, 2014),
+                ]
+                + self._audit()
+            )
+        database.insert_rows("wellbore_document", document_rows, check_foreign_keys=False)
+        dst_rows = []
+        mud_rows = []
+        sample_rows = []
+        coordinate_rows = []
+        formation_top_rows = []
+        history_rows = []
+        drilling_mud_rows = []
+        for wid in self.wellbore_ids:
+            if self.random.random() < 0.4:
+                dst_rows.append(
+                    [
+                        wid,
+                        1,
+                        round(self.random.uniform(1500, 3500), 1),
+                        round(self.random.uniform(3500, 4200), 1),
+                        round(self.random.uniform(10, 60), 2),
+                        round(self.random.uniform(0, 500), 1),
+                        round(self.random.uniform(0, 900), 1),
+                    ]
+                    + self._audit()
+                )
+            for record in range(self.random.randint(0, 3)):
+                mud_rows.append(
+                    [
+                        wid,
+                        record,
+                        self._date(1990, 2014),
+                        round(self.random.uniform(1.0, 2.2), 3),
+                        round(self.random.uniform(20.0, 90.0), 1),
+                        self.random.choice(["WATER", "OIL", "SYNTHETIC"]),
+                    ]
+                    + self._audit()
+                )
+            if self.random.random() < 0.3:
+                sample_rows.append(
+                    [
+                        wid,
+                        1,
+                        self._date(1990, 2014),
+                        round(self.random.uniform(1500, 4000), 1),
+                        self.random.choice(["POSITIVE", "NEGATIVE", "TRACE"]),
+                    ]
+                    + self._audit()
+                )
+            coordinate_rows.append(
+                [wid, 1, "SURFACE"] + self._geo() + self._audit()
+            )
+            for top_index in range(self.random.randint(0, 4)):
+                top = round(self.random.uniform(800, 4500), 1)
+                formation_top_rows.append(
+                    [
+                        wid,
+                        self.random.choice(self.stratum_ids),
+                        top,
+                        round(top + self.random.uniform(10, 400), 1),
+                        self.random.choice(FORMATION_NAMES),
+                        "FORMATION",
+                    ]
+                    + self._audit()
+                )
+            if self.random.random() < 0.5:
+                history_rows.append(
+                    [wid, 1, f"History of WB-{wid}", self._date(1990, 2014)]
+                    + self._audit()
+                )
+            if self.random.random() < 0.3:
+                drilling_mud_rows.append(
+                    [wid, 1, "Mud summary", self._date(1990, 2014)] + self._audit()
+                )
+        database.insert_rows("wellbore_dst", dst_rows, check_foreign_keys=False)
+        database.insert_rows("wellbore_mud", mud_rows, check_foreign_keys=False)
+        database.insert_rows("wellbore_oil_sample", sample_rows, check_foreign_keys=False)
+        database.insert_rows("wellbore_coordinates", coordinate_rows, check_foreign_keys=False)
+        database.insert_rows(
+            "wellbore_formation_top",
+            _dedup_pk(formation_top_rows, (0, 1, 2)),
+            check_foreign_keys=False,
+        )
+        database.insert_rows("wellbore_history", history_rows, check_foreign_keys=False)
+        database.insert_rows("wellbore_drilling_mud", drilling_mud_rows, check_foreign_keys=False)
+        database.insert_rows(
+            "wellbore_casing_and_lot",
+            [
+                [
+                    self.random.choice(self.wellbore_ids),
+                    self.random.choice(["CONDUCTOR", "SURFACE", "INTERMEDIATE", "PRODUCTION"]),
+                    round(self.random.uniform(5.0, 36.0), 2),
+                    round(self.random.uniform(100.0, 4500.0), 1),
+                    round(self.random.uniform(6.0, 42.0), 2),
+                    round(self.random.uniform(100.0, 4800.0), 1),
+                    round(self.random.uniform(1.0, 2.2), 3),
+                    index,
+                ]
+                + self._audit()
+                for index in range(len(self.wellbore_ids))
+            ],
+            check_foreign_keys=False,
+        )
+
+    def _discoveries(self, database: Database) -> None:
+        rows = []
+        for did in self.discovery_ids:
+            rows.append(
+                [
+                    did,
+                    f"DISCOVERY-{did:03d}",
+                    self.random.choice(["PRODUCING", "INCLUDED", "EVALUATION"]),
+                    self.random.choice(HC_TYPES),
+                    self.random.randint(1967, 2013),
+                    self.random.choice(MAIN_AREAS),
+                    self.random.choice(["RC1", "RC2", "RC3"]),
+                    self._maybe(self.random.choice(self.field_ids), 0.4),
+                    self._maybe(self.random.choice(self.wellbore_ids), 0.2),
+                    self._maybe(self.random.choice(self.licence_ids), 0.2),
+                ]
+                + self._geo()
+                + self._audit()
+            )
+        database.insert_rows("discovery", rows, check_foreign_keys=False)
+        database.insert_rows(
+            "discovery_reserves",
+            [
+                [
+                    did,
+                    round(self.random.uniform(0.0, 150.0), 2),
+                    round(self.random.uniform(0.0, 350.0), 2),
+                    round(self.random.uniform(0.0, 30.0), 2),
+                    self._date(2010, 2014),
+                ]
+                + self._audit()
+                for did in self.discovery_ids
+            ],
+            check_foreign_keys=False,
+        )
+        database.insert_rows(
+            "discovery_area_poly_hst",
+            [
+                [did, self._date(1990, 2014), 1, round(self.random.uniform(1.0, 80.0), 2)]
+                + self._geo()
+                + self._audit()
+                for did in self.discovery_ids
+            ],
+            check_foreign_keys=False,
+        )
+
+    def _facilities(self, database: Database) -> None:
+        p = self.profile
+        self.facility_ids = list(range(1, p.fixed_facilities + 1))
+        rows = []
+        for fid in self.facility_ids:
+            rows.append(
+                [
+                    fid,
+                    f"FACILITY-{fid:03d}",
+                    self.random.choice(FACILITY_KINDS),
+                    self.random.choice(["IN SERVICE", "DECOMMISSIONED", "FUTURE"]),
+                    self._maybe(f"FIELD-{self.random.randint(1, p.fields):03d}", 0.4),
+                    self._maybe("FIELD", 0.4),
+                    self._date(1975, 2013),
+                    "NORWAY",
+                    self.random.choice(["DRILLING", "PROCESSING", "QUARTER", "INJECTION"]),
+                    round(self.random.uniform(60.0, 400.0), 1),
+                    self.random.randint(15, 50),
+                    self._maybe(self.random.choice(self.field_ids), 0.3),
+                ]
+                + self._geo()
+                + self._audit()
+            )
+        database.insert_rows("facility_fixed", rows, check_foreign_keys=False)
+        # fixed and moveable facilities share the NPDID space (and the IRI
+        # template); overlapping ids would make one individual a member of
+        # the disjoint classes FixedFacility and MoveableFacility
+        moveable_base = 5000
+        self.moveable_ids = list(
+            range(moveable_base + 1, moveable_base + p.moveable_facilities + 1)
+        )
+        database.insert_rows(
+            "facility_moveable",
+            [
+                [
+                    mid,
+                    f"RIG-{mid:03d}",
+                    self.random.choice(MOVEABLE_KINDS),
+                    self.random.choice(["NORWAY", "UK", "KOREA"]),
+                    self.random.choice(["AOC VALID", "AOC EXPIRED", "NONE"]),
+                    self._maybe(self.random.choice(self.company_ids), 0.3),
+                ]
+                + self._audit()
+                for mid in self.moveable_ids
+            ],
+            check_foreign_keys=False,
+        )
+        self.tuf_ids = list(range(1, p.tufs + 1))
+        database.insert_rows(
+            "tuf",
+            [
+                [
+                    tid,
+                    f"TUF-{tid:03d}",
+                    self.random.choice(["PIPELINE", "TERMINAL", "PLANT"]),
+                    self.random.choice(COMPANY_STEMS),
+                    self.random.choice(COMPANY_STEMS),
+                    self._maybe(self.random.choice(self.company_ids), 0.2),
+                ]
+                + self._audit()
+                for tid in self.tuf_ids
+            ],
+            check_foreign_keys=False,
+        )
+        tuf_oper = []
+        tuf_owner = []
+        for tid in self.tuf_ids:
+            tuf_oper.append(
+                [tid, self._date(1980, 2005), None, self.random.choice(self.company_ids)]
+                + self._audit()
+            )
+            for company in self.random.sample(self.company_ids, k=2):
+                tuf_owner.append(
+                    [
+                        tid,
+                        self._date(1980, 2005),
+                        None,
+                        company,
+                        round(self.random.uniform(5.0, 60.0), 2),
+                    ]
+                    + self._audit()
+                )
+        database.insert_rows("tuf_operator_hst", _dedup_pk(tuf_oper, (0, 1)), check_foreign_keys=False)
+        database.insert_rows("tuf_owner_hst", _dedup_pk(tuf_owner, (0, 1, 3)), check_foreign_keys=False)
+        self.pipeline_ids = list(range(1, p.pipelines + 1))
+        database.insert_rows(
+            "pipeline",
+            [
+                [
+                    pid,
+                    f"PIPELINE-{pid:03d}",
+                    self._maybe(f"TUF-{self.random.randint(1, p.tufs):03d}", 0.3),
+                    self.random.choice(PIPELINE_MEDIA),
+                    round(self.random.uniform(6.0, 44.0), 1),
+                    round(self.random.uniform(60.0, 380.0), 1),
+                    self._maybe(self.random.choice(self.facility_ids), 0.2),
+                    self._maybe(self.random.choice(self.facility_ids), 0.2),
+                    self._maybe(self.random.choice(self.tuf_ids), 0.4),
+                ]
+                + self._geo()
+                + self._audit()
+                for pid in self.pipeline_ids
+            ],
+            check_foreign_keys=False,
+        )
+
+    def _surveys(self, database: Database) -> None:
+        self.survey_ids = list(range(1, self.profile.surveys + 1))
+        rows = []
+        progress_rows = []
+        for sid in self.survey_ids:
+            start = self._date(1980, 2013)
+            rows.append(
+                [
+                    sid,
+                    f"SURVEY-{sid:04d}",
+                    self.random.choice(["PLANNED", "ONGOING", "FINISHED"]),
+                    self.random.choice(MAIN_AREAS),
+                    self.random.choice(["YES", "NO"]),
+                    self.random.choice(SURVEY_TYPES),
+                    self._maybe(self.random.choice(["ORDINARY", "SITE"]), 0.3),
+                    start,
+                    self._maybe(self._date(int(start[:4]), 2014), 0.3),
+                    self._maybe(start, 0.5),
+                    round(self.random.uniform(0.0, 8000.0), 1),
+                    round(self.random.uniform(0.0, 12000.0), 1),
+                    round(self.random.uniform(0.0, 4000.0), 1),
+                    self._maybe(self.random.choice(self.company_ids), 0.15),
+                ]
+                + self._geo()
+                + self._audit()
+            )
+            for progress in range(self.random.randint(0, 2)):
+                progress_rows.append(
+                    [
+                        sid,
+                        self._date(int(start[:4]), 2014),
+                        self.random.choice(["MOBILISING", "ACQUIRING", "DONE"]),
+                    ]
+                    + self._audit()
+                )
+        database.insert_rows("seis_acquisition", rows, check_foreign_keys=False)
+        database.insert_rows(
+            "seis_acquisition_progress",
+            _dedup_pk(progress_rows, (0, 1)),
+            check_foreign_keys=False,
+        )
+
+    def _baas(self, database: Database) -> None:
+        self.baa_ids = list(range(1, self.profile.baas + 1))
+        database.insert_rows(
+            "baa",
+            [
+                [
+                    bid,
+                    f"BAA-{bid:03d}",
+                    self.random.choice(BAA_KINDS),
+                    self.random.choice(["ACTIVE", "INACTIVE"]),
+                    self._date(1980, 2013),
+                    self._maybe(self.random.choice(self.company_ids), 0.2),
+                ]
+                + self._geo()
+                + self._audit()
+                for bid in self.baa_ids
+            ],
+            check_foreign_keys=False,
+        )
+        licensee_rows = []
+        oper_rows = []
+        transfer_rows = []
+        area_rows = []
+        for bid in self.baa_ids:
+            for company in self.random.sample(self.company_ids, k=2):
+                licensee_rows.append(
+                    [
+                        bid,
+                        self._date(1985, 2005),
+                        None,
+                        company,
+                        round(self.random.uniform(5.0, 60.0), 2),
+                    ]
+                    + self._audit()
+                )
+            oper_rows.append(
+                [bid, self._date(1985, 2005), None, self.random.choice(self.company_ids)]
+                + self._audit()
+            )
+            if self.random.random() < 0.3:
+                transfer_rows.append(
+                    [
+                        bid,
+                        self._date(1990, 2014),
+                        self.random.choice(self.company_ids),
+                        round(self.random.uniform(1.0, 30.0), 2),
+                    ]
+                    + self._audit()
+                )
+            area_rows.append(
+                [bid, self._date(1985, 2005), 1, round(self.random.uniform(5.0, 200.0), 2)]
+                + self._geo()
+                + self._audit()
+            )
+        database.insert_rows("baa_licensee_hst", _dedup_pk(licensee_rows, (0, 1, 3)), check_foreign_keys=False)
+        database.insert_rows("baa_operator_hst", _dedup_pk(oper_rows, (0, 1)), check_foreign_keys=False)
+        database.insert_rows("baa_transfer_hst", _dedup_pk(transfer_rows, (0, 1, 2)), check_foreign_keys=False)
+        database.insert_rows("baa_area_poly_hst", _dedup_pk(area_rows, (0, 1, 2)), check_foreign_keys=False)
+
+    def _details(self, database: Database) -> None:
+        """Fill the description/yearly long-tail sheets."""
+        description_specs = [
+            ("company_all", self.company_ids),
+            ("licence_all", self.licence_ids),
+            ("field_description", self.field_ids),
+            ("discovery_description", self.discovery_ids),
+            ("facility_description", self.facility_ids),
+            ("tuf_description", self.tuf_ids),
+            ("pipeline_description", self.pipeline_ids),
+            ("survey_description", self.survey_ids),
+            ("baa_description", self.baa_ids),
+        ]
+        for table, ids in description_specs:
+            database.insert_rows(
+                table,
+                [
+                    [
+                        entity_id,
+                        f"Description of {table} {entity_id}",
+                        self.random.choice(["SUMMARY", "HISTORY", "NOTE"]),
+                        f"http://factpages.npd.no/{table}/{entity_id}",
+                    ]
+                    + self._audit()
+                    for entity_id in ids
+                ],
+                check_foreign_keys=False,
+            )
+        yearly_specs = [
+            ("licence_area_yearly", self.licence_ids, "prl"),
+            ("discovery_resources_yearly", self.discovery_ids, "dsc"),
+            ("company_production_yearly", self.company_ids, "cmp"),
+            ("tuf_investment_yearly", self.tuf_ids, "tuf"),
+            ("pipeline_throughput_yearly", self.pipeline_ids, "ppl"),
+            ("facility_production_yearly", self.facility_ids, "fcl"),
+        ]
+        for table, ids, _prefix in yearly_specs:
+            rows = []
+            for entity_id in ids:
+                for year in self.random.sample(range(2000, 2015), k=3):
+                    rows.append(
+                        [
+                            entity_id,
+                            year,
+                            round(self.random.uniform(0.0, 900.0), 2),
+                            round(self.random.uniform(0.0, 90.0), 3),
+                        ]
+                        + self._audit()
+                    )
+            database.insert_rows(table, _dedup_pk(rows, (0, 1)), check_foreign_keys=False)
+        # APA area sheet
+        database.insert_rows(
+            "apa_area_net",
+            [
+                [index, self.random.choice(["NET", "ADDED"]), self._date(2003, 2014)]
+                + self._geo()
+                + self._audit()
+                for index in range(1, 13)
+            ],
+            check_foreign_keys=False,
+        )
+
+
+def _dedup_pk(rows: List[List[Any]], key_positions: Tuple[int, ...]) -> List[List[Any]]:
+    """Drop rows duplicating an earlier row's primary key."""
+    seen = set()
+    output = []
+    for row in rows:
+        key = tuple(row[position] for position in key_positions)
+        if key in seen:
+            continue
+        seen.add(key)
+        output.append(row)
+    return output
+
+
+def build_seed_database(
+    seed: int = 42,
+    profile: Optional[SeedProfile] = None,
+    database: Optional[Database] = None,
+) -> Database:
+    """Create a database with schema + seed data."""
+    database = database or Database(enforce_foreign_keys=False)
+    generator = NPDSeedGenerator(seed, profile)
+    generator.populate(database)
+    return database

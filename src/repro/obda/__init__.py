@@ -1,0 +1,101 @@
+"""OBDA machinery: mappings, T-mappings, rewriting, unfolding, engines."""
+
+from .mapping import (
+    ConstantTermMap,
+    IriTermMap,
+    LiteralTermMap,
+    MappingAssertion,
+    MappingCollection,
+    MappingError,
+    RDF_TYPE_IRI,
+    Template,
+    TermMap,
+)
+from .r2rml import ObdaSyntaxError, parse_obda, serialize_obda
+from .cq import (
+    Atom,
+    CQError,
+    ClassAtom,
+    ConjunctiveQuery,
+    CqTerm,
+    DataAtom,
+    RoleAtom,
+    Vocabulary,
+    bgp_to_cq,
+)
+from .rewriter import RewritingResult, TreeWitnessRewriter
+from .tmappings import TMappingCompiler, TMappingResult, compile_tmappings
+from .unfolder import (
+    UnfoldResult,
+    Unfolder,
+    UnfoldingError,
+    VarMeta,
+    cq_homomorphism,
+    prune_redundant_cqs,
+    translate_expression,
+)
+from .materializer import (
+    MaterializationResult,
+    materialize,
+    triples_of_assertion,
+    virtual_extension_sizes,
+)
+from .system import OBDAEngine, OBDAResult, PhaseTimings, QualityMetrics
+from .consistency import (
+    ConsistencyReport,
+    InconsistencyWitness,
+    OBDAConsistencyChecker,
+    check_consistency,
+)
+from .triplestore import RewritingTripleStore, TripleStoreAnswer, cq_to_triples
+
+__all__ = [
+    "Template",
+    "TermMap",
+    "IriTermMap",
+    "LiteralTermMap",
+    "ConstantTermMap",
+    "MappingAssertion",
+    "MappingCollection",
+    "MappingError",
+    "RDF_TYPE_IRI",
+    "parse_obda",
+    "serialize_obda",
+    "ObdaSyntaxError",
+    "ConjunctiveQuery",
+    "ClassAtom",
+    "RoleAtom",
+    "DataAtom",
+    "Atom",
+    "CqTerm",
+    "CQError",
+    "Vocabulary",
+    "bgp_to_cq",
+    "TreeWitnessRewriter",
+    "RewritingResult",
+    "TMappingCompiler",
+    "TMappingResult",
+    "compile_tmappings",
+    "Unfolder",
+    "UnfoldResult",
+    "UnfoldingError",
+    "VarMeta",
+    "translate_expression",
+    "cq_homomorphism",
+    "prune_redundant_cqs",
+    "materialize",
+    "MaterializationResult",
+    "triples_of_assertion",
+    "virtual_extension_sizes",
+    "OBDAEngine",
+    "OBDAConsistencyChecker",
+    "ConsistencyReport",
+    "InconsistencyWitness",
+    "check_consistency",
+    "OBDAResult",
+    "PhaseTimings",
+    "QualityMetrics",
+    "RewritingTripleStore",
+    "TripleStoreAnswer",
+    "cq_to_triples",
+]

@@ -1,0 +1,253 @@
+"""Conjunctive queries over ontology vocabulary.
+
+The rewriter works on unions of conjunctive queries (UCQ).  Atoms use the
+ontology vocabulary: named classes, object properties (possibly inverse)
+and data properties.  Terms are SPARQL variables or RDF constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..rdf.terms import IRI, Literal, Term
+from ..owl.model import (
+    BasicConcept,
+    ClassConcept,
+    DataPropertyRef,
+    DataSomeValues,
+    Role,
+    SomeValues,
+)
+from ..sparql.ast import TriplePattern, Var
+
+CqTerm = Union[Var, IRI, Literal]
+
+
+class CQError(ValueError):
+    """Raised on malformed conjunctive queries."""
+
+
+@dataclass(frozen=True, slots=True)
+class ClassAtom:
+    cls: str
+    term: CqTerm
+
+    def terms(self) -> Tuple[CqTerm, ...]:
+        return (self.term,)
+
+    def with_terms(self, terms: Sequence[CqTerm]) -> "ClassAtom":
+        (term,) = terms
+        return ClassAtom(self.cls, term)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{_local(self.cls)}({_t(self.term)})"
+
+
+@dataclass(frozen=True, slots=True)
+class RoleAtom:
+    """``R(s, o)``; the role is always stored in its direct orientation."""
+
+    role: str
+    subject: CqTerm
+    object: CqTerm
+
+    @staticmethod
+    def of(role: Role, subject: CqTerm, obj: CqTerm) -> "RoleAtom":
+        """Normalize an inverse role by swapping the arguments."""
+        if role.inverse:
+            return RoleAtom(role.iri, obj, subject)
+        return RoleAtom(role.iri, subject, obj)
+
+    def terms(self) -> Tuple[CqTerm, ...]:
+        return (self.subject, self.object)
+
+    def with_terms(self, terms: Sequence[CqTerm]) -> "RoleAtom":
+        subject, obj = terms
+        return RoleAtom(self.role, subject, obj)
+
+    def argument_for(self, role: Role) -> CqTerm:
+        """The term playing the ``domain`` position of *role*."""
+        return self.object if role.inverse else self.subject
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{_local(self.role)}({_t(self.subject)}, {_t(self.object)})"
+
+
+@dataclass(frozen=True, slots=True)
+class DataAtom:
+    prop: str
+    subject: CqTerm
+    value: CqTerm
+
+    def terms(self) -> Tuple[CqTerm, ...]:
+        return (self.subject, self.value)
+
+    def with_terms(self, terms: Sequence[CqTerm]) -> "DataAtom":
+        subject, value = terms
+        return DataAtom(self.prop, subject, value)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{_local(self.prop)}({_t(self.subject)}, {_t(self.value)})"
+
+
+Atom = Union[ClassAtom, RoleAtom, DataAtom]
+
+
+def _local(iri: str) -> str:
+    for sep in ("#", "/"):
+        if sep in iri:
+            return iri.rsplit(sep, 1)[1]
+    return iri
+
+
+def _t(term: CqTerm) -> str:
+    if isinstance(term, Var):
+        return f"?{term.name}"
+    if isinstance(term, IRI):
+        return f"<{_local(term.value)}>"
+    return term.n3()
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """Answer variables + atom conjunction."""
+
+    answer_vars: Tuple[Var, ...]
+    atoms: Tuple[Atom, ...]
+
+    def variables(self) -> List[Var]:
+        seen: Dict[Var, None] = {}
+        for atom in self.atoms:
+            for term in atom.terms():
+                if isinstance(term, Var):
+                    seen.setdefault(term)
+        return list(seen)
+
+    def occurrences(self, var: Var) -> int:
+        return sum(
+            1
+            for atom in self.atoms
+            for term in atom.terms()
+            if term == var
+        )
+
+    def is_unbound(self, var: Var) -> bool:
+        """A variable that could be replaced by ``_``: non-answer, single use."""
+        return var not in self.answer_vars and self.occurrences(var) == 1
+
+    def atoms_with(self, var: Var) -> List[Atom]:
+        return [atom for atom in self.atoms if var in atom.terms()]
+
+    def replace_atoms(
+        self, doomed: Iterable[Atom], replacement: Iterable[Atom]
+    ) -> "ConjunctiveQuery":
+        doomed_list = list(doomed)
+        remaining = [atom for atom in self.atoms if atom not in doomed_list]
+        remaining.extend(replacement)
+        return ConjunctiveQuery(self.answer_vars, tuple(dict.fromkeys(remaining)))
+
+    def substitute(self, mapping: Dict[Var, CqTerm]) -> "ConjunctiveQuery":
+        def subst(term: CqTerm) -> CqTerm:
+            while isinstance(term, Var) and term in mapping:
+                replacement = mapping[term]
+                if replacement == term:
+                    break
+                term = replacement
+            return term
+
+        atoms = tuple(
+            atom.with_terms([subst(t) for t in atom.terms()]) for atom in self.atoms
+        )
+        return ConjunctiveQuery(self.answer_vars, tuple(dict.fromkeys(atoms)))
+
+    def canonical(self) -> "ConjunctiveQuery":
+        """Rename non-answer variables canonically for duplicate detection."""
+        ordered_atoms = sorted(self.atoms, key=str)
+        renaming: Dict[Var, Var] = {}
+        counter = itertools.count()
+        for atom in ordered_atoms:
+            for term in atom.terms():
+                if isinstance(term, Var) and term not in self.answer_vars:
+                    if term not in renaming:
+                        renaming[term] = Var(f"_c{next(counter)}")
+        atoms = tuple(
+            sorted(
+                (
+                    atom.with_terms(
+                        [
+                            renaming.get(t, t) if isinstance(t, Var) else t
+                            for t in atom.terms()
+                        ]
+                    )
+                    for atom in ordered_atoms
+                ),
+                key=str,
+            )
+        )
+        return ConjunctiveQuery(self.answer_vars, atoms)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        head = ", ".join(f"?{v.name}" for v in self.answer_vars)
+        body = " ∧ ".join(str(atom) for atom in self.atoms)
+        return f"q({head}) :- {body}"
+
+
+# ---------------------------------------------------------------------------
+# BGP -> CQ conversion
+# ---------------------------------------------------------------------------
+
+RDF_TYPE_IRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+class Vocabulary:
+    """Resolves predicate IRIs into object vs. data properties."""
+
+    def __init__(self, object_properties: Set[str], data_properties: Set[str]):
+        self.object_properties = object_properties
+        self.data_properties = data_properties
+
+    @staticmethod
+    def from_ontology(ontology) -> "Vocabulary":
+        return Vocabulary(
+            set(ontology.object_properties), set(ontology.data_properties)
+        )
+
+    def atom_for_triple(self, pattern: TriplePattern) -> Atom:
+        predicate = pattern.predicate
+        if isinstance(predicate, Var):
+            raise CQError("variable predicates are not supported in OBDA mode")
+        assert isinstance(predicate, IRI)
+        if predicate.value == RDF_TYPE_IRI:
+            cls = pattern.obj
+            if not isinstance(cls, IRI):
+                raise CQError("rdf:type with non-IRI class is not supported")
+            return ClassAtom(cls.value, pattern.subject)  # type: ignore[arg-type]
+        if predicate.value in self.data_properties:
+            return DataAtom(predicate.value, pattern.subject, pattern.obj)  # type: ignore[arg-type]
+        if predicate.value in self.object_properties:
+            return RoleAtom(predicate.value, pattern.subject, pattern.obj)  # type: ignore[arg-type]
+        # unknown predicate: guess from the object position
+        if isinstance(pattern.obj, Literal):
+            return DataAtom(predicate.value, pattern.subject, pattern.obj)  # type: ignore[arg-type]
+        return RoleAtom(predicate.value, pattern.subject, pattern.obj)  # type: ignore[arg-type]
+
+
+def bgp_to_cq(
+    triples: Sequence[TriplePattern],
+    answer_vars: Sequence[Var],
+    vocabulary: Vocabulary,
+) -> ConjunctiveQuery:
+    atoms = tuple(vocabulary.atom_for_triple(t) for t in triples)
+    return ConjunctiveQuery(tuple(answer_vars), atoms)
+
+
+def atoms_of_basic_concept(concept: BasicConcept, term: CqTerm, fresh: Iterator[Var]) -> Atom:
+    """The atom asserting membership of *term* in a basic concept."""
+    if isinstance(concept, ClassConcept):
+        return ClassAtom(concept.iri, term)
+    if isinstance(concept, SomeValues):
+        return RoleAtom.of(concept.role, term, next(fresh))
+    assert isinstance(concept, DataSomeValues)
+    return DataAtom(concept.prop.iri, term, next(fresh))

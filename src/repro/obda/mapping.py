@@ -1,0 +1,357 @@
+"""The mapping layer: R2RML-style assertions from SQL sources to triples.
+
+Following the paper's presentation (Table 5), a mapping assertion relates
+one SQL query to one triple template::
+
+    :{id} rdf:type :Employee        <-  SELECT id FROM TEmployee
+    :{id} :SellsProduct :{product}  <-  SELECT id, product FROM TSellsProduct
+
+The paper's NPD mapping counts 1190 such assertions covering 464 ontology
+entities; :mod:`repro.npd.mappings` generates them, and
+:mod:`repro.obda.r2rml` round-trips them through an Ontop-style ``.obda``
+textual syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import IRI, Literal, Term, XSD_STRING
+from ..sql.ast import SelectStatement
+from ..sql.parser import parse_select
+
+
+class MappingError(ValueError):
+    """Raised on malformed mapping assertions."""
+
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+# parsed-source cache: assertion sources repeat heavily across T-mappings
+_PARSE_CACHE: Dict[str, SelectStatement] = {}
+
+
+@dataclass(frozen=True)
+class Template:
+    """An IRI (or literal) template with ``{column}`` placeholders."""
+
+    pattern: str
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(m.group(1).lower() for m in _PLACEHOLDER_RE.finditer(self.pattern))
+
+    @property
+    def fragments(self) -> Tuple[str, ...]:
+        """Literal text between placeholders (len == len(columns) + 1)."""
+        return tuple(_PLACEHOLDER_RE.split(self.pattern)[::2])
+
+    def render(self, values: Sequence[object]) -> Optional[str]:
+        """Instantiate the template; None when any argument is NULL."""
+        if any(value is None for value in values):
+            return None
+        fragments = self.fragments
+        parts: List[str] = []
+        for index, fragment in enumerate(fragments):
+            parts.append(fragment)
+            if index < len(values):
+                parts.append(_encode_value(values[index]))
+        return "".join(parts)
+
+    def match(self, text: str) -> Optional[Tuple[str, ...]]:
+        """Invert the template against a concrete IRI string."""
+        regex_parts = []
+        for index, fragment in enumerate(self.fragments):
+            regex_parts.append(re.escape(fragment))
+            if index < len(self.columns):
+                regex_parts.append(r"([^/#]*)")
+        match = re.fullmatch("".join(regex_parts), text)
+        if match is None:
+            return None
+        return tuple(match.groups())
+
+    def compatible_with(self, other: "Template") -> bool:
+        """Can two templates ever produce the same string?
+
+        Conservative structural check used by the unfolder to prune
+        joins/unions between assertions with incompatible IRI shapes:
+        templates are compatible only when their literal fragments are
+        identical (same prefix/suffix skeleton).
+        """
+        return self.fragments == other.fragments
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.pattern
+
+
+def _encode_value(value: object) -> str:
+    text = str(value)
+    # conservative percent-encoding of IRI-hostile characters
+    return (
+        text.replace("%", "%25")
+        .replace(" ", "%20")
+        .replace("<", "%3C")
+        .replace(">", "%3E")
+        .replace('"', "%22")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Term maps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IriTermMap:
+    """Constructs an IRI from a template over source columns."""
+
+    template: Template
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.template.columns
+
+    def make_term(self, values: Sequence[object]) -> Optional[IRI]:
+        rendered = self.template.render(values)
+        if rendered is None:
+            return None
+        return IRI(rendered)
+
+
+@dataclass(frozen=True)
+class LiteralTermMap:
+    """Constructs a typed literal from a single source column."""
+
+    column: str
+    datatype: str = XSD_STRING
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column.lower(),)
+
+    def make_term(self, values: Sequence[object]) -> Optional[Literal]:
+        (value,) = values
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            lexical = "true" if value else "false"
+        elif isinstance(value, float) and value.is_integer():
+            lexical = str(value)
+        else:
+            lexical = str(value)
+        return Literal(lexical, self.datatype)
+
+
+@dataclass(frozen=True)
+class ConstantTermMap:
+    """A constant RDF term (rarely used, but R2RML allows it)."""
+
+    term: Term
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def make_term(self, values: Sequence[object]) -> Term:
+        return self.term
+
+
+TermMap = Union[IriTermMap, LiteralTermMap, ConstantTermMap]
+
+
+# ---------------------------------------------------------------------------
+# Assertions
+# ---------------------------------------------------------------------------
+
+RDF_TYPE_IRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+@dataclass(frozen=True)
+class MappingAssertion:
+    """One assertion: ``subject predicate object <- source SQL``.
+
+    * class assertion: predicate == rdf:type, object is a ConstantTermMap
+      holding the class IRI;
+    * property assertion: predicate is the property IRI, object is an
+      IRI/Literal/Constant term map.
+    """
+
+    id: str
+    source_sql: str
+    subject: TermMap
+    predicate: str
+    object: TermMap
+
+    def __post_init__(self) -> None:
+        if isinstance(self.subject, LiteralTermMap):
+            raise MappingError(f"{self.id}: literal subject is illegal")
+
+    @property
+    def is_class_assertion(self) -> bool:
+        return self.predicate == RDF_TYPE_IRI
+
+    @property
+    def entity(self) -> str:
+        """The ontology entity this assertion populates."""
+        if self.is_class_assertion:
+            if not isinstance(self.object, ConstantTermMap) or not isinstance(
+                self.object.term, IRI
+            ):
+                raise MappingError(f"{self.id}: class assertion needs constant class")
+            return self.object.term.value
+        return self.predicate
+
+    def parsed_source(self) -> SelectStatement:
+        cached = _PARSE_CACHE.get(self.source_sql)
+        if cached is None:
+            cached = parse_select(self.source_sql)
+            _PARSE_CACHE[self.source_sql] = cached
+        return cached
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for column in self.subject.columns + self.object.columns:
+            seen.setdefault(column)
+        return tuple(seen)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.id}: ... <- {self.source_sql[:60]}"
+
+
+class MappingCollection:
+    """All assertions of one OBDA specification, indexed by entity."""
+
+    def __init__(self, assertions: Iterable[MappingAssertion] = ()):
+        self._assertions: List[MappingAssertion] = []
+        self._by_entity: Dict[str, List[MappingAssertion]] = {}
+        self._by_id: Dict[str, MappingAssertion] = {}
+        for assertion in assertions:
+            self.add(assertion)
+
+    def add(self, assertion: MappingAssertion) -> None:
+        if assertion.id in self._by_id:
+            raise MappingError(f"duplicate mapping id {assertion.id}")
+        self._assertions.append(assertion)
+        self._by_id[assertion.id] = assertion
+        self._by_entity.setdefault(assertion.entity, []).append(assertion)
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    def __iter__(self) -> Iterator[MappingAssertion]:
+        return iter(self._assertions)
+
+    def by_id(self, assertion_id: str) -> MappingAssertion:
+        try:
+            return self._by_id[assertion_id]
+        except KeyError as exc:
+            raise MappingError(f"unknown mapping id {assertion_id!r}") from exc
+
+    def for_entity(self, entity: str | IRI) -> List[MappingAssertion]:
+        key = entity.value if isinstance(entity, IRI) else entity
+        return list(self._by_entity.get(key, ()))
+
+    def entities(self) -> List[str]:
+        return sorted(self._by_entity)
+
+    def class_assertions(self) -> List[MappingAssertion]:
+        return [a for a in self._assertions if a.is_class_assertion]
+
+    def property_assertions(self) -> List[MappingAssertion]:
+        return [a for a in self._assertions if not a.is_class_assertion]
+
+    def validate(self) -> List[str]:
+        """Check that every term-map column is produced by its source.
+
+        Returns a list of problem descriptions (empty when valid).
+        ``SELECT *`` sources cannot be checked without a catalog and are
+        skipped.
+        """
+        from ..sql.ast import Star
+
+        problems: List[str] = []
+        for assertion in self._assertions:
+            try:
+                statement = assertion.parsed_source()
+            except Exception as exc:  # noqa: BLE001 - report, don't raise
+                problems.append(f"{assertion.id}: unparseable source ({exc})")
+                continue
+            outputs: Optional[set] = None
+            skip = False
+            for branch_statement in _branches(statement):
+                if any(isinstance(item.expr, Star) for item in branch_statement.items):
+                    skip = True
+                    break
+                branch_outputs = {item.output_name for item in branch_statement.items}
+                outputs = (
+                    branch_outputs if outputs is None else outputs & branch_outputs
+                )
+            if skip or outputs is None:
+                continue
+            for column in assertion.referenced_columns():
+                if column not in outputs:
+                    problems.append(
+                        f"{assertion.id}: column {column!r} not in source "
+                        f"outputs {sorted(outputs)}"
+                    )
+        return problems
+
+    def statistics(self) -> Dict[str, float]:
+        """Mapping-complexity statistics as reported in Section 5."""
+        from ..sql.ast import Join
+
+        union_counts: List[int] = []
+        join_counts: List[int] = []
+        for assertion in self._assertions:
+            statement = assertion.parsed_source()
+            branches = _count_union_branches(statement)
+            union_counts.append(branches)
+            join_counts.append(_count_joins(statement))
+        total = len(self._assertions)
+        return {
+            "assertions": total,
+            "entities": len(self._by_entity),
+            "avg_spj_unions": (sum(union_counts) / total) if total else 0.0,
+            "avg_joins_per_spj": (
+                sum(join_counts) / max(1, sum(union_counts))
+            ),
+        }
+
+
+def _branches(statement: SelectStatement) -> Iterator[SelectStatement]:
+    node: Optional[SelectStatement] = statement
+    while node is not None:
+        yield node.without_union()
+        node = node.union.query if node.union else None
+
+
+def _count_union_branches(statement: SelectStatement) -> int:
+    count = 1
+    node = statement
+    while node.union is not None:
+        count += 1
+        node = node.union.query
+    return count
+
+
+def _count_joins(statement: SelectStatement) -> int:
+    from ..sql.ast import Join, SubquerySource, TableRef
+
+    def count_in_source(source: Optional[TableRef]) -> int:
+        if source is None:
+            return 0
+        if isinstance(source, Join):
+            return 1 + count_in_source(source.left) + count_in_source(source.right)
+        if isinstance(source, SubquerySource):
+            return count_in_statement(source.query)
+        return 0
+
+    def count_in_statement(stmt: SelectStatement) -> int:
+        total = count_in_source(stmt.source)
+        if stmt.union is not None:
+            total += count_in_statement(stmt.union.query)
+        return total
+
+    return count_in_statement(statement)

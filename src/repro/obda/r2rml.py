@@ -1,0 +1,238 @@
+"""Textual mapping syntax (Ontop ``.obda`` style) parser and serializer.
+
+The format mirrors what the NPD benchmark distribution ships::
+
+    [PrefixDeclaration]
+    npdv:   http://sws.ifi.uio.no/vocab/npd-v2#
+    npd:    http://sws.ifi.uio.no/data/npd-v2/
+    xsd:    http://www.w3.org/2001/XMLSchema#
+
+    [MappingDeclaration] @collection [[
+    mappingId  wellbore-m1
+    target     npd:wellbore/{id} a npdv:Wellbore .
+    source     SELECT id FROM wellbore
+
+    mappingId  wellbore-m2
+    target     npd:wellbore/{id} npdv:name {name}^^xsd:string .
+    source     SELECT id, name FROM wellbore
+    ]]
+
+Targets are single triple templates: subject is always an IRI template,
+the predicate is ``a`` (class assertion) or a prefixed/full IRI, and the
+object is an IRI template, a ``{column}`` literal with an optional
+``^^datatype``, or a constant IRI.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.terms import IRI, XSD_STRING
+from .mapping import (
+    ConstantTermMap,
+    IriTermMap,
+    LiteralTermMap,
+    MappingAssertion,
+    MappingCollection,
+    MappingError,
+    RDF_TYPE_IRI,
+    Template,
+    TermMap,
+)
+
+_SECTION_PREFIX = "[PrefixDeclaration]"
+_SECTION_MAPPING = "[MappingDeclaration] @collection [["
+_SECTION_END = "]]"
+
+_LITERAL_OBJECT_RE = re.compile(
+    r"\{([A-Za-z_][A-Za-z0-9_]*)\}(?:\^\^([A-Za-z_][A-Za-z0-9_.-]*:[A-Za-z0-9_]+|<[^>]+>))?$"
+)
+
+
+class ObdaSyntaxError(MappingError):
+    """Raised on malformed .obda documents."""
+
+
+def parse_obda(text: str) -> Tuple[Dict[str, str], MappingCollection]:
+    """Parse an ``.obda`` document; returns (prefixes, mappings)."""
+    prefixes: Dict[str, str] = {}
+    collection = MappingCollection()
+    lines = text.splitlines()
+    index = 0
+    mode = None
+    current: Dict[str, str] = {}
+
+    def flush() -> None:
+        if not current:
+            return
+        missing = {"mappingid", "target", "source"} - set(current)
+        if missing:
+            raise ObdaSyntaxError(f"mapping block missing {sorted(missing)}")
+        assertion = _parse_target(
+            current["mappingid"], current["target"], current["source"], prefixes
+        )
+        collection.add(assertion)
+        current.clear()
+
+    while index < len(lines):
+        line = lines[index].rstrip()
+        index += 1
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped == _SECTION_PREFIX:
+            mode = "prefix"
+            continue
+        if stripped == _SECTION_MAPPING:
+            mode = "mapping"
+            continue
+        if stripped == _SECTION_END:
+            flush()
+            mode = None
+            continue
+        if mode == "prefix":
+            parts = stripped.split(None, 1)
+            if len(parts) != 2 or not parts[0].endswith(":"):
+                raise ObdaSyntaxError(f"bad prefix line: {line!r}")
+            prefixes[parts[0][:-1]] = parts[1].strip()
+            continue
+        if mode == "mapping":
+            match = re.match(r"(mappingId|target|source)\s+(.*)$", stripped)
+            if not match:
+                raise ObdaSyntaxError(f"bad mapping line: {line!r}")
+            key = match.group(1).lower()
+            value = match.group(2).strip()
+            if key == "mappingid" and current:
+                flush()
+            # sources may continue over multiple indented lines
+            while (
+                key == "source"
+                and index < len(lines)
+                and lines[index].startswith((" ", "\t"))
+                and lines[index].strip()
+            ):
+                value += " " + lines[index].strip()
+                index += 1
+            current[key] = value
+            continue
+        raise ObdaSyntaxError(f"unexpected line outside any section: {line!r}")
+    flush()
+    return prefixes, collection
+
+
+def _expand(token: str, prefixes: Dict[str, str]) -> str:
+    if token.startswith("<") and token.endswith(">"):
+        return token[1:-1]
+    prefix, sep, local = token.partition(":")
+    if not sep or prefix not in prefixes:
+        raise ObdaSyntaxError(f"unknown prefix in {token!r}")
+    return prefixes[prefix] + local
+
+
+def _parse_term_map(token: str, prefixes: Dict[str, str]) -> TermMap:
+    literal_match = _LITERAL_OBJECT_RE.match(token)
+    if literal_match:
+        column = literal_match.group(1)
+        datatype_token = literal_match.group(2)
+        datatype = (
+            _expand(datatype_token, prefixes) if datatype_token else XSD_STRING
+        )
+        return LiteralTermMap(column, datatype)
+    if "{" in token:
+        expanded = _expand_template(token, prefixes)
+        return IriTermMap(Template(expanded))
+    return ConstantTermMap(IRI(_expand(token, prefixes)))
+
+
+def _expand_template(token: str, prefixes: Dict[str, str]) -> str:
+    if token.startswith("<") and token.endswith(">"):
+        return token[1:-1]
+    prefix, sep, local = token.partition(":")
+    if not sep or prefix not in prefixes:
+        raise ObdaSyntaxError(f"unknown prefix in template {token!r}")
+    return prefixes[prefix] + local
+
+
+def _parse_target(
+    mapping_id: str, target: str, source: str, prefixes: Dict[str, str]
+) -> MappingAssertion:
+    target = target.strip()
+    if target.endswith("."):
+        target = target[:-1].strip()
+    parts = target.split(None, 2)
+    if len(parts) != 3:
+        raise ObdaSyntaxError(f"{mapping_id}: target must be one triple: {target!r}")
+    subject_token, predicate_token, object_token = parts
+    subject = _parse_term_map(subject_token, prefixes)
+    if isinstance(subject, LiteralTermMap):
+        raise ObdaSyntaxError(f"{mapping_id}: literal subject")
+    if predicate_token == "a":
+        predicate = RDF_TYPE_IRI
+        object_map = _parse_term_map(object_token, prefixes)
+        if not isinstance(object_map, ConstantTermMap):
+            raise ObdaSyntaxError(f"{mapping_id}: class must be constant IRI")
+    else:
+        predicate = _expand(predicate_token, prefixes)
+        object_map = _parse_term_map(object_token, prefixes)
+    return MappingAssertion(mapping_id, source, subject, predicate, object_map)
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+
+def _shrink(iri: str, prefixes: Dict[str, str]) -> str:
+    for prefix, base in sorted(prefixes.items(), key=lambda kv: -len(kv[1])):
+        if iri.startswith(base):
+            return f"{prefix}:{iri[len(base):]}"
+    return f"<{iri}>"
+
+
+def _serialize_term_map(term_map: TermMap, prefixes: Dict[str, str]) -> str:
+    if isinstance(term_map, IriTermMap):
+        return _shrink_template(term_map.template.pattern, prefixes)
+    if isinstance(term_map, LiteralTermMap):
+        if term_map.datatype and term_map.datatype != XSD_STRING:
+            return f"{{{term_map.column}}}^^{_shrink(term_map.datatype, prefixes)}"
+        return f"{{{term_map.column}}}"
+    assert isinstance(term_map, ConstantTermMap)
+    if isinstance(term_map.term, IRI):
+        return _shrink(term_map.term.value, prefixes)
+    return term_map.term.n3()
+
+
+def _shrink_template(pattern: str, prefixes: Dict[str, str]) -> str:
+    for prefix, base in sorted(prefixes.items(), key=lambda kv: -len(kv[1])):
+        if pattern.startswith(base):
+            return f"{prefix}:{pattern[len(base):]}"
+    return f"<{pattern}>"
+
+
+def serialize_obda(
+    mappings: MappingCollection, prefixes: Dict[str, str]
+) -> str:
+    """Serialize a mapping collection back to ``.obda`` text."""
+    lines: List[str] = [_SECTION_PREFIX]
+    for prefix, base in prefixes.items():
+        lines.append(f"{prefix}:\t{base}")
+    lines.append("")
+    lines.append(_SECTION_MAPPING)
+    first = True
+    for assertion in mappings:
+        if not first:
+            lines.append("")
+        first = False
+        subject = _serialize_term_map(assertion.subject, prefixes)
+        if assertion.is_class_assertion:
+            target = f"{subject} a {_serialize_term_map(assertion.object, prefixes)} ."
+        else:
+            predicate = _shrink(assertion.predicate, prefixes)
+            obj = _serialize_term_map(assertion.object, prefixes)
+            target = f"{subject} {predicate} {obj} ."
+        lines.append(f"mappingId\t{assertion.id}")
+        lines.append(f"target\t\t{target}")
+        lines.append(f"source\t\t{assertion.source_sql}")
+    lines.append(_SECTION_END)
+    return "\n".join(lines) + "\n"

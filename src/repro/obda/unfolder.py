@@ -1,0 +1,1116 @@
+"""Unfolding: SPARQL algebra over the virtual graph into SQL.
+
+This is Phase 3 of the paper's OBDA workflow.  Each BGP is first rewritten
+into a UCQ (Phase 2, :mod:`repro.obda.rewriter`); every CQ in the union is
+then *unfolded* by picking, for every atom, one mapping assertion whose
+source SQL supplies the atom's triples; the cartesian product of choices
+becomes a union of select-project-join blocks.
+
+Two semantic optimizations are applied when enabled (the paper calls this
+"semantic query optimisation in the SPARQL-to-SQL translation phase"):
+
+* **template compatibility pruning** -- a join between two term maps whose
+  IRI templates can never produce the same IRI is dropped *statically*,
+  together with constant/template mismatches;
+* **self-join elimination** -- two atoms reading from the same source with
+  the same subject template share one table alias when the subject columns
+  are a unique key of the source, turning the q1-style "many data
+  properties of one subject" pattern into a single scan.
+
+The result carries, per projected variable, the metadata needed to rebuild
+RDF terms from SQL values (Phase 4, result translation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..owl.model import Ontology
+from ..rdf.terms import IRI, Literal, Term, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER, XSD_STRING
+from ..sparql import ast as sp
+from ..sparql.algebra import (
+    AlgBGP,
+    AlgExtend,
+    AlgFilter,
+    AlgJoin,
+    AlgLeftJoin,
+    AlgUnion,
+    AlgebraNode,
+    simplify,
+    translate,
+)
+from ..sql import ast as sql
+from ..sql.catalog import Catalog
+from ..sql.parser import parse_select
+from .cq import (
+    Atom,
+    CQError,
+    ClassAtom,
+    ConjunctiveQuery,
+    CqTerm,
+    DataAtom,
+    RoleAtom,
+    Vocabulary,
+    bgp_to_cq,
+)
+from .mapping import (
+    ConstantTermMap,
+    IriTermMap,
+    LiteralTermMap,
+    MappingAssertion,
+    MappingCollection,
+    Template,
+    TermMap,
+)
+from .rewriter import RewritingResult, TreeWitnessRewriter
+
+
+class UnfoldingError(ValueError):
+    """Raised when a query cannot be translated to SQL."""
+
+
+# ---------------------------------------------------------------------------
+# variable metadata
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarMeta:
+    """How to rebuild the RDF term of a variable from its SQL value."""
+
+    kind: str  # 'iri' | 'literal'
+    datatype: str = XSD_STRING
+
+    def merge(self, other: "VarMeta") -> "VarMeta":
+        if self.kind != other.kind:
+            raise UnfoldingError(
+                f"variable is an IRI in one union branch and a literal in "
+                f"another ({self} vs {other})"
+            )
+        if self.datatype == other.datatype:
+            return self
+        return VarMeta(self.kind, XSD_STRING)
+
+
+@dataclass
+class Fragment:
+    """An unfolded sub-plan: a SELECT producing one column per variable."""
+
+    statement: Optional[sql.SelectStatement]  # None == empty result
+    var_meta: Dict[sp.Var, VarMeta]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.statement is None
+
+    def variables(self) -> List[sp.Var]:
+        return list(self.var_meta)
+
+
+def var_column(var: sp.Var) -> str:
+    return f"v_{var.name.lower()}"
+
+
+@dataclass
+class UnfoldResult:
+    """Final SQL + translation metadata + phase metrics."""
+
+    statement: Optional[sql.SelectStatement]
+    columns: List[str]
+    column_meta: List[Optional[VarMeta]]
+    rewriting: Optional[RewritingResult]
+    elapsed_seconds: float
+    union_blocks: int
+    pruned_combinations: int
+    merged_self_joins: int
+
+    @property
+    def sql_text(self) -> str:
+        return self.statement.to_sql() if self.statement is not None else "-- empty --"
+
+
+# ---------------------------------------------------------------------------
+# the unfolder
+# ---------------------------------------------------------------------------
+
+
+class Unfolder:
+    def __init__(
+        self,
+        mappings: MappingCollection,
+        ontology: Ontology,
+        rewriter: Optional[TreeWitnessRewriter] = None,
+        catalog: Optional[Catalog] = None,
+        enable_sqo: bool = True,
+        distinct_unions: bool = True,
+    ):
+        self.mappings = mappings
+        self.vocabulary = Vocabulary.from_ontology(ontology)
+        self.rewriter = rewriter
+        self.catalog = catalog
+        self.enable_sqo = enable_sqo
+        self.distinct_unions = distinct_unions
+        self._alias_counter = itertools.count()
+        self._pruned = 0
+        self._merged = 0
+        self._union_blocks = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def unfold_query(self, query: sp.SelectQuery) -> UnfoldResult:
+        started = time.perf_counter()
+        self._pruned = 0
+        self._merged = 0
+        self._union_blocks = 0
+        self._last_rewriting: Optional[RewritingResult] = None
+        algebra = simplify(translate(query.where))
+        needed = self._query_level_variables(query, algebra)
+        fragment = self._unfold_node(algebra, needed)
+        statement, columns, metas = self._apply_query_level(query, fragment)
+        elapsed = time.perf_counter() - started
+        return UnfoldResult(
+            statement=statement,
+            columns=columns,
+            column_meta=metas,
+            rewriting=self._last_rewriting,
+            elapsed_seconds=elapsed,
+            union_blocks=self._union_blocks,
+            pruned_combinations=self._pruned,
+            merged_self_joins=self._merged,
+        )
+
+    # -- algebra lowering ------------------------------------------------------
+
+    @staticmethod
+    def _query_level_variables(
+        query: sp.SelectQuery, algebra: AlgebraNode
+    ) -> Set[sp.Var]:
+        """Variables needed above the WHERE clause."""
+        from ..sparql.algebra import algebra_variables
+        from ..sparql.ast import expression_variables
+
+        needed: Set[sp.Var] = set()
+        if query.select_star:
+            needed.update(algebra_variables(algebra))
+        for projection in query.projections:
+            if projection.expression is None:
+                needed.add(projection.var)
+            else:
+                needed.update(expression_variables(projection.expression))
+        for group in query.group_by:
+            needed.update(expression_variables(group))
+        for having in query.having:
+            needed.update(expression_variables(having))
+        for condition in query.order_by:
+            needed.update(expression_variables(condition.expression))
+        return needed
+
+    @staticmethod
+    def _node_variables(node: AlgebraNode) -> Set[sp.Var]:
+        from ..sparql.algebra import algebra_variables
+
+        return set(algebra_variables(node))
+
+    def _unfold_node(self, node: AlgebraNode, needed: Set[sp.Var]) -> Fragment:
+        from ..sparql.ast import expression_variables
+
+        if isinstance(node, AlgBGP):
+            return self._unfold_bgp(node, needed)
+        if isinstance(node, AlgJoin):
+            left_vars = self._node_variables(node.left)
+            right_vars = self._node_variables(node.right)
+            return self._join(
+                self._unfold_node(node.left, (needed | right_vars) & left_vars),
+                self._unfold_node(node.right, (needed | left_vars) & right_vars),
+            )
+        if isinstance(node, AlgLeftJoin):
+            left_vars = self._node_variables(node.left)
+            right_vars = self._node_variables(node.right)
+            condition_vars: Set[sp.Var] = set()
+            if node.condition is not None:
+                condition_vars = set(expression_variables(node.condition))
+            return self._left_join(
+                self._unfold_node(
+                    node.left,
+                    (needed | right_vars | condition_vars) & left_vars,
+                ),
+                self._unfold_node(
+                    node.right,
+                    (needed | left_vars | condition_vars) & right_vars,
+                ),
+                node.condition,
+            )
+        if isinstance(node, AlgUnion):
+            left_vars = self._node_variables(node.left)
+            right_vars = self._node_variables(node.right)
+            return self._union(
+                self._unfold_node(node.left, needed & left_vars),
+                self._unfold_node(node.right, needed & right_vars),
+            )
+        if isinstance(node, AlgFilter):
+            condition_vars = set(expression_variables(node.condition))
+            return self._filter(
+                self._unfold_node(node.child, needed | condition_vars),
+                node.condition,
+            )
+        if isinstance(node, AlgExtend):
+            condition_vars = set(expression_variables(node.expression))
+            child_needed = (needed - {node.var}) | condition_vars
+            return self._extend(
+                self._unfold_node(node.child, child_needed),
+                node.var,
+                node.expression,
+            )
+        raise UnfoldingError(f"cannot unfold algebra node {node!r}")
+
+    # -- BGP unfolding -----------------------------------------------------------
+
+    def _unfold_bgp(self, node: AlgBGP, needed: Set[sp.Var]) -> Fragment:
+        if not node.triples:
+            # the unit table: SELECT with no FROM, zero variables
+            return Fragment(
+                sql.SelectStatement(
+                    items=(sql.SelectItem(sql.LiteralValue(1), "one"),), source=None
+                ),
+                {},
+            )
+        answer_vars = []
+        seen: Set[sp.Var] = set()
+        for triple in node.triples:
+            for var in triple.variables():
+                if var not in seen and var in needed:
+                    seen.add(var)
+                    answer_vars.append(var)
+        cq = bgp_to_cq(node.triples, answer_vars, self.vocabulary)
+        if self.rewriter is not None:
+            rewriting = self.rewriter.rewrite(cq)
+            self._last_rewriting = rewriting
+            cqs = rewriting.cqs
+        else:
+            cqs = [cq]
+        if self.enable_sqo:
+            cqs = prune_redundant_cqs(cqs)
+        branches: List[Tuple[sql.SelectStatement, Dict[sp.Var, VarMeta]]] = []
+        for candidate in cqs:
+            branches.extend(self._unfold_cq(candidate, answer_vars))
+        self._union_blocks += max(0, len(branches))
+        if not branches:
+            return Fragment(None, {var: VarMeta("iri") for var in answer_vars})
+        # merge metadata across branches
+        merged_meta: Dict[sp.Var, VarMeta] = {}
+        for _, meta in branches:
+            for var, var_meta in meta.items():
+                merged_meta[var] = (
+                    merged_meta[var].merge(var_meta) if var in merged_meta else var_meta
+                )
+        statement = _chain_union(
+            [stmt for stmt, _ in branches], dedup=self.distinct_unions
+        )
+        return Fragment(statement, merged_meta)
+
+    def _unfold_cq(
+        self, cq: ConjunctiveQuery, answer_vars: Sequence[sp.Var]
+    ) -> List[Tuple[sql.SelectStatement, Dict[sp.Var, VarMeta]]]:
+        candidate_lists: List[List[MappingAssertion]] = []
+        for atom in cq.atoms:
+            entity = _atom_entity(atom)
+            candidates = [
+                assertion
+                for assertion in self.mappings.for_entity(entity)
+                if _assertion_matches_atom(assertion, atom)
+            ]
+            if not candidates:
+                return []
+            candidate_lists.append(candidates)
+        branches = []
+        for combination in itertools.product(*candidate_lists):
+            built = self._compose_spj(cq, combination, answer_vars)
+            if built is None:
+                self._pruned += 1
+                continue
+            branches.append(built)
+        return branches
+
+    def _compose_spj(
+        self,
+        cq: ConjunctiveQuery,
+        combination: Sequence[MappingAssertion],
+        answer_vars: Sequence[sp.Var],
+    ) -> Optional[Tuple[sql.SelectStatement, Dict[sp.Var, VarMeta]]]:
+        aliases: List[Tuple[str, MappingAssertion]] = []
+        alias_by_merge_key: Dict[Tuple, str] = {}
+        atom_alias: List[str] = []
+        for atom, assertion in zip(cq.atoms, combination):
+            merge_key = None
+            if self.enable_sqo:
+                merge_key = self._self_join_key(atom, assertion)
+            if merge_key is not None and merge_key in alias_by_merge_key:
+                atom_alias.append(alias_by_merge_key[merge_key])
+                self._merged += 1
+                continue
+            alias = f"m{next(self._alias_counter)}"
+            aliases.append((alias, assertion))
+            atom_alias.append(alias)
+            if merge_key is not None:
+                alias_by_merge_key[merge_key] = alias
+        # bind each CQ term occurrence to a (term map, alias)
+        bindings: Dict[sp.Var, List[Tuple[TermMap, str]]] = {}
+        constant_constraints: List[sql.Expr] = []
+
+        def bind(term: CqTerm, term_map: TermMap, alias: str) -> bool:
+            if isinstance(term, sp.Var):
+                bindings.setdefault(term, []).append((term_map, alias))
+                return True
+            constraint = _constant_constraint(term, term_map, alias)
+            if constraint is None:
+                return False
+            constant_constraints.extend(constraint)
+            return True
+
+        for atom, assertion, alias in zip(cq.atoms, combination, atom_alias):
+            if isinstance(atom, ClassAtom):
+                if not bind(atom.term, assertion.subject, alias):
+                    return None
+            else:
+                subject, obj = atom.terms()
+                if not bind(subject, assertion.subject, alias):
+                    return None
+                if not bind(obj, assertion.object, alias):
+                    return None
+        # join constraints between occurrences of the same variable
+        join_constraints: List[sql.Expr] = []
+        for var, occurrences in bindings.items():
+            first_map, first_alias = occurrences[0]
+            for other_map, other_alias in occurrences[1:]:
+                equality = _term_map_equality(
+                    first_map, first_alias, other_map, other_alias
+                )
+                if equality is None:
+                    return None
+                join_constraints.extend(equality)
+        # assemble FROM
+        source: Optional[sql.TableRef] = None
+        for alias, assertion in aliases:
+            table_ref = self._source_ref(assertion, alias)
+            source = (
+                table_ref if source is None else sql.Join("INNER", source, table_ref)
+            )
+        where = sql.conjunction(constant_constraints + join_constraints)
+        # projection: answer variables present in this CQ
+        items: List[sql.SelectItem] = []
+        meta: Dict[sp.Var, VarMeta] = {}
+        for var in answer_vars:
+            if var in bindings:
+                term_map, alias = bindings[var][0]
+                expression = _term_map_expression(term_map, alias)
+                meta[var] = _term_map_meta(term_map)
+            else:
+                expression = sql.LiteralValue(None)
+                meta[var] = VarMeta("iri")
+            items.append(sql.SelectItem(expression, var_column(var)))
+        if not items:
+            items.append(sql.SelectItem(sql.LiteralValue(1), "one"))
+        statement = sql.SelectStatement(
+            items=tuple(items), source=source, where=where
+        )
+        return statement, meta
+
+    def _self_join_key(
+        self, atom: Atom, assertion: MappingAssertion
+    ) -> Optional[Tuple]:
+        """Key under which this atom's alias may be shared.
+
+        Sharing is sound when the subject columns are a unique key of the
+        (single-table) source, so that equal subjects imply equal rows.
+        """
+        subject = atom.terms()[0]
+        if not isinstance(subject, sp.Var):
+            return None
+        if not isinstance(assertion.subject, IriTermMap):
+            return None
+        key_columns = self._unique_subject_columns(assertion)
+        if key_columns is None:
+            return None
+        return (
+            subject,
+            assertion.source_sql.strip().lower(),
+            assertion.subject.template.pattern,
+        )
+
+    def _unique_subject_columns(
+        self, assertion: MappingAssertion
+    ) -> Optional[Tuple[str, ...]]:
+        """Subject template columns if they cover the source table's PK."""
+        if self.catalog is None:
+            return None
+        try:
+            statement = assertion.parsed_source()
+        except Exception:  # noqa: BLE001 - malformed sources just opt out
+            return None
+        if statement.union is not None or statement.group_by or statement.distinct:
+            return None
+        if not isinstance(statement.source, sql.NamedTable):
+            return None
+        if not self.catalog.has_table(statement.source.name):
+            return None
+        table = self.catalog.table(statement.source.name)
+        if not table.primary_key:
+            return None
+        subject_columns = set(assertion.subject.columns)
+        if set(table.primary_key) <= subject_columns:
+            return tuple(table.primary_key)
+        return None
+
+    def _source_ref(self, assertion: MappingAssertion, alias: str) -> sql.TableRef:
+        statement = assertion.parsed_source()
+        # inline trivial "SELECT cols FROM table [WHERE ...]" sources when
+        # every referenced column is projected bare (no renaming needed)
+        return sql.SubquerySource(statement, alias)
+
+    # -- joins / unions / filters ----------------------------------------------------
+
+    def _join(self, left: Fragment, right: Fragment) -> Fragment:
+        if left.is_empty or right.is_empty:
+            meta = dict(left.var_meta)
+            meta.update(right.var_meta)
+            return Fragment(None, meta)
+        assert left.statement is not None and right.statement is not None
+        shared = [var for var in left.var_meta if var in right.var_meta]
+        left_alias, right_alias = "lj", "rj"
+        condition = sql.conjunction(
+            [
+                sql.BinaryOp(
+                    "=",
+                    sql.ColumnRef(var_column(var), left_alias),
+                    sql.ColumnRef(var_column(var), right_alias),
+                )
+                for var in shared
+            ]
+        )
+        items: List[sql.SelectItem] = []
+        meta: Dict[sp.Var, VarMeta] = {}
+        for var, var_meta in left.var_meta.items():
+            items.append(
+                sql.SelectItem(
+                    sql.ColumnRef(var_column(var), left_alias), var_column(var)
+                )
+            )
+            meta[var] = var_meta
+        for var, var_meta in right.var_meta.items():
+            if var in meta:
+                meta[var] = meta[var].merge(var_meta)
+                continue
+            items.append(
+                sql.SelectItem(
+                    sql.ColumnRef(var_column(var), right_alias), var_column(var)
+                )
+            )
+            meta[var] = var_meta
+        join: sql.TableRef = sql.Join(
+            "INNER",
+            sql.SubquerySource(left.statement, left_alias),
+            sql.SubquerySource(right.statement, right_alias),
+            condition,
+        )
+        return Fragment(
+            sql.SelectStatement(items=tuple(items), source=join), meta
+        )
+
+    def _left_join(
+        self,
+        left: Fragment,
+        right: Fragment,
+        condition: Optional[sp.Expression],
+    ) -> Fragment:
+        if left.is_empty:
+            meta = dict(left.var_meta)
+            meta.update(right.var_meta)
+            return Fragment(None, meta)
+        if right.is_empty:
+            # OPTIONAL over nothing: keep the left side, right vars unbound
+            meta = dict(left.var_meta)
+            meta.update(right.var_meta)
+            assert left.statement is not None
+            items = [
+                sql.SelectItem(sql.ColumnRef(var_column(v), "lj"), var_column(v))
+                for v in left.var_meta
+            ] + [
+                sql.SelectItem(sql.LiteralValue(None), var_column(v))
+                for v in right.var_meta
+                if v not in left.var_meta
+            ]
+            return Fragment(
+                sql.SelectStatement(
+                    items=tuple(items),
+                    source=sql.SubquerySource(left.statement, "lj"),
+                ),
+                meta,
+            )
+        assert left.statement is not None and right.statement is not None
+        shared = [var for var in left.var_meta if var in right.var_meta]
+        left_alias, right_alias = "lj", "rj"
+        conjuncts = [
+            sql.BinaryOp(
+                "=",
+                sql.ColumnRef(var_column(var), left_alias),
+                sql.ColumnRef(var_column(var), right_alias),
+            )
+            for var in shared
+        ]
+        var_exprs: Dict[sp.Var, sql.Expr] = {}
+        for var in left.var_meta:
+            var_exprs[var] = sql.ColumnRef(var_column(var), left_alias)
+        for var in right.var_meta:
+            var_exprs.setdefault(var, sql.ColumnRef(var_column(var), right_alias))
+        if condition is not None:
+            conjuncts.append(self._translate_expression(condition, var_exprs))
+        join_condition = sql.conjunction(conjuncts) or sql.LiteralValue(True)
+        items = []
+        meta = {}
+        for var, var_meta in left.var_meta.items():
+            items.append(
+                sql.SelectItem(
+                    sql.ColumnRef(var_column(var), left_alias), var_column(var)
+                )
+            )
+            meta[var] = var_meta
+        for var, var_meta in right.var_meta.items():
+            if var in meta:
+                meta[var] = meta[var].merge(var_meta)
+                continue
+            items.append(
+                sql.SelectItem(
+                    sql.ColumnRef(var_column(var), right_alias), var_column(var)
+                )
+            )
+            meta[var] = var_meta
+        join = sql.Join(
+            "LEFT",
+            sql.SubquerySource(left.statement, left_alias),
+            sql.SubquerySource(right.statement, right_alias),
+            join_condition,
+        )
+        return Fragment(sql.SelectStatement(items=tuple(items), source=join), meta)
+
+    def _union(self, left: Fragment, right: Fragment) -> Fragment:
+        if left.is_empty and right.is_empty:
+            meta = dict(left.var_meta)
+            meta.update(right.var_meta)
+            return Fragment(None, meta)
+        if left.is_empty:
+            left, right = right, left
+        assert left.statement is not None
+        meta: Dict[sp.Var, VarMeta] = dict(left.var_meta)
+        for var, var_meta in right.var_meta.items():
+            meta[var] = meta[var].merge(var_meta) if var in meta else var_meta
+        all_vars = list(meta)
+
+        def pad(fragment: Fragment, alias: str) -> sql.SelectStatement:
+            assert fragment.statement is not None
+            items = []
+            for var in all_vars:
+                if var in fragment.var_meta:
+                    expr: sql.Expr = sql.ColumnRef(var_column(var), alias)
+                else:
+                    expr = sql.LiteralValue(None)
+                items.append(sql.SelectItem(expr, var_column(var)))
+            return sql.SelectStatement(
+                items=tuple(items),
+                source=sql.SubquerySource(fragment.statement, alias),
+            )
+
+        left_statement = pad(left, "ub1")
+        if right.is_empty:
+            return Fragment(left_statement, meta)
+        right_statement = pad(right, "ub2")
+        return Fragment(
+            _chain_union([left_statement, right_statement], dedup=False), meta
+        )
+
+    def _filter(self, fragment: Fragment, condition: sp.Expression) -> Fragment:
+        if fragment.is_empty:
+            return fragment
+        assert fragment.statement is not None
+        alias = "fq"
+        var_exprs = {
+            var: sql.ColumnRef(var_column(var), alias) for var in fragment.var_meta
+        }
+        predicate = self._translate_expression(condition, var_exprs)
+        items = [
+            sql.SelectItem(sql.ColumnRef(var_column(var), alias), var_column(var))
+            for var in fragment.var_meta
+        ]
+        return Fragment(
+            sql.SelectStatement(
+                items=tuple(items),
+                source=sql.SubquerySource(fragment.statement, alias),
+                where=predicate,
+            ),
+            dict(fragment.var_meta),
+        )
+
+    def _extend(
+        self, fragment: Fragment, var: sp.Var, expression: sp.Expression
+    ) -> Fragment:
+        if fragment.is_empty:
+            meta = dict(fragment.var_meta)
+            meta[var] = VarMeta("literal")
+            return Fragment(None, meta)
+        assert fragment.statement is not None
+        alias = "bq"
+        var_exprs = {
+            v: sql.ColumnRef(var_column(v), alias) for v in fragment.var_meta
+        }
+        computed = self._translate_expression(expression, var_exprs)
+        items = [
+            sql.SelectItem(sql.ColumnRef(var_column(v), alias), var_column(v))
+            for v in fragment.var_meta
+        ]
+        items.append(sql.SelectItem(computed, var_column(var)))
+        meta = dict(fragment.var_meta)
+        meta[var] = _expression_meta(expression, fragment.var_meta)
+        return Fragment(
+            sql.SelectStatement(
+                items=tuple(items),
+                source=sql.SubquerySource(fragment.statement, alias),
+            ),
+            meta,
+        )
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _translate_expression(
+        self, expression: sp.Expression, var_exprs: Dict[sp.Var, sql.Expr]
+    ) -> sql.Expr:
+        return translate_expression(expression, var_exprs)
+
+    # -- query level -----------------------------------------------------------------
+
+    def _apply_query_level(
+        self, query: sp.SelectQuery, fragment: Fragment
+    ) -> Tuple[Optional[sql.SelectStatement], List[str], List[Optional[VarMeta]]]:
+        projections = list(query.projections) or [
+            sp.Projection(var) for var in fragment.var_meta
+        ]
+        columns = [projection.var.name for projection in projections]
+        if fragment.is_empty:
+            metas = [fragment.var_meta.get(p.var) for p in projections]
+            return None, columns, metas
+        assert fragment.statement is not None
+        alias = "q"
+        var_exprs: Dict[sp.Var, sql.Expr] = {
+            var: sql.ColumnRef(var_column(var), alias) for var in fragment.var_meta
+        }
+        items: List[sql.SelectItem] = []
+        metas: List[Optional[VarMeta]] = []
+        for projection in projections:
+            if projection.expression is None:
+                expression = var_exprs.get(projection.var, sql.LiteralValue(None))
+                metas.append(fragment.var_meta.get(projection.var))
+            else:
+                expression = translate_expression(projection.expression, var_exprs)
+                metas.append(
+                    _expression_meta(projection.expression, fragment.var_meta)
+                )
+            items.append(sql.SelectItem(expression, var_column(projection.var)))
+        group_by: Tuple[sql.Expr, ...] = tuple(
+            translate_expression(g, var_exprs) for g in query.group_by
+        )
+        # HAVING and ORDER BY run after projection/dedup: variables that
+        # are projected must be referenced through their output column.
+        output_var_exprs: Dict[sp.Var, sql.Expr] = dict(var_exprs)
+        for projection in projections:
+            output_var_exprs[projection.var] = sql.ColumnRef(
+                var_column(projection.var)
+            )
+        having = None
+        if query.having:
+            having_parts = [
+                translate_expression(
+                    h, output_var_exprs, alias_exprs=_alias_map(items)
+                )
+                for h in query.having
+            ]
+            having = sql.conjunction(having_parts)
+        order_by: Tuple[sql.OrderItem, ...] = tuple(
+            sql.OrderItem(
+                translate_expression(
+                    c.expression, output_var_exprs, alias_exprs=_alias_map(items)
+                ),
+                c.ascending,
+            )
+            for c in query.order_by
+        )
+        statement = sql.SelectStatement(
+            items=tuple(items),
+            source=sql.SubquerySource(fragment.statement, alias),
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            offset=query.offset,
+            distinct=query.distinct,
+        )
+        return statement, columns, metas
+
+
+def _alias_map(items: Sequence[sql.SelectItem]) -> Dict[str, sql.Expr]:
+    return {item.output_name: item.expr for item in items}
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _chain_union(
+    statements: List[sql.SelectStatement], dedup: bool
+) -> sql.SelectStatement:
+    """Right-fold SELECT blocks into a UNION [ALL] chain."""
+    assert statements
+    result: Optional[sql.SelectStatement] = None
+    for statement in reversed(statements):
+        if result is None:
+            result = statement
+        else:
+            result = sql.SelectStatement(
+                items=statement.items,
+                source=statement.source,
+                where=statement.where,
+                group_by=statement.group_by,
+                having=statement.having,
+                order_by=statement.order_by,
+                limit=statement.limit,
+                offset=statement.offset,
+                distinct=statement.distinct,
+                union=sql.UnionTail(result, all=not dedup),
+            )
+    assert result is not None
+    return result
+
+
+def _atom_entity(atom: Atom) -> str:
+    if isinstance(atom, ClassAtom):
+        return atom.cls
+    if isinstance(atom, RoleAtom):
+        return atom.role
+    return atom.prop
+
+
+def _assertion_matches_atom(assertion: MappingAssertion, atom: Atom) -> bool:
+    if isinstance(atom, ClassAtom):
+        return assertion.is_class_assertion
+    return not assertion.is_class_assertion
+
+
+def _term_map_expression(term_map: TermMap, alias: str) -> sql.Expr:
+    if isinstance(term_map, IriTermMap):
+        template = term_map.template
+        fragments = template.fragments
+        columns = template.columns
+        args: List[sql.Expr] = []
+        for index, fragment in enumerate(fragments):
+            if fragment:
+                args.append(sql.LiteralValue(fragment))
+            if index < len(columns):
+                args.append(sql.ColumnRef(columns[index], alias))
+        if len(args) == 1:
+            return args[0]
+        return sql.FunctionCall("CONCAT", tuple(args))
+    if isinstance(term_map, LiteralTermMap):
+        return sql.ColumnRef(term_map.column, alias)
+    assert isinstance(term_map, ConstantTermMap)
+    term = term_map.term
+    if isinstance(term, IRI):
+        return sql.LiteralValue(term.value)
+    assert isinstance(term, Literal)
+    return sql.LiteralValue(term.to_python())
+
+
+def _term_map_meta(term_map: TermMap) -> VarMeta:
+    if isinstance(term_map, IriTermMap):
+        return VarMeta("iri")
+    if isinstance(term_map, LiteralTermMap):
+        return VarMeta("literal", term_map.datatype)
+    term = term_map.term
+    if isinstance(term, IRI):
+        return VarMeta("iri")
+    assert isinstance(term, Literal)
+    return VarMeta("literal", term.datatype)
+
+
+def _term_map_equality(
+    first: TermMap, first_alias: str, second: TermMap, second_alias: str
+) -> Optional[List[sql.Expr]]:
+    """Join conditions forcing two term maps to produce the same RDF term.
+
+    Returns None when the maps can never coincide (static pruning).
+    """
+    if isinstance(first, IriTermMap) and isinstance(second, IriTermMap):
+        if not first.template.compatible_with(second.template):
+            return None
+        return [
+            sql.BinaryOp(
+                "=",
+                sql.ColumnRef(first_col, first_alias),
+                sql.ColumnRef(second_col, second_alias),
+            )
+            for first_col, second_col in zip(first.columns, second.columns)
+        ]
+    if isinstance(first, LiteralTermMap) and isinstance(second, LiteralTermMap):
+        return [
+            sql.BinaryOp(
+                "=",
+                sql.ColumnRef(first.column, first_alias),
+                sql.ColumnRef(second.column, second_alias),
+            )
+        ]
+    if isinstance(first, ConstantTermMap):
+        constraint = _constant_term_constraint(first.term, second, second_alias)
+        return constraint
+    if isinstance(second, ConstantTermMap):
+        return _constant_term_constraint(second.term, first, first_alias)
+    # IRI vs literal can never be equal
+    return None
+
+
+def _constant_constraint(
+    term: CqTerm, term_map: TermMap, alias: str
+) -> Optional[List[sql.Expr]]:
+    assert isinstance(term, (IRI, Literal))
+    return _constant_term_constraint(term, term_map, alias)
+
+
+def _constant_term_constraint(
+    term: Term, term_map: TermMap, alias: str
+) -> Optional[List[sql.Expr]]:
+    if isinstance(term_map, ConstantTermMap):
+        return [] if term_map.term == term else None
+    if isinstance(term, IRI):
+        if not isinstance(term_map, IriTermMap):
+            return None
+        matched = term_map.template.match(term.value)
+        if matched is None:
+            return None
+        return [
+            sql.BinaryOp("=", sql.ColumnRef(column, alias), sql.LiteralValue(value))
+            for column, value in zip(term_map.columns, matched)
+        ]
+    assert isinstance(term, Literal)
+    if not isinstance(term_map, LiteralTermMap):
+        return None
+    return [
+        sql.BinaryOp(
+            "=",
+            sql.ColumnRef(term_map.column, alias),
+            sql.LiteralValue(term.to_python()),
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SPARQL expression -> SQL expression
+# ---------------------------------------------------------------------------
+
+_OP_MAP = {
+    "&&": "AND",
+    "||": "OR",
+    "=": "=",
+    "!=": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+}
+
+
+def translate_expression(
+    expression: sp.Expression,
+    var_exprs: Dict[sp.Var, sql.Expr],
+    alias_exprs: Optional[Dict[str, sql.Expr]] = None,
+) -> sql.Expr:
+    """Translate a SPARQL expression into SQL over variable value columns."""
+    if isinstance(expression, sp.VarExpr):
+        if expression.var in var_exprs:
+            return var_exprs[expression.var]
+        if alias_exprs is not None:
+            key = var_column(expression.var)
+            if key in alias_exprs:
+                return alias_exprs[key]
+        raise UnfoldingError(f"variable ?{expression.var.name} not in scope")
+    if isinstance(expression, sp.TermExpr):
+        term = expression.term
+        if isinstance(term, IRI):
+            return sql.LiteralValue(term.value)
+        if isinstance(term, Literal):
+            return sql.LiteralValue(term.to_python())
+        raise UnfoldingError("blank node constants are not translatable")
+    if isinstance(expression, sp.UnaryExpr):
+        operand = translate_expression(expression.operand, var_exprs, alias_exprs)
+        if expression.op == "!":
+            return sql.UnaryOp("NOT", operand)
+        return sql.UnaryOp(expression.op, operand)
+    if isinstance(expression, sp.BinaryExpr):
+        if expression.op not in _OP_MAP:
+            raise UnfoldingError(f"operator {expression.op!r} not translatable")
+        return sql.BinaryOp(
+            _OP_MAP[expression.op],
+            translate_expression(expression.left, var_exprs, alias_exprs),
+            translate_expression(expression.right, var_exprs, alias_exprs),
+        )
+    if isinstance(expression, sp.CallExpr):
+        return _translate_call(expression, var_exprs, alias_exprs)
+    if isinstance(expression, sp.AggregateExpr):
+        return _translate_aggregate(expression, var_exprs, alias_exprs)
+    raise UnfoldingError(f"cannot translate expression {expression!r}")
+
+
+def _translate_call(
+    expression: sp.CallExpr,
+    var_exprs: Dict[sp.Var, sql.Expr],
+    alias_exprs: Optional[Dict[str, sql.Expr]],
+) -> sql.Expr:
+    name = expression.name.upper()
+    args = [
+        translate_expression(arg, var_exprs, alias_exprs) for arg in expression.args
+    ]
+    if name == "BOUND":
+        return sql.IsNull(args[0], negated=True)
+    if name == "STR":
+        return args[0]
+    if name.startswith("CAST:"):
+        return args[0]  # literal columns already carry native SQL types
+    if name == "YEAR":
+        return sql.FunctionCall("YEAR", tuple(args))
+    if name in ("UCASE", "LCASE"):
+        return sql.FunctionCall("UPPER" if name == "UCASE" else "LOWER", tuple(args))
+    if name == "STRLEN":
+        return sql.FunctionCall("LENGTH", tuple(args))
+    if name == "ABS":
+        return sql.FunctionCall("ABS", tuple(args))
+    if name == "CONCAT":
+        return sql.FunctionCall("CONCAT", tuple(args))
+    if name == "COALESCE":
+        return sql.FunctionCall("COALESCE", tuple(args))
+    if name == "CONTAINS":
+        if isinstance(args[1], sql.LiteralValue) and isinstance(
+            args[1].value, str
+        ):
+            return sql.BinaryOp(
+                "LIKE", args[0], sql.LiteralValue(f"%{args[1].value}%")
+            )
+    if name == "STRSTARTS":
+        if isinstance(args[1], sql.LiteralValue) and isinstance(args[1].value, str):
+            return sql.BinaryOp("LIKE", args[0], sql.LiteralValue(f"{args[1].value}%"))
+    if name == "REGEX":
+        # only anchored-free simple patterns are translated, as LIKE
+        if len(args) >= 2 and isinstance(args[1], sql.LiteralValue) and isinstance(
+            args[1].value, str
+        ) and not any(c in args[1].value for c in "^$[](){}|\\+*?."):
+            return sql.BinaryOp("LIKE", args[0], sql.LiteralValue(f"%{args[1].value}%"))
+    raise UnfoldingError(f"function {expression.name!r} not translatable to SQL")
+
+
+def _translate_aggregate(
+    expression: sp.AggregateExpr,
+    var_exprs: Dict[sp.Var, sql.Expr],
+    alias_exprs: Optional[Dict[str, sql.Expr]],
+) -> sql.Expr:
+    if expression.argument is None:
+        return sql.FunctionCall("COUNT", (sql.Star(),))
+    argument = translate_expression(expression.argument, var_exprs, alias_exprs)
+    return sql.FunctionCall(
+        expression.name.upper(), (argument,), distinct=expression.distinct
+    )
+
+
+def _expression_meta(
+    expression: sp.Expression, var_meta: Dict[sp.Var, VarMeta]
+) -> VarMeta:
+    """Infer result metadata of a projected expression."""
+    if isinstance(expression, sp.VarExpr):
+        return var_meta.get(expression.var, VarMeta("literal"))
+    if isinstance(expression, sp.AggregateExpr):
+        if expression.name == "COUNT":
+            return VarMeta("literal", XSD_INTEGER)
+        return VarMeta("literal", XSD_DECIMAL)
+    if isinstance(expression, sp.TermExpr) and isinstance(expression.term, IRI):
+        return VarMeta("iri")
+    if isinstance(expression, sp.BinaryExpr) and expression.op in "+-*/":
+        return VarMeta("literal", XSD_DECIMAL)
+    return VarMeta("literal")
+
+
+# ---------------------------------------------------------------------------
+# UCQ redundancy elimination (semantic query optimization)
+# ---------------------------------------------------------------------------
+
+
+def cq_homomorphism(general: ConjunctiveQuery, specific: ConjunctiveQuery) -> bool:
+    """Is there a homomorphism from *general* into *specific*?
+
+    If so, every answer of *specific* is an answer of *general*, so
+    *specific* is redundant in a union containing *general*.
+    """
+    if general.answer_vars != specific.answer_vars:
+        return False
+
+    atoms = list(general.atoms)
+
+    def extend(index: int, mapping: Dict[sp.Var, CqTerm]) -> bool:
+        if index == len(atoms):
+            return True
+        atom = atoms[index]
+        for candidate in specific.atoms:
+            if type(candidate) is not type(atom):
+                continue
+            if isinstance(atom, ClassAtom):
+                if atom.cls != candidate.cls:  # type: ignore[union-attr]
+                    continue
+            elif isinstance(atom, RoleAtom):
+                if atom.role != candidate.role:  # type: ignore[union-attr]
+                    continue
+            elif isinstance(atom, DataAtom):
+                if atom.prop != candidate.prop:  # type: ignore[union-attr]
+                    continue
+            new_mapping = dict(mapping)
+            success = True
+            for general_term, specific_term in zip(atom.terms(), candidate.terms()):
+                if isinstance(general_term, sp.Var):
+                    if general_term in general.answer_vars:
+                        if general_term != specific_term:
+                            success = False
+                            break
+                    elif general_term in new_mapping:
+                        if new_mapping[general_term] != specific_term:
+                            success = False
+                            break
+                    else:
+                        new_mapping[general_term] = specific_term
+                elif general_term != specific_term:
+                    success = False
+                    break
+            if success and extend(index + 1, new_mapping):
+                return True
+        return False
+
+    return extend(0, {})
+
+
+def prune_redundant_cqs(cqs: List[ConjunctiveQuery]) -> List[ConjunctiveQuery]:
+    """Drop CQs subsumed by another CQ in the union."""
+    kept: List[ConjunctiveQuery] = []
+    # shorter queries are more general more often; test them first
+    ordered = sorted(cqs, key=lambda cq: len(cq.atoms))
+    for candidate in ordered:
+        if any(cq_homomorphism(existing, candidate) for existing in kept):
+            continue
+        kept.append(candidate)
+    return kept

@@ -1,0 +1,64 @@
+"""OWL 2 QL ontology model, reasoner and ABox utilities."""
+
+from .model import (
+    Axiom,
+    BasicConcept,
+    ClassConcept,
+    Concept,
+    DataPropertyRef,
+    DataSomeValues,
+    DisjointClasses,
+    DisjointObjectProperties,
+    Ontology,
+    OwlError,
+    QualifiedSome,
+    Role,
+    SomeValues,
+    SubClassOf,
+    SubDataPropertyOf,
+    SubObjectPropertyOf,
+)
+from .reasoner import QLReasoner
+from .abox import (
+    concept_extension,
+    find_inconsistencies,
+    is_consistent,
+    saturate_graph,
+)
+from .stats import OntologyStats, compute_stats
+from .io import (
+    OwlSyntaxError,
+    ontology_to_string,
+    parse_ontology,
+    serialize_ontology,
+)
+
+__all__ = [
+    "Ontology",
+    "OwlError",
+    "Role",
+    "DataPropertyRef",
+    "ClassConcept",
+    "SomeValues",
+    "DataSomeValues",
+    "QualifiedSome",
+    "BasicConcept",
+    "Concept",
+    "SubClassOf",
+    "SubObjectPropertyOf",
+    "SubDataPropertyOf",
+    "DisjointClasses",
+    "DisjointObjectProperties",
+    "Axiom",
+    "QLReasoner",
+    "saturate_graph",
+    "concept_extension",
+    "find_inconsistencies",
+    "is_consistent",
+    "OntologyStats",
+    "OwlSyntaxError",
+    "serialize_ontology",
+    "parse_ontology",
+    "ontology_to_string",
+    "compute_stats",
+]

@@ -1,0 +1,263 @@
+"""OWL functional-style syntax serialization for ontologies.
+
+A compact, line-oriented subset of the OWL 2 functional syntax covering
+exactly the constructs the QL model supports, so the NPD ontology (and
+any user ontology) can be saved to disk and reloaded::
+
+    Ontology(<http://sws.ifi.uio.no/vocab/npd-v2#>
+    Declaration(Class(<...#Wellbore>))
+    SubClassOf(<...#ExplorationWellbore> <...#Wellbore>)
+    SubClassOf(<...#Wellbore> ObjectSomeValuesFrom(<...#coreFor> <...#Core>))
+    SubClassOf(ObjectSomeValuesFrom(<...#op>) <...#Facility>)
+    SubObjectPropertyOf(<...#completedBy> <...#operatedBy>)
+    DisjointClasses(<...#Wellbore> <...#Company>)
+    )
+
+Inverse roles are written ``ObjectInverseOf(<iri>)``; unqualified
+existentials omit the filler.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import IO, Iterator, List, Optional, Union
+
+from .model import (
+    BasicConcept,
+    ClassConcept,
+    Concept,
+    DataPropertyRef,
+    DataSomeValues,
+    DisjointClasses,
+    DisjointObjectProperties,
+    Ontology,
+    OwlError,
+    QualifiedSome,
+    Role,
+    SomeValues,
+    SubClassOf,
+    SubDataPropertyOf,
+    SubObjectPropertyOf,
+)
+
+
+class OwlSyntaxError(OwlError):
+    """Raised on malformed functional-syntax documents."""
+
+
+def _iri(value: str) -> str:
+    return f"<{value}>"
+
+
+def _render_role(role: Role) -> str:
+    if role.inverse:
+        return f"ObjectInverseOf({_iri(role.iri)})"
+    return _iri(role.iri)
+
+
+def _render_concept(concept: Concept) -> str:
+    if isinstance(concept, ClassConcept):
+        return _iri(concept.iri)
+    if isinstance(concept, SomeValues):
+        return f"ObjectSomeValuesFrom({_render_role(concept.role)})"
+    if isinstance(concept, DataSomeValues):
+        return f"DataSomeValuesFrom({_iri(concept.prop.iri)})"
+    assert isinstance(concept, QualifiedSome)
+    return (
+        f"ObjectSomeValuesFrom({_render_role(concept.role)} "
+        f"{_iri(concept.filler.iri)})"
+    )
+
+
+def serialize_ontology(ontology: Ontology, out: IO[str]) -> int:
+    """Write the ontology; returns the number of axiom lines."""
+    out.write(f"Ontology({_iri(ontology.iri)}\n")
+    for cls in sorted(ontology.classes):
+        out.write(f"Declaration(Class({_iri(cls)}))\n")
+    for prop in sorted(ontology.object_properties):
+        out.write(f"Declaration(ObjectProperty({_iri(prop)}))\n")
+    for prop in sorted(ontology.data_properties):
+        out.write(f"Declaration(DataProperty({_iri(prop)}))\n")
+    count = 0
+    for axiom in ontology.axioms:
+        if isinstance(axiom, SubClassOf):
+            line = (
+                f"SubClassOf({_render_concept(axiom.sub)} "
+                f"{_render_concept(axiom.sup)})"
+            )
+        elif isinstance(axiom, SubObjectPropertyOf):
+            line = (
+                f"SubObjectPropertyOf({_render_role(axiom.sub)} "
+                f"{_render_role(axiom.sup)})"
+            )
+        elif isinstance(axiom, SubDataPropertyOf):
+            line = (
+                f"SubDataPropertyOf({_iri(axiom.sub.iri)} {_iri(axiom.sup.iri)})"
+            )
+        elif isinstance(axiom, DisjointClasses):
+            line = (
+                f"DisjointClasses({_render_concept(axiom.first)} "
+                f"{_render_concept(axiom.second)})"
+            )
+        elif isinstance(axiom, DisjointObjectProperties):
+            line = (
+                f"DisjointObjectProperties({_render_role(axiom.first)} "
+                f"{_render_role(axiom.second)})"
+            )
+        else:  # pragma: no cover - exhaustive over the model
+            raise OwlSyntaxError(f"cannot serialize {axiom!r}")
+        out.write(line + "\n")
+        count += 1
+    out.write(")\n")
+    return count
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"<([^<>\s]+)>|([A-Za-z]+)\(|\)|\s+")
+
+
+class _Parser:
+    """Tiny recursive tokenizer for the functional subset."""
+
+    def __init__(self, text: str):
+        self.tokens: List[Union[str, tuple]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if not match:
+                raise OwlSyntaxError(
+                    f"unexpected character {text[position]!r} at {position}"
+                )
+            position = match.end()
+            if match.group(1) is not None:
+                self.tokens.append(("iri", match.group(1)))
+            elif match.group(2) is not None:
+                self.tokens.append(("open", match.group(2)))
+            elif match.group(0) == ")":
+                self.tokens.append(("close", ")"))
+        self.position = 0
+
+    def peek(self) -> Optional[tuple]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> tuple:
+        token = self.peek()
+        if token is None:
+            raise OwlSyntaxError("unexpected end of document")
+        self.position += 1
+        return token
+
+    def expect_close(self) -> None:
+        token = self.next()
+        if token[0] != "close":
+            raise OwlSyntaxError(f"expected ')', got {token!r}")
+
+    def expect_iri(self) -> str:
+        token = self.next()
+        if token[0] != "iri":
+            raise OwlSyntaxError(f"expected IRI, got {token!r}")
+        return token[1]
+
+    def parse_role(self) -> Role:
+        token = self.next()
+        if token[0] == "iri":
+            return Role(token[1])
+        if token == ("open", "ObjectInverseOf"):
+            iri = self.expect_iri()
+            self.expect_close()
+            return Role(iri, inverse=True)
+        raise OwlSyntaxError(f"expected role, got {token!r}")
+
+    def parse_concept(self) -> Concept:
+        token = self.next()
+        if token[0] == "iri":
+            return ClassConcept(token[1])
+        if token == ("open", "ObjectSomeValuesFrom"):
+            role = self.parse_role()
+            nxt = self.peek()
+            if nxt is not None and nxt[0] == "iri":
+                filler = ClassConcept(self.expect_iri())
+                self.expect_close()
+                return QualifiedSome(role, filler)
+            self.expect_close()
+            return SomeValues(role)
+        if token == ("open", "DataSomeValuesFrom"):
+            prop = DataPropertyRef(self.expect_iri())
+            self.expect_close()
+            return DataSomeValues(prop)
+        raise OwlSyntaxError(f"expected concept, got {token!r}")
+
+
+def parse_ontology(source: Union[str, IO[str]]) -> Ontology:
+    """Parse a functional-syntax document back into an :class:`Ontology`."""
+    text = source if isinstance(source, str) else source.read()
+    parser = _Parser(text)
+    token = parser.next()
+    if token != ("open", "Ontology"):
+        raise OwlSyntaxError("document must start with Ontology(")
+    ontology = Ontology(parser.expect_iri())
+    while True:
+        token = parser.next()
+        if token == ("close", ")"):
+            break
+        if token == ("open", "Declaration"):
+            kind = parser.next()
+            iri = parser.expect_iri()
+            parser.expect_close()  # inner
+            parser.expect_close()  # Declaration
+            if kind == ("open", "Class"):
+                ontology.declare_class(iri)
+            elif kind == ("open", "ObjectProperty"):
+                ontology.declare_object_property(iri)
+            elif kind == ("open", "DataProperty"):
+                ontology.declare_data_property(iri)
+            else:
+                raise OwlSyntaxError(f"unknown declaration {kind!r}")
+            continue
+        if token == ("open", "SubClassOf"):
+            sub = parser.parse_concept()
+            sup = parser.parse_concept()
+            parser.expect_close()
+            if isinstance(sub, QualifiedSome):
+                raise OwlSyntaxError("qualified existential on LHS")
+            ontology.add_subclass(sub, sup)
+            continue
+        if token == ("open", "SubObjectPropertyOf"):
+            sub_role = parser.parse_role()
+            sup_role = parser.parse_role()
+            parser.expect_close()
+            ontology.add_subproperty(sub_role, sup_role)
+            continue
+        if token == ("open", "SubDataPropertyOf"):
+            sub_iri = parser.expect_iri()
+            sup_iri = parser.expect_iri()
+            parser.expect_close()
+            ontology.add_data_subproperty(sub_iri, sup_iri)
+            continue
+        if token == ("open", "DisjointClasses"):
+            first = parser.parse_concept()
+            second = parser.parse_concept()
+            parser.expect_close()
+            ontology.add_disjoint(first, second)
+            continue
+        if token == ("open", "DisjointObjectProperties"):
+            first_role = parser.parse_role()
+            second_role = parser.parse_role()
+            parser.expect_close()
+            ontology.add_disjoint_properties(first_role, second_role)
+            continue
+        raise OwlSyntaxError(f"unexpected token {token!r}")
+    return ontology
+
+
+def ontology_to_string(ontology: Ontology) -> str:
+    import io
+
+    buffer = io.StringIO()
+    serialize_ontology(ontology, buffer)
+    return buffer.getvalue()

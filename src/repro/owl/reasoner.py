@@ -1,0 +1,263 @@
+"""OWL 2 QL reasoning: hierarchy saturation and classification.
+
+The reasoner precomputes, from an :class:`~repro.owl.model.Ontology`:
+
+* the reflexive-transitive role hierarchy (closed under inverses),
+* the reflexive-transitive basic-concept hierarchy, where the edges are
+  the stated inclusions plus the edges induced by the role hierarchy
+  (``R ⊑ S`` gives ``∃R ⊑ ∃S`` and ``∃R⁻ ⊑ ∃S⁻``) and by qualified
+  existentials (``∃R.A ⊑ ∃R``),
+* the qualified-existential axioms indexed by their LHS closure (these
+  drive tree-witness detection in the rewriter),
+* the disjointness pairs, saturated downwards (if ``B ⊓ B' ⊑ ⊥`` then all
+  subconcepts of ``B`` are disjoint from all subconcepts of ``B'``).
+
+All query-rewriting and T-mapping machinery in :mod:`repro.obda` is built
+on the ``subconcepts_of`` / ``subroles_of`` closures computed here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .model import (
+    BasicConcept,
+    ClassConcept,
+    DataPropertyRef,
+    DataSomeValues,
+    DisjointClasses,
+    Ontology,
+    QualifiedSome,
+    Role,
+    SomeValues,
+    SubClassOf,
+    SubDataPropertyOf,
+    SubObjectPropertyOf,
+)
+
+
+def _transitive_closure_down(
+    edges: Dict[object, Set[object]]
+) -> Dict[object, Set[object]]:
+    """For an 'is-subsumed-by' edge map sup->subs, compute all descendants."""
+    closure: Dict[object, Set[object]] = {}
+
+    def descend(node: object, stack: Set[object]) -> Set[object]:
+        if node in closure:
+            return closure[node]
+        result: Set[object] = set()
+        stack.add(node)
+        for child in edges.get(node, ()):
+            result.add(child)
+            if child in stack:
+                continue  # cycle (equivalent concepts)
+            result |= descend(child, stack)
+        stack.discard(node)
+        closure[node] = result
+        return result
+
+    for node in list(edges):
+        descend(node, set())
+    return closure
+
+
+class QLReasoner:
+    """Precomputed closures for one ontology."""
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self._build_role_hierarchy()
+        self._build_data_property_hierarchy()
+        self._build_concept_hierarchy()
+        self._index_existentials()
+        self._saturate_disjointness()
+
+    # ------------------------------------------------------------------
+    # role hierarchy
+    # ------------------------------------------------------------------
+
+    def _build_role_hierarchy(self) -> None:
+        # edges: sup -> set of subs (both closed under inverse)
+        sub_edges: Dict[object, Set[object]] = defaultdict(set)
+        for axiom in self.ontology.subproperty_axioms():
+            sub_edges[axiom.sup].add(axiom.sub)
+            sub_edges[axiom.sup.inv()].add(axiom.sub.inv())
+        self._role_descendants = _transitive_closure_down(sub_edges)
+
+    def subroles_of(self, role: Role, reflexive: bool = True) -> List[Role]:
+        """All roles ``S`` with ``S ⊑ R`` (including R itself by default)."""
+        result: List[Role] = [role] if reflexive else []
+        for descendant in self._role_descendants.get(role, ()):
+            assert isinstance(descendant, Role)
+            if descendant != role:
+                result.append(descendant)
+        return result
+
+    def superroles_of(self, role: Role, reflexive: bool = True) -> List[Role]:
+        result: List[Role] = [role] if reflexive else []
+        for candidate, descendants in self._role_descendants.items():
+            if role in descendants and candidate != role:
+                assert isinstance(candidate, Role)
+                result.append(candidate)
+        return result
+
+    def is_subrole(self, sub: Role, sup: Role) -> bool:
+        if sub == sup:
+            return True
+        return sub in self._role_descendants.get(sup, ())
+
+    # ------------------------------------------------------------------
+    # data property hierarchy
+    # ------------------------------------------------------------------
+
+    def _build_data_property_hierarchy(self) -> None:
+        sub_edges: Dict[object, Set[object]] = defaultdict(set)
+        for axiom in self.ontology.data_subproperty_axioms():
+            sub_edges[axiom.sup].add(axiom.sub)
+        self._data_descendants = _transitive_closure_down(sub_edges)
+
+    def sub_data_properties_of(
+        self, prop: DataPropertyRef, reflexive: bool = True
+    ) -> List[DataPropertyRef]:
+        result: List[DataPropertyRef] = [prop] if reflexive else []
+        for descendant in self._data_descendants.get(prop, ()):
+            assert isinstance(descendant, DataPropertyRef)
+            if descendant != prop:
+                result.append(descendant)
+        return result
+
+    def super_data_properties_of(
+        self, prop: DataPropertyRef, reflexive: bool = True
+    ) -> List[DataPropertyRef]:
+        result: List[DataPropertyRef] = [prop] if reflexive else []
+        for candidate, descendants in self._data_descendants.items():
+            if prop in descendants and candidate != prop:
+                assert isinstance(candidate, DataPropertyRef)
+                result.append(candidate)
+        return result
+
+    # ------------------------------------------------------------------
+    # concept hierarchy
+    # ------------------------------------------------------------------
+
+    def _build_concept_hierarchy(self) -> None:
+        sub_edges: Dict[object, Set[object]] = defaultdict(set)
+        for axiom in self.ontology.subclass_axioms():
+            sup = axiom.sup
+            if isinstance(sup, QualifiedSome):
+                # B ⊑ ∃R.A implies B ⊑ ∃R
+                sub_edges[SomeValues(sup.role)].add(axiom.sub)
+            else:
+                sub_edges[sup].add(axiom.sub)
+        # the role hierarchy induces existential subsumptions
+        for sup_role, descendants in self._role_descendants.items():
+            assert isinstance(sup_role, Role)
+            for sub_role in descendants:
+                assert isinstance(sub_role, Role)
+                sub_edges[SomeValues(sup_role)].add(SomeValues(sub_role))
+        for sup_prop, descendants in self._data_descendants.items():
+            assert isinstance(sup_prop, DataPropertyRef)
+            for sub_prop in descendants:
+                assert isinstance(sub_prop, DataPropertyRef)
+                sub_edges[DataSomeValues(sup_prop)].add(DataSomeValues(sub_prop))
+        self._concept_descendants = _transitive_closure_down(sub_edges)
+
+    def subconcepts_of(
+        self, concept: BasicConcept, reflexive: bool = True
+    ) -> List[BasicConcept]:
+        """All basic concepts subsumed by *concept* (most general first)."""
+        result: List[BasicConcept] = [concept] if reflexive else []
+        for descendant in self._concept_descendants.get(concept, ()):
+            if descendant != concept:
+                result.append(descendant)  # type: ignore[arg-type]
+        return result
+
+    def superconcepts_of(
+        self, concept: BasicConcept, reflexive: bool = True
+    ) -> List[BasicConcept]:
+        result: List[BasicConcept] = [concept] if reflexive else []
+        for candidate, descendants in self._concept_descendants.items():
+            if concept in descendants and candidate != concept:
+                result.append(candidate)  # type: ignore[arg-type]
+        return result
+
+    def is_subconcept(self, sub: BasicConcept, sup: BasicConcept) -> bool:
+        if sub == sup:
+            return True
+        return sub in self._concept_descendants.get(sup, ())
+
+    def named_subclasses_of(self, iri: str, reflexive: bool = True) -> List[str]:
+        """Named-class subsumees only (the max(#subcls) statistic)."""
+        return [
+            concept.iri
+            for concept in self.subconcepts_of(ClassConcept(iri), reflexive)
+            if isinstance(concept, ClassConcept)
+        ]
+
+    def class_hierarchy_depth(self) -> int:
+        """Longest chain of strict named-class subsumptions."""
+        # depth(A) = 1 + max over named classes B strictly below A
+        memo: Dict[str, int] = {}
+        children: Dict[str, Set[str]] = defaultdict(set)
+        for axiom in self.ontology.subclass_axioms():
+            if isinstance(axiom.sub, ClassConcept) and isinstance(
+                axiom.sup, ClassConcept
+            ):
+                children[axiom.sup.iri].add(axiom.sub.iri)
+
+        def depth(iri: str, stack: Set[str]) -> int:
+            if iri in memo:
+                return memo[iri]
+            if iri in stack:
+                return 0
+            stack.add(iri)
+            best = 0
+            for child in children.get(iri, ()):
+                best = max(best, depth(child, stack))
+            stack.discard(iri)
+            memo[iri] = best + 1
+            return best + 1
+
+        return max((depth(iri, set()) for iri in self.ontology.classes), default=0)
+
+    # ------------------------------------------------------------------
+    # existential axioms (tree-witness fuel)
+    # ------------------------------------------------------------------
+
+    def _index_existentials(self) -> None:
+        self._existentials: List[Tuple[BasicConcept, Role, ClassConcept]] = []
+        for axiom in self.ontology.existential_axioms():
+            sup = axiom.sup
+            assert isinstance(sup, QualifiedSome)
+            self._existentials.append((axiom.sub, sup.role, sup.filler))
+
+    def existential_axioms(self) -> List[Tuple[BasicConcept, Role, ClassConcept]]:
+        """(B, R, A) triples standing for ``B ⊑ ∃R.A``."""
+        return list(self._existentials)
+
+    def existentials_into(self, role: Role) -> List[Tuple[BasicConcept, ClassConcept]]:
+        """Generators whose role is subsumed by *role*: B ⊑ ∃S.A, S ⊑ R."""
+        matches = []
+        for sub, axiom_role, filler in self._existentials:
+            if self.is_subrole(axiom_role, role):
+                matches.append((sub, filler))
+        return matches
+
+    # ------------------------------------------------------------------
+    # disjointness
+    # ------------------------------------------------------------------
+
+    def _saturate_disjointness(self) -> None:
+        pairs: Set[FrozenSet[BasicConcept]] = set()
+        for axiom in self.ontology.disjointness_axioms():
+            for first in self.subconcepts_of(axiom.first):
+                for second in self.subconcepts_of(axiom.second):
+                    pairs.add(frozenset((first, second)))
+        self._disjoint_pairs = pairs
+
+    def disjoint_pairs(self) -> Set[FrozenSet[BasicConcept]]:
+        return set(self._disjoint_pairs)
+
+    def are_disjoint(self, first: BasicConcept, second: BasicConcept) -> bool:
+        return frozenset((first, second)) in self._disjoint_pairs

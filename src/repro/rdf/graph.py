@@ -1,0 +1,193 @@
+"""An in-memory RDF graph with SPO/POS/OSP indexes.
+
+The graph is the storage substrate of the triple-store baseline
+(:mod:`repro.obda.triplestore`) and of the materializer that turns an OBDA
+virtual instance into a concrete RDF dataset.  Triple pattern matching with
+any combination of bound/unbound positions is answered from the most
+selective index.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from .terms import IRI, Term, is_resource
+from .namespaces import RDF_TYPE
+
+Triple = Tuple[Term, Term, Term]
+
+
+class GraphError(ValueError):
+    """Raised on malformed triples (e.g. a literal subject)."""
+
+
+class Graph:
+    """A set of RDF triples with three permutation indexes.
+
+    Indexes are nested dictionaries: ``_spo[s][p] -> set of o`` and the two
+    rotations.  This keeps single-pattern lookups O(answer size) while the
+    memory overhead stays acceptable for laptop-scale materializations.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size")
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        self._size = 0
+        if triples is not None:
+            for triple in triples:
+                self.add(*triple)
+
+    # -- mutation --------------------------------------------------------
+
+    def add(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        """Add one triple; return True if it was not already present."""
+        if not is_resource(subject):
+            raise GraphError(f"triple subject must be IRI/BNode, got {subject!r}")
+        if not isinstance(predicate, IRI):
+            raise GraphError(f"triple predicate must be an IRI, got {predicate!r}")
+        bucket = self._spo[subject].setdefault(predicate, set())
+        if obj in bucket:
+            return False
+        bucket.add(obj)
+        self._pos[predicate].setdefault(obj, set()).add(subject)
+        self._osp[obj].setdefault(subject, set()).add(predicate)
+        self._size += 1
+        return True
+
+    def remove(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        """Remove one triple; return True if it was present."""
+        bucket = self._spo.get(subject, {}).get(predicate)
+        if bucket is None or obj not in bucket:
+            return False
+        bucket.discard(obj)
+        self._pos[predicate][obj].discard(subject)
+        self._osp[obj][subject].discard(predicate)
+        self._size -= 1
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return the number actually inserted."""
+        added = 0
+        for subject, predicate, obj in triples:
+            if self.add(subject, predicate, obj):
+                added += 1
+        return added
+
+    # -- inspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        subject, predicate, obj = triple
+        return obj in self._spo.get(subject, {}).get(predicate, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        for subject, po in self._spo.items():
+            for predicate, objects in po.items():
+                for obj in objects:
+                    yield (subject, predicate, obj)
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Match a triple pattern; ``None`` positions are wildcards."""
+        if subject is not None:
+            po = self._spo.get(subject)
+            if not po:
+                return
+            if predicate is not None:
+                objects = po.get(predicate, ())
+                if obj is not None:
+                    if obj in objects:
+                        yield (subject, predicate, obj)
+                    return
+                for matched in objects:
+                    yield (subject, predicate, matched)
+                return
+            for pred, objects in po.items():
+                if obj is not None:
+                    if obj in objects:
+                        yield (subject, pred, obj)
+                    continue
+                for matched in objects:
+                    yield (subject, pred, matched)
+            return
+        if predicate is not None:
+            os_index = self._pos.get(predicate)
+            if not os_index:
+                return
+            if obj is not None:
+                for subj in os_index.get(obj, ()):
+                    yield (subj, predicate, obj)
+                return
+            for matched_obj, subjects in os_index.items():
+                for subj in subjects:
+                    yield (subj, predicate, matched_obj)
+            return
+        if obj is not None:
+            sp_index = self._osp.get(obj)
+            if not sp_index:
+                return
+            for subj, preds in sp_index.items():
+                for pred in preds:
+                    yield (subj, pred, obj)
+            return
+        yield from iter(self)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Count matches without materializing them where possible."""
+        if subject is None and predicate is None and obj is None:
+            return self._size
+        if subject is None and obj is None and predicate is not None:
+            return sum(len(s) for s in self._pos.get(predicate, {}).values())
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    # -- convenience views -------------------------------------------------
+
+    def subjects(self, predicate: Optional[Term] = None, obj: Optional[Term] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for subj, _, _ in self.triples(None, predicate, obj):
+            if subj not in seen:
+                seen.add(subj)
+                yield subj
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[Term] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, _, obj in self.triples(subject, predicate, None):
+            if obj not in seen:
+                seen.add(obj)
+                yield obj
+
+    def predicates(self) -> Iterator[Term]:
+        yield from self._pos.keys()
+
+    def instances_of(self, cls: IRI) -> Iterator[Term]:
+        """All subjects with an ``rdf:type`` edge to *cls*."""
+        yield from self.subjects(RDF_TYPE, cls)
+
+    def class_extension_sizes(self) -> Dict[Term, int]:
+        """Map each class IRI to the number of its asserted instances."""
+        sizes: Dict[Term, int] = {}
+        for cls, subjects in self._pos.get(RDF_TYPE, {}).items():
+            sizes[cls] = len(subjects)
+        return sizes
+
+    def predicate_extension_sizes(self) -> Dict[Term, int]:
+        """Map each predicate to the number of its triples (rdf:type included)."""
+        return {
+            pred: sum(len(subjects) for subjects in os_index.values())
+            for pred, os_index in self._pos.items()
+        }

@@ -1,0 +1,90 @@
+"""Namespace management and the vocabularies used across the benchmark."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import IRI
+
+
+class Namespace:
+    """A namespace prefix factory: ``NPDV.Wellbore -> IRI(...#Wellbore)``."""
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return iri.value.startswith(self._base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+NPDV = Namespace("http://sws.ifi.uio.no/vocab/npd-v2#")
+NPD_DATA = Namespace("http://sws.ifi.uio.no/data/npd-v2/")
+
+RDF_TYPE = RDF.term("type")
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace registry with CURIE shrinking."""
+
+    def __init__(self) -> None:
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._sorted_bases: Tuple[Tuple[str, str], ...] = ()
+
+    def bind(self, prefix: str, namespace: Namespace | str) -> None:
+        base = namespace.base if isinstance(namespace, Namespace) else namespace
+        self._prefix_to_ns[prefix] = base
+        # Longest bases first so shrinking picks the most specific prefix.
+        self._sorted_bases = tuple(
+            sorted(self._prefix_to_ns.items(), key=lambda kv: -len(kv[1]))
+        )
+
+    def expand(self, curie: str) -> IRI:
+        """Expand ``prefix:local`` into a full IRI."""
+        prefix, _, local = curie.partition(":")
+        if prefix not in self._prefix_to_ns:
+            raise KeyError(f"unknown prefix {prefix!r}")
+        return IRI(self._prefix_to_ns[prefix] + local)
+
+    def shrink(self, iri: IRI) -> Optional[str]:
+        """Return a CURIE for *iri* if a bound prefix covers it."""
+        for prefix, base in self._sorted_bases:
+            if iri.value.startswith(base):
+                return f"{prefix}:{iri.value[len(base):]}"
+        return None
+
+    def namespaces(self) -> Iterator[Tuple[str, str]]:
+        yield from self._prefix_to_ns.items()
+
+
+def default_namespace_manager() -> NamespaceManager:
+    """The prefix set used by the NPD benchmark queries and mappings."""
+    manager = NamespaceManager()
+    manager.bind("rdf", RDF)
+    manager.bind("rdfs", RDFS)
+    manager.bind("owl", OWL)
+    manager.bind("xsd", XSD_NS)
+    manager.bind("npdv", NPDV)
+    manager.bind("npd", NPD_DATA)
+    return manager

@@ -1,0 +1,145 @@
+"""N-Triples serialization and parsing.
+
+Covers the full N-Triples 1.1 grammar for the term shapes this project
+produces (IRIs, blank nodes, plain/typed/language-tagged literals with the
+standard escapes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import IO, Iterable, Iterator
+
+from .graph import Graph, Triple
+from .terms import BNode, IRI, Literal, TermError, XSD_STRING
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\x00-\x20]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9_]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\\n\r]|\\.)*)"'  # quoted lexical with escapes
+    r"(?:\^\^<([^<>\s]+)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?"
+)
+
+_UNESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+_UNESCAPE_RE = re.compile(r'\\[nrt"\\]|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8}')
+
+
+def _unescape(text: str) -> str:
+    def repl(match: re.Match[str]) -> str:
+        token = match.group(0)
+        if token in _UNESCAPES:
+            return _UNESCAPES[token]
+        return chr(int(token[2:], 16))
+
+    return _UNESCAPE_RE.sub(repl, text)
+
+
+def serialize_triple(triple: Triple) -> str:
+    """One triple as an N-Triples line (without the newline)."""
+    subject, predicate, obj = triple
+    return f"{subject.n3()} {predicate.n3()} {obj.n3()} ."
+
+
+def serialize(triples: Iterable[Triple], out: IO[str]) -> int:
+    """Write triples to *out*; return the count written."""
+    count = 0
+    for triple in triples:
+        out.write(serialize_triple(triple))
+        out.write("\n")
+        count += 1
+    return count
+
+
+def _parse_term(text: str, position: int, line_number: int):
+    """Parse one term at *position*; return (term, next_position)."""
+    while position < len(text) and text[position] in " \t":
+        position += 1
+    if position >= len(text):
+        raise NTriplesError("unexpected end of line", line_number)
+    char = text[position]
+    if char == "<":
+        match = _IRI_RE.match(text, position)
+        if not match:
+            raise NTriplesError(f"malformed IRI at col {position}", line_number)
+        return IRI(match.group(1)), match.end()
+    if char == "_":
+        match = _BNODE_RE.match(text, position)
+        if not match:
+            raise NTriplesError(f"malformed blank node at col {position}", line_number)
+        return BNode(match.group(1)), match.end()
+    if char == '"':
+        match = _LITERAL_RE.match(text, position)
+        if not match:
+            raise NTriplesError(f"malformed literal at col {position}", line_number)
+        lexical = _unescape(match.group(1))
+        datatype = match.group(2)
+        language = match.group(3)
+        try:
+            if language:
+                term = Literal(lexical, XSD_STRING, language)
+            elif datatype:
+                term = Literal(lexical, datatype)
+            else:
+                term = Literal(lexical)
+        except TermError as exc:
+            raise NTriplesError(str(exc), line_number) from exc
+        return term, match.end()
+    raise NTriplesError(f"unexpected character {char!r} at col {position}", line_number)
+
+
+def parse_line(line: str, line_number: int | None = None) -> Triple | None:
+    """Parse one N-Triples line; return None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    subject, position = _parse_term(stripped, 0, line_number or 0)
+    predicate, position = _parse_term(stripped, position, line_number or 0)
+    obj, position = _parse_term(stripped, position, line_number or 0)
+    tail = stripped[position:].strip()
+    if tail != ".":
+        raise NTriplesError(f"expected terminating '.', got {tail!r}", line_number)
+    if isinstance(subject, Literal):
+        raise NTriplesError("literal in subject position", line_number)
+    if not isinstance(predicate, IRI):
+        raise NTriplesError("predicate must be an IRI", line_number)
+    return (subject, predicate, obj)
+
+
+def parse(source: IO[str] | str) -> Iterator[Triple]:
+    """Parse an N-Triples document (string or file object) lazily."""
+    lines = source.splitlines() if isinstance(source, str) else source
+    for line_number, line in enumerate(lines, start=1):
+        triple = parse_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def load_graph(source: IO[str] | str) -> Graph:
+    """Parse an N-Triples document into a fresh :class:`Graph`."""
+    return Graph(parse(source))
+
+
+def dump_graph(graph: Graph, out: IO[str]) -> int:
+    """Serialize a graph in a deterministic (sorted) order."""
+    lines = sorted(serialize_triple(triple) for triple in graph)
+    for line in lines:
+        out.write(line)
+        out.write("\n")
+    return len(lines)

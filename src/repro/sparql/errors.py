@@ -1,0 +1,25 @@
+"""Error hierarchy for the SPARQL subsystem."""
+
+from __future__ import annotations
+
+
+class SparqlError(Exception):
+    """Base class for SPARQL errors."""
+
+
+class SparqlParseError(SparqlError):
+    """Raised on grammar violations."""
+
+
+class SparqlEvalError(SparqlError):
+    """Raised on evaluation failures that are not expression errors.
+
+    Per the SPARQL spec most expression-level failures (type errors,
+    unbound variables) are *silent*: they make a FILTER eliminate the
+    solution rather than abort the query.  Those are signalled internally
+    with :class:`ExpressionError` and never escape the evaluator.
+    """
+
+
+class ExpressionError(SparqlError):
+    """Internal marker for SPARQL expression evaluation errors."""

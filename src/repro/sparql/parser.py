@@ -1,0 +1,584 @@
+"""Recursive-descent parser for SPARQL 1.1 SELECT queries.
+
+Supported surface syntax (the subset the NPD query set needs, which is a
+large one): PREFIX declarations, SELECT with DISTINCT and ``(expr AS ?v)``
+projections, group graph patterns with triple blocks using ``;``/``,``
+continuations and nested blank-node property lists ``[ ... ]``, ``a`` for
+``rdf:type``, OPTIONAL, UNION, FILTER, BIND, GROUP BY, HAVING, ORDER BY,
+LIMIT and OFFSET.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from ..rdf.terms import IRI, BNode, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+from .ast import (
+    AggregateExpr,
+    BGP,
+    BindPattern,
+    BinaryExpr,
+    CallExpr,
+    Expression,
+    GroupPattern,
+    OptionalPattern,
+    OrderCondition,
+    Pattern,
+    PatternTerm,
+    Projection,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnaryExpr,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+from .errors import SparqlParseError
+from .tokenizer import Tok, TokType, tokenize
+
+_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+_BUILTINS = frozenset(
+    """
+    BOUND STR LANG DATATYPE REGEX STRSTARTS STRENDS CONTAINS UCASE LCASE
+    STRLEN ABS CEIL FLOOR ROUND YEAR CONCAT COALESCE IF SAMETERM ISIRI
+    ISBLANK ISLITERAL ISNUMERIC
+    """.split()
+)
+
+
+class SparqlParser:
+    """One-shot parser over a token list."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._position = 0
+        self._prefixes: dict[str, str] = {}
+        self._bnode_counter = itertools.count()
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def _current(self) -> Tok:
+        return self._tokens[self._position]
+
+    def _peek(self, offset: int = 1) -> Tok:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Tok:
+        token = self._current
+        if token.type is not TokType.EOF:
+            self._position += 1
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        if self._current.type is TokType.KEYWORD and self._current.value in keywords:
+            return self._advance().value
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SparqlParseError(
+                f"expected {keyword}, got {self._current.value!r} "
+                f"at offset {self._current.position}"
+            )
+
+    def _accept_punct(self, punct: str) -> bool:
+        if self._current.type is TokType.PUNCT and self._current.value == punct:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        if not self._accept_punct(punct):
+            raise SparqlParseError(
+                f"expected {punct!r}, got {self._current.value!r} "
+                f"at offset {self._current.position}"
+            )
+
+    def _accept_op(self, *ops: str) -> Optional[str]:
+        if self._current.type is TokType.OP and self._current.value in ops:
+            return self._advance().value
+        return None
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        while self._accept_keyword("PREFIX"):
+            self._parse_prefix()
+        if self._accept_keyword("ASK"):
+            self._accept_keyword("WHERE")
+            where = self._parse_group_graph_pattern()
+            if self._current.type is not TokType.EOF:
+                raise SparqlParseError(
+                    f"trailing input {self._current.value!r} after ASK body"
+                )
+            return SelectQuery(
+                projections=(),
+                where=where,
+                limit=1,
+                prefixes=tuple(self._prefixes.items()),
+                form="ASK",
+            )
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if not distinct:
+            self._accept_keyword("REDUCED")
+        projections = self._parse_projections()
+        self._accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        group_by: Tuple[Expression, ...] = ()
+        having: Tuple[Expression, ...] = ()
+        order_by: Tuple[OrderCondition, ...] = ()
+        limit = offset = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_items: List[Expression] = []
+            while True:
+                if self._current.type is TokType.VAR:
+                    group_items.append(VarExpr(Var(self._advance().value)))
+                elif self._accept_punct("("):
+                    group_items.append(self._parse_expression())
+                    self._expect_punct(")")
+                else:
+                    break
+            if not group_items:
+                raise SparqlParseError("empty GROUP BY")
+            group_by = tuple(group_items)
+        if self._accept_keyword("HAVING"):
+            having_items = []
+            while self._accept_punct("("):
+                having_items.append(self._parse_expression())
+                self._expect_punct(")")
+            if not having_items:
+                raise SparqlParseError("empty HAVING")
+            having = tuple(having_items)
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = tuple(self._parse_order_conditions())
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_nonnegative_int()
+        if self._accept_keyword("OFFSET"):
+            offset = self._parse_nonnegative_int()
+        # allow LIMIT after OFFSET too
+        if limit is None and self._accept_keyword("LIMIT"):
+            limit = self._parse_nonnegative_int()
+        if self._current.type is not TokType.EOF:
+            raise SparqlParseError(
+                f"trailing input {self._current.value!r} at offset "
+                f"{self._current.position}"
+            )
+        return SelectQuery(
+            projections=tuple(projections),
+            where=where,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            prefixes=tuple(self._prefixes.items()),
+        )
+
+    def _parse_nonnegative_int(self) -> int:
+        token = self._current
+        if token.type is TokType.NUMBER and token.value.isdigit():
+            self._advance()
+            return int(token.value)
+        raise SparqlParseError(f"expected integer, got {token.value!r}")
+
+    def _parse_prefix(self) -> None:
+        token = self._current
+        if token.type is not TokType.PNAME or not token.value.endswith(":"):
+            raise SparqlParseError(f"expected prefix name, got {token.value!r}")
+        self._advance()
+        prefix = token.value[:-1]
+        iri_token = self._current
+        if iri_token.type is not TokType.IRI:
+            raise SparqlParseError("expected IRI after prefix name")
+        self._advance()
+        self._prefixes[prefix] = iri_token.value
+
+    # -- projections --------------------------------------------------------------
+
+    def _parse_projections(self) -> List[Projection]:
+        projections: List[Projection] = []
+        if self._accept_op("*"):
+            return projections
+        while True:
+            token = self._current
+            if token.type is TokType.VAR:
+                self._advance()
+                projections.append(Projection(Var(token.value)))
+            elif self._accept_punct("("):
+                expression = self._parse_expression()
+                self._expect_keyword("AS")
+                var_token = self._current
+                if var_token.type is not TokType.VAR:
+                    raise SparqlParseError("expected variable after AS")
+                self._advance()
+                self._expect_punct(")")
+                projections.append(Projection(Var(var_token.value), expression))
+            else:
+                break
+        if not projections:
+            raise SparqlParseError("empty SELECT clause")
+        return projections
+
+    def _parse_order_conditions(self) -> List[OrderCondition]:
+        conditions: List[OrderCondition] = []
+        while True:
+            if self._accept_keyword("ASC"):
+                self._expect_punct("(")
+                conditions.append(OrderCondition(self._parse_expression(), True))
+                self._expect_punct(")")
+            elif self._accept_keyword("DESC"):
+                self._expect_punct("(")
+                conditions.append(OrderCondition(self._parse_expression(), False))
+                self._expect_punct(")")
+            elif self._current.type is TokType.VAR:
+                conditions.append(OrderCondition(VarExpr(Var(self._advance().value))))
+            else:
+                break
+        if not conditions:
+            raise SparqlParseError("empty ORDER BY")
+        return conditions
+
+    # -- group graph patterns --------------------------------------------------------
+
+    def _parse_group_graph_pattern(self) -> Pattern:
+        self._expect_punct("{")
+        elements: List[Pattern] = []
+        filters: List[Expression] = []
+        triples: List[TriplePattern] = []
+
+        def flush_triples() -> None:
+            if triples:
+                elements.append(BGP(tuple(triples)))
+                triples.clear()
+
+        while not self._accept_punct("}"):
+            if self._accept_keyword("FILTER"):
+                filters.append(self._parse_filter_constraint())
+                self._accept_punct(".")
+                continue
+            if self._accept_keyword("OPTIONAL"):
+                flush_triples()
+                elements.append(OptionalPattern(self._parse_group_graph_pattern()))
+                self._accept_punct(".")
+                continue
+            if self._accept_keyword("BIND"):
+                flush_triples()
+                self._expect_punct("(")
+                expression = self._parse_expression()
+                self._expect_keyword("AS")
+                var_token = self._current
+                if var_token.type is not TokType.VAR:
+                    raise SparqlParseError("expected variable after AS in BIND")
+                self._advance()
+                self._expect_punct(")")
+                elements.append(BindPattern(expression, Var(var_token.value)))
+                self._accept_punct(".")
+                continue
+            if self._current.type is TokType.PUNCT and self._current.value == "{":
+                flush_triples()
+                sub = self._parse_group_graph_pattern()
+                while self._accept_keyword("UNION"):
+                    right = self._parse_group_graph_pattern()
+                    sub = UnionPattern(sub, right)
+                elements.append(sub)
+                self._accept_punct(".")
+                continue
+            # otherwise: a triples block entry
+            triples.extend(self._parse_triples_same_subject())
+            if not self._accept_punct("."):
+                # allowed to omit the final dot before '}'
+                if not (
+                    self._current.type is TokType.PUNCT and self._current.value == "}"
+                ) and not (
+                    self._current.type is TokType.KEYWORD
+                    and self._current.value in ("FILTER", "OPTIONAL", "BIND", "UNION")
+                ) and not (
+                    self._current.type is TokType.PUNCT and self._current.value == "{"
+                ):
+                    raise SparqlParseError(
+                        f"expected '.' or '}}' after triples, got "
+                        f"{self._current.value!r} at offset {self._current.position}"
+                    )
+        flush_triples()
+        return GroupPattern(tuple(elements), tuple(filters))
+
+    def _parse_filter_constraint(self) -> Expression:
+        if self._accept_punct("("):
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+        # bare builtin call, e.g. FILTER regex(?x, "a")
+        return self._parse_primary_expression()
+
+    # -- triples ---------------------------------------------------------------------
+
+    def _parse_triples_same_subject(self) -> List[TriplePattern]:
+        triples: List[TriplePattern] = []
+        subject = self._parse_term_or_bnode_list(triples)
+        self._parse_property_list(subject, triples)
+        return triples
+
+    def _parse_property_list(
+        self, subject: PatternTerm, triples: List[TriplePattern]
+    ) -> None:
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term_or_bnode_list(triples)
+                triples.append(TriplePattern(subject, predicate, obj))
+                if not self._accept_punct(","):
+                    break
+            if not self._accept_punct(";"):
+                return
+            # a trailing ';' before '.', ']' or '}' is legal
+            if self._current.type is TokType.PUNCT and self._current.value in (
+                ".",
+                "]",
+                "}",
+            ):
+                return
+
+    def _parse_verb(self) -> PatternTerm:
+        token = self._current
+        if token.type is TokType.A:
+            self._advance()
+            return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        if token.type is TokType.VAR:
+            self._advance()
+            return Var(token.value)
+        if token.type is TokType.IRI:
+            self._advance()
+            return IRI(token.value)
+        if token.type is TokType.PNAME:
+            self._advance()
+            return self._expand_pname(token.value)
+        raise SparqlParseError(
+            f"expected predicate, got {token.value!r} at offset {token.position}"
+        )
+
+    def _parse_term_or_bnode_list(
+        self, triples: List[TriplePattern]
+    ) -> PatternTerm:
+        token = self._current
+        if token.type is TokType.PUNCT and token.value == "[":
+            self._advance()
+            bnode_var = Var(f"_bn{next(self._bnode_counter)}")
+            if not self._accept_punct("]"):
+                self._parse_property_list(bnode_var, triples)
+                self._expect_punct("]")
+            return bnode_var
+        return self._parse_graph_term()
+
+    def _parse_graph_term(self) -> PatternTerm:
+        token = self._current
+        if token.type is TokType.VAR:
+            self._advance()
+            return Var(token.value)
+        if token.type is TokType.IRI:
+            self._advance()
+            return IRI(token.value)
+        if token.type is TokType.PNAME:
+            self._advance()
+            return self._expand_pname(token.value)
+        if token.type is TokType.BNODE:
+            self._advance()
+            # blank nodes in patterns behave as fresh variables
+            return Var(f"_b_{token.value}")
+        if token.type is TokType.STRING:
+            self._advance()
+            return self._parse_literal_tail(token.value)
+        if token.type is TokType.NUMBER:
+            self._advance()
+            return _number_literal(token.value)
+        if token.type is TokType.KEYWORD and token.value in ("TRUE", "FALSE"):
+            self._advance()
+            return Literal(token.value.lower(), XSD_BOOLEAN)
+        raise SparqlParseError(
+            f"expected RDF term, got {token.value!r} at offset {token.position}"
+        )
+
+    def _parse_literal_tail(self, lexical: str) -> Literal:
+        if self._current.type is TokType.LANGTAG:
+            language = self._advance().value
+            return Literal(lexical, language=language)
+        if self._accept_op("^^"):
+            token = self._current
+            if token.type is TokType.IRI:
+                self._advance()
+                return Literal(lexical, token.value)
+            if token.type is TokType.PNAME:
+                self._advance()
+                return Literal(lexical, self._expand_pname(token.value).value)
+            raise SparqlParseError("expected datatype IRI after ^^")
+        return Literal(lexical)
+
+    def _expand_pname(self, pname: str) -> IRI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self._prefixes:
+            raise SparqlParseError(f"undeclared prefix {prefix!r}")
+        return IRI(self._prefixes[prefix] + local)
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or_expression()
+
+    def _parse_or_expression(self) -> Expression:
+        expression = self._parse_and_expression()
+        while self._accept_op("||"):
+            expression = BinaryExpr("||", expression, self._parse_and_expression())
+        return expression
+
+    def _parse_and_expression(self) -> Expression:
+        expression = self._parse_relational()
+        while self._accept_op("&&"):
+            expression = BinaryExpr("&&", expression, self._parse_relational())
+        return expression
+
+    def _parse_relational(self) -> Expression:
+        expression = self._parse_additive()
+        op = self._accept_op("=", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            return BinaryExpr(op, expression, self._parse_additive())
+        if self._accept_keyword("IN"):
+            return self._parse_in_tail(expression, negated=False)
+        if self._current.type is TokType.KEYWORD and self._current.value == "NOT":
+            if self._peek().type is TokType.KEYWORD and self._peek().value == "IN":
+                self._advance()
+                self._advance()
+                return self._parse_in_tail(expression, negated=True)
+        return expression
+
+    def _parse_in_tail(self, operand: Expression, negated: bool) -> Expression:
+        self._expect_punct("(")
+        items = [self._parse_expression()]
+        while self._accept_punct(","):
+            items.append(self._parse_expression())
+        self._expect_punct(")")
+        # desugar into (= or =) chains
+        expression: Optional[Expression] = None
+        for item in items:
+            eq = BinaryExpr("=", operand, item)
+            expression = eq if expression is None else BinaryExpr("||", expression, eq)
+        assert expression is not None
+        if negated:
+            return UnaryExpr("!", expression)
+        return expression
+
+    def _parse_additive(self) -> Expression:
+        expression = self._parse_multiplicative()
+        while True:
+            op = self._accept_op("+", "-")
+            if op is None:
+                return expression
+            expression = BinaryExpr(op, expression, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Expression:
+        expression = self._parse_unary()
+        while True:
+            op = self._accept_op("*", "/")
+            if op is None:
+                return expression
+            expression = BinaryExpr(op, expression, self._parse_unary())
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_op("!"):
+            return UnaryExpr("!", self._parse_unary())
+        op = self._accept_op("-", "+")
+        if op is not None:
+            return UnaryExpr(op, self._parse_unary())
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._current
+        if token.type is TokType.PUNCT and token.value == "(":
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+        if token.type is TokType.VAR:
+            self._advance()
+            return VarExpr(Var(token.value))
+        if token.type is TokType.NUMBER:
+            self._advance()
+            return TermExpr(_number_literal(token.value))
+        if token.type is TokType.STRING:
+            self._advance()
+            return TermExpr(self._parse_literal_tail(token.value))
+        if token.type is TokType.IRI:
+            self._advance()
+            if self._accept_punct("("):
+                return self._parse_cast_tail(IRI(token.value))
+            return TermExpr(IRI(token.value))
+        if token.type is TokType.PNAME:
+            self._advance()
+            iri = self._expand_pname(token.value)
+            if self._accept_punct("("):
+                return self._parse_cast_tail(iri)
+            return TermExpr(iri)
+        if token.type is TokType.KEYWORD:
+            if token.value in ("TRUE", "FALSE"):
+                self._advance()
+                return TermExpr(Literal(token.value.lower(), XSD_BOOLEAN))
+            if token.value in _AGGREGATES:
+                self._advance()
+                return self._parse_aggregate(token.value)
+        # builtin call: tokenizer rejects bare words, so builtins arrive as
+        # PNAME-less keywords only via IRIs; accept uppercase keywords here
+        if token.type is TokType.KEYWORD and token.value in _BUILTINS:
+            self._advance()
+            return self._parse_call(token.value)
+        raise SparqlParseError(
+            f"unexpected token {token.value!r} in expression at offset "
+            f"{token.position}"
+        )
+
+    def _parse_cast_tail(self, datatype: IRI) -> Expression:
+        argument = self._parse_expression()
+        self._expect_punct(")")
+        return CallExpr(f"CAST:{datatype.value}", (argument,))
+
+    def _parse_aggregate(self, name: str) -> Expression:
+        self._expect_punct("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if self._accept_op("*"):
+            self._expect_punct(")")
+            if name != "COUNT":
+                raise SparqlParseError(f"'*' only valid in COUNT, not {name}")
+            return AggregateExpr("COUNT", None, distinct)
+        argument = self._parse_expression()
+        self._expect_punct(")")
+        return AggregateExpr(name, argument, distinct)
+
+    def _parse_call(self, name: str) -> Expression:
+        self._expect_punct("(")
+        args: List[Expression] = []
+        if not self._accept_punct(")"):
+            args.append(self._parse_expression())
+            while self._accept_punct(","):
+                args.append(self._parse_expression())
+            self._expect_punct(")")
+        return CallExpr(name, tuple(args))
+
+
+def _number_literal(lexical: str) -> Literal:
+    """Type a numeric token: decimals/exponents are doubles, else integers."""
+    if any(c in lexical for c in ".eE"):
+        if "e" in lexical or "E" in lexical:
+            return Literal(lexical, XSD_DOUBLE)
+        return Literal(lexical, XSD_DECIMAL)
+    return Literal(lexical, XSD_INTEGER)
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query."""
+    return SparqlParser(text).parse()

@@ -1,0 +1,139 @@
+"""Tokenizer for SPARQL queries."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+from .errors import SparqlParseError
+
+
+class TokType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    VAR = "VAR"
+    IRI = "IRI"
+    PNAME = "PNAME"  # prefixed name, possibly just 'prefix:'
+    BNODE = "BNODE"
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+    OP = "OP"
+    PUNCT = "PUNCT"
+    LANGTAG = "LANGTAG"
+    A = "A"  # the 'a' keyword for rdf:type
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    """
+    PREFIX BASE SELECT ASK DISTINCT REDUCED WHERE FILTER OPTIONAL UNION BIND AS
+    GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET TRUE FALSE NOT IN EXISTS
+    COUNT SUM AVG MIN MAX A
+    BOUND STR LANG DATATYPE REGEX STRSTARTS STRENDS CONTAINS UCASE LCASE
+    STRLEN ABS CEIL FLOOR ROUND YEAR CONCAT COALESCE IF SAMETERM ISIRI
+    ISBLANK ISLITERAL ISNUMERIC
+    """.split()
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Tok:
+    type: TokType
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<iri><[^<>\s"{}|^`\\]*>)
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<bnode>_:[A-Za-z0-9_]+)
+  | (?P<string>"""
+    + r'"""(?:[^"\\]|\\.|"(?!""))*"""'
+    + r"""|'(?:[^'\\\n]|\\.)*'|"(?:[^"\\\n]|\\.)*")
+  | (?P<number>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+  | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<pname>(?:[A-Za-z_][A-Za-z0-9_.-]*?)?:[A-Za-z0-9_][A-Za-z0-9_.-]*|(?:[A-Za-z_][A-Za-z0-9_-]*)?:)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\^\^|\|\||&&|!=|<=|>=|[=<>!*/+-])
+  | (?P<punct>[{}().,;\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Tok]:
+    """Tokenize a SPARQL query; ends with EOF."""
+    tokens: List[Tok] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise SparqlParseError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(0)
+        start = match.start()
+        if kind == "ws":
+            continue
+        if kind == "iri":
+            tokens.append(Tok(TokType.IRI, value[1:-1], start))
+        elif kind == "var":
+            tokens.append(Tok(TokType.VAR, value[1:], start))
+        elif kind == "bnode":
+            tokens.append(Tok(TokType.BNODE, value[2:], start))
+        elif kind == "string":
+            tokens.append(Tok(TokType.STRING, _unquote(value), start))
+        elif kind == "number":
+            tokens.append(Tok(TokType.NUMBER, value, start))
+        elif kind == "langtag":
+            tokens.append(Tok(TokType.LANGTAG, value[1:], start))
+        elif kind == "pname":
+            tokens.append(Tok(TokType.PNAME, value, start))
+        elif kind == "word":
+            upper = value.upper()
+            if value == "a":
+                tokens.append(Tok(TokType.A, value, start))
+            elif upper in KEYWORDS:
+                tokens.append(Tok(TokType.KEYWORD, upper, start))
+            else:
+                raise SparqlParseError(
+                    f"unexpected bare word {value!r} at offset {start}"
+                )
+        elif kind == "op":
+            tokens.append(Tok(TokType.OP, value, start))
+        else:
+            tokens.append(Tok(TokType.PUNCT, value, start))
+    tokens.append(Tok(TokType.EOF, "", length))
+    return tokens
+
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\'": "'",
+}
+_ESCAPE_RE = re.compile(r"\\[nrt\"'\\]|\\u[0-9A-Fa-f]{4}")
+
+
+def _unquote(raw: str) -> str:
+    if raw.startswith('"""'):
+        body = raw[3:-3]
+    else:
+        body = raw[1:-1]
+
+    def repl(match: re.Match[str]) -> str:
+        token = match.group(0)
+        if token in _ESCAPES:
+            return _ESCAPES[token]
+        return chr(int(token[2:], 16))
+
+    return _ESCAPE_RE.sub(repl, body)

@@ -1,0 +1,365 @@
+"""Catalog: table schemas, constraints and storage.
+
+A :class:`Table` owns its rows (list of tuples; deleted rows become None
+slots and are compacted opportunistically), its constraint metadata and its
+indexes.  A :class:`Catalog` is the collection of tables plus FK graph
+helpers used by both the executor and VIG's analysis phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .ast import CreateTableStatement
+from .errors import CatalogError, IntegrityError
+from .indexes import HashIndex, SortedIndex
+from .types import SqlType, coerce_value
+
+Row = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    sql_type: SqlType
+    not_null: bool = False
+
+    @property
+    def lname(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+    def key(self) -> str:
+        return f"{','.join(self.columns)}->{self.ref_table}({','.join(self.ref_columns)})"
+
+
+class Table:
+    """Schema + row storage + index maintenance for one table."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        foreign_keys: Sequence[ForeignKey] = (),
+    ):
+        if not columns:
+            raise CatalogError(f"table {name}: needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self._column_index: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.lname in self._column_index:
+                raise CatalogError(f"table {name}: duplicate column {column.name}")
+            self._column_index[column.lname] = position
+        self.primary_key = tuple(pk.lower() for pk in primary_key)
+        for pk_col in self.primary_key:
+            if pk_col not in self._column_index:
+                raise CatalogError(f"table {name}: unknown PK column {pk_col}")
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(
+            ForeignKey(
+                tuple(c.lower() for c in fk.columns),
+                fk.ref_table.lower(),
+                tuple(c.lower() for c in fk.ref_columns),
+            )
+            for fk in foreign_keys
+        )
+        for fk in self.foreign_keys:
+            for fk_col in fk.columns:
+                if fk_col not in self._column_index:
+                    raise CatalogError(f"table {name}: unknown FK column {fk_col}")
+        self.rows: List[Optional[Row]] = []
+        self._live_count = 0
+        self._pk_index: Optional[HashIndex] = (
+            HashIndex(self.primary_key) if self.primary_key else None
+        )
+        self._hash_indexes: Dict[Tuple[str, ...], HashIndex] = {}
+        self._sorted_indexes: Dict[str, SortedIndex] = {}
+        if self._pk_index is not None:
+            self._hash_indexes[self.primary_key] = self._pk_index
+
+    # -- schema helpers -----------------------------------------------------
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._column_index[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {self.name}: unknown column {name!r}") from exc
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._column_index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_position(name)]
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.lname for column in self.columns)
+
+    @property
+    def row_count(self) -> int:
+        return self._live_count
+
+    # -- index management ------------------------------------------------------
+
+    def create_hash_index(self, columns: Sequence[str]) -> HashIndex:
+        key = tuple(column.lower() for column in columns)
+        if key in self._hash_indexes:
+            return self._hash_indexes[key]
+        index = HashIndex(key)
+        positions = [self.column_position(column) for column in key]
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                index.insert(tuple(row[p] for p in positions), row_id)
+        self._hash_indexes[key] = index
+        return index
+
+    def create_sorted_index(self, column: str) -> SortedIndex:
+        lname = column.lower()
+        if lname in self._sorted_indexes:
+            return self._sorted_indexes[lname]
+        index = SortedIndex(lname)
+        position = self.column_position(lname)
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                index.insert(row[position], row_id)
+        self._sorted_indexes[lname] = index
+        return index
+
+    def hash_index_for(self, columns: Sequence[str]) -> Optional[HashIndex]:
+        return self._hash_indexes.get(tuple(column.lower() for column in columns))
+
+    def sorted_index_for(self, column: str) -> Optional[SortedIndex]:
+        return self._sorted_indexes.get(column.lower())
+
+    # -- row access ----------------------------------------------------------
+
+    def iter_rows(self) -> Iterator[Row]:
+        for row in self.rows:
+            if row is not None:
+                yield row
+
+    def iter_row_ids(self) -> Iterator[Tuple[int, Row]]:
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                yield row_id, row
+
+    def get_row(self, row_id: int) -> Optional[Row]:
+        if 0 <= row_id < len(self.rows):
+            return self.rows[row_id]
+        return None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def _coerce_row(self, values: Sequence[Any]) -> Row:
+        if len(values) != len(self.columns):
+            raise IntegrityError(
+                f"table {self.name}: expected {len(self.columns)} values, got {len(values)}"
+            )
+        coerced = []
+        for column, value in zip(self.columns, values):
+            stored = coerce_value(value, column.sql_type, f"{self.name}.{column.name}")
+            if stored is None and column.not_null:
+                raise IntegrityError(
+                    f"table {self.name}: column {column.name} is NOT NULL"
+                )
+            coerced.append(stored)
+        return tuple(coerced)
+
+    def pk_value(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        if not self.primary_key:
+            return None
+        return tuple(row[self._column_index[c]] for c in self.primary_key)
+
+    def insert(self, values: Sequence[Any], check_pk: bool = True) -> int:
+        """Insert one row; returns the internal row id."""
+        row = self._coerce_row(values)
+        if self._pk_index is not None:
+            key = self.pk_value(row)
+            assert key is not None
+            if any(part is None for part in key):
+                raise IntegrityError(
+                    f"table {self.name}: NULL in primary key {self.primary_key}"
+                )
+            if check_pk and self._pk_index.contains_key(key):
+                raise IntegrityError(
+                    f"table {self.name}: duplicate primary key {key!r}"
+                )
+        row_id = len(self.rows)
+        self.rows.append(row)
+        self._live_count += 1
+        for columns, index in self._hash_indexes.items():
+            positions = [self._column_index[c] for c in columns]
+            index.insert(tuple(row[p] for p in positions), row_id)
+        for column, index in self._sorted_indexes.items():
+            index.insert(row[self._column_index[column]], row_id)
+        return row_id
+
+    def delete_row(self, row_id: int) -> None:
+        row = self.rows[row_id]
+        if row is None:
+            return
+        for columns, index in self._hash_indexes.items():
+            positions = [self._column_index[c] for c in columns]
+            index.delete(tuple(row[p] for p in positions), row_id)
+        for column, index in self._sorted_indexes.items():
+            index.delete(row[self._column_index[column]], row_id)
+        self.rows[row_id] = None
+        self._live_count -= 1
+
+    def update_row(self, row_id: int, values: Sequence[Any]) -> None:
+        self.delete_row(row_id)
+        row = self._coerce_row(values)
+        self.rows[row_id] = row
+        self._live_count += 1
+        for columns, index in self._hash_indexes.items():
+            positions = [self._column_index[c] for c in columns]
+            index.insert(tuple(row[p] for p in positions), row_id)
+        for column, index in self._sorted_indexes.items():
+            index.insert(row[self._column_index[column]], row_id)
+
+    def pk_exists(self, key: Tuple[Any, ...]) -> bool:
+        if self._pk_index is None:
+            raise CatalogError(f"table {self.name} has no primary key")
+        return self._pk_index.contains_key(key)
+
+    def column_values(self, column: str) -> Iterator[Any]:
+        position = self.column_position(column)
+        for row in self.iter_rows():
+            yield row[position]
+
+
+class Catalog:
+    """All tables of one database plus foreign-key graph helpers."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, table: Table) -> Table:
+        lname = table.name.lower()
+        if lname in self._tables:
+            raise CatalogError(f"table {table.name} already exists")
+        self._tables[lname] = table
+        return table
+
+    def create_table_from_ast(self, statement: CreateTableStatement) -> Table:
+        columns = [
+            Column(col.name.lower(), col.sql_type, col.not_null or col.primary_key)
+            for col in statement.columns
+        ]
+        inline_pk = [col.name.lower() for col in statement.columns if col.primary_key]
+        primary_key = statement.primary_key or tuple(inline_pk)
+        foreign_keys = [
+            ForeignKey(fk.columns, fk.ref_table, fk.ref_columns)
+            for fk in statement.foreign_keys
+        ]
+        table = Table(statement.name.lower(), columns, primary_key, foreign_keys)
+        return self.create_table(table)
+
+    def drop_table(self, name: str) -> None:
+        lname = name.lower()
+        if lname not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[lname]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"unknown table {name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        yield from self._tables.values()
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables.keys())
+
+    # -- foreign key graph ---------------------------------------------------
+
+    def foreign_key_edges(self) -> Iterator[Tuple[str, ForeignKey]]:
+        """Yield (table_name, fk) for every foreign key in the catalog."""
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                yield table.name, fk
+
+    def referencing_tables(self, target: str) -> List[Tuple[str, ForeignKey]]:
+        """Tables holding a FK that references *target*."""
+        lname = target.lower()
+        return [
+            (name, fk) for name, fk in self.foreign_key_edges() if fk.ref_table == lname
+        ]
+
+    def fk_cycles(self) -> List[List[str]]:
+        """All simple cycles in the FK graph (table-name lists).
+
+        Uses an iterative DFS enumerating cycles through each start node;
+        the FK graphs we deal with are small (<=70 nodes) so a simple
+        algorithm is fine.
+        """
+        graph: Dict[str, Set[str]] = {name: set() for name in self._tables}
+        for name, fk in self.foreign_key_edges():
+            if fk.ref_table in graph:
+                graph[name].add(fk.ref_table)
+        cycles: List[List[str]] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+
+        def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+            for neighbor in graph[node]:
+                if neighbor == start:
+                    canonical = _canonical_cycle(path)
+                    if canonical not in seen_cycles:
+                        seen_cycles.add(canonical)
+                        cycles.append(list(path))
+                elif neighbor not in visited and neighbor > start:
+                    visited.add(neighbor)
+                    path.append(neighbor)
+                    dfs(start, neighbor, path, visited)
+                    path.pop()
+                    visited.discard(neighbor)
+
+        for start in sorted(graph):
+            dfs(start, start, [start], {start})
+        return cycles
+
+    def check_foreign_keys(self) -> List[str]:
+        """Validate every FK of every row; return violation messages."""
+        violations: List[str] = []
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                if fk.ref_table not in self._tables:
+                    violations.append(
+                        f"{table.name}: FK references missing table {fk.ref_table}"
+                    )
+                    continue
+                target = self._tables[fk.ref_table]
+                target_index = target.create_hash_index(fk.ref_columns)
+                positions = [table.column_position(c) for c in fk.columns]
+                for row in table.iter_rows():
+                    key = tuple(row[p] for p in positions)
+                    if any(part is None for part in key):
+                        continue  # NULL FKs are always satisfied
+                    if not target_index.contains_key(key):
+                        violations.append(
+                            f"{table.name}{fk.columns}={key!r} missing in "
+                            f"{fk.ref_table}{fk.ref_columns}"
+                        )
+        return violations
+
+    def total_rows(self) -> int:
+        return sum(table.row_count for table in self._tables.values())
+
+
+def _canonical_cycle(path: List[str]) -> Tuple[str, ...]:
+    """Rotate a cycle so it starts at its smallest node, for dedup."""
+    smallest = min(range(len(path)), key=lambda i: path[i])
+    return tuple(path[smallest:] + path[:smallest])

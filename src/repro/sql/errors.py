@@ -1,0 +1,35 @@
+"""Error hierarchy for the relational engine."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for every error raised by :mod:`repro.sql`."""
+
+
+class LexError(SqlError):
+    """Raised by the lexer on unrecognized input."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised by the parser on grammar violations."""
+
+
+class CatalogError(SqlError):
+    """Raised for unknown/duplicate tables, columns or indexes."""
+
+
+class TypeMismatchError(SqlError):
+    """Raised when a value does not fit the declared column type."""
+
+
+class IntegrityError(SqlError):
+    """Raised on primary-key, foreign-key or NOT NULL violations."""
+
+
+class ExecutionError(SqlError):
+    """Raised for runtime failures during query evaluation."""

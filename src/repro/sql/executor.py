@@ -1,0 +1,1152 @@
+"""Query planning and execution.
+
+The executor evaluates a :class:`~repro.sql.ast.SelectStatement` against a
+:class:`~repro.sql.catalog.Catalog`.  Planning is deliberately simple but
+covers the optimizations that matter for OBDA-generated SQL:
+
+* **predicate pushdown** -- single-relation conjuncts of the WHERE clause
+  are applied at scan time, using hash/sorted indexes when the predicate is
+  an equality with, or a range against, a constant;
+* **greedy join ordering** -- the flattened inner-join block starts from
+  the smallest pushed-down relation and repeatedly adds the relation with a
+  connecting equi-predicate whose estimated output is smallest;
+* **profile-gated physical joins** -- index-nested-loop always; hash join
+  only when the :class:`~repro.sql.profiles.EngineProfile` allows it;
+* **hash vs. sort dedup** for DISTINCT and UNION, again profile-gated.
+
+Aggregation, HAVING, ORDER BY, LIMIT/OFFSET and UNION chains are evaluated
+on materialized intermediate lists -- plenty for laptop-scale benchmarks and
+much easier to reason about than a streaming Volcano design.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .ast import (
+    BinaryOp,
+    Between,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    ExistsSubquery,
+    Expr,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    LiteralValue,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubquerySource,
+    TableRef,
+    UnaryOp,
+    conjunction,
+    expr_columns,
+    split_conjuncts,
+)
+from .catalog import Catalog, Table
+from .errors import ExecutionError
+from .expressions import ExpressionCompiler, RowSchema, sql_compare
+from .profiles import EngineProfile, postgresql_profile
+
+RowT = Tuple[Any, ...]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters exposed to the Mixer's quality metrics."""
+
+    rows_scanned: int = 0
+    index_lookups: int = 0
+    hash_joins: int = 0
+    nested_loop_joins: int = 0
+    index_nl_joins: int = 0
+    union_branches: int = 0
+
+    def reset(self) -> None:
+        self.rows_scanned = 0
+        self.index_lookups = 0
+        self.hash_joins = 0
+        self.nested_loop_joins = 0
+        self.index_nl_joins = 0
+        self.union_branches = 0
+
+
+@dataclass
+class Relation:
+    """A planned FROM item: schema + materialized rows (+ base table)."""
+
+    schema: RowSchema
+    rows: List[RowT]
+    binding: Optional[str] = None
+    base_table: Optional[Table] = None
+
+
+class QueryResult:
+    """Column names + row tuples, with convenience accessors."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: List[str], rows: List[RowT]):
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[RowT]:
+        return iter(self.rows)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            position = self.columns.index(name.lower())
+        except ValueError as exc:
+            raise ExecutionError(f"no result column {name!r}") from exc
+        return [row[position] for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"
+
+
+def _sort_key_function(
+    compiled: List[Tuple[Callable[[RowT], Any], bool]]
+) -> Callable[[RowT], Any]:
+    """Build a cmp_to_key sort key honouring NULLS FIRST and mixed types."""
+
+    def compare(left: RowT, right: RowT) -> int:
+        for evaluate, ascending in compiled:
+            left_value = evaluate(left)
+            right_value = evaluate(right)
+            if left_value is None and right_value is None:
+                continue
+            if left_value is None:
+                return -1 if ascending else 1
+            if right_value is None:
+                return 1 if ascending else -1
+            comparison = sql_compare(left_value, right_value)
+            if comparison is None:
+                comparison = (str(left_value) > str(right_value)) - (
+                    str(left_value) < str(right_value)
+                )
+            if comparison:
+                return comparison if ascending else -comparison
+        return 0
+
+    return functools.cmp_to_key(compare)
+
+
+def _hashable(value: Any) -> Any:
+    return value if not isinstance(value, list) else tuple(value)
+
+
+class Executor:
+    """Evaluates statements against a catalog under an engine profile."""
+
+    def __init__(self, catalog: Catalog, profile: Optional[EngineProfile] = None):
+        self.catalog = catalog
+        self.profile = profile or postgresql_profile()
+        self.stats = ExecutionStats()
+        # when not None, physical-operator decisions are appended here
+        # (the Database.explain facility)
+        self.trace: Optional[List[str]] = None
+
+    def _trace(self, message: str) -> None:
+        if self.trace is not None:
+            self.trace.append(message)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute_select(self, statement: SelectStatement) -> QueryResult:
+        branches: List[Tuple[SelectStatement, bool]] = []
+        node: Optional[SelectStatement] = statement
+        dedup_needed = False
+        while node is not None:
+            tail = node.union
+            branches.append((node.without_union(), tail.all if tail else True))
+            if tail is not None and not tail.all:
+                dedup_needed = True
+            node = tail.query if tail else None
+        first_columns, rows = self._execute_block(branches[0][0])
+        if len(branches) > 1:
+            self.stats.union_branches += len(branches)
+            width = len(first_columns)
+            for branch, _ in branches[1:]:
+                columns, branch_rows = self._execute_block(branch)
+                if len(columns) != width:
+                    raise ExecutionError(
+                        "UNION branches have different column counts: "
+                        f"{width} vs {len(columns)}"
+                    )
+                rows.extend(branch_rows)
+            if dedup_needed:
+                rows = self._deduplicate(rows)
+            # ORDER BY / LIMIT of the first branch apply to the whole union
+            head = branches[0][0]
+            if head.order_by:
+                schema = RowSchema([(None, c) for c in first_columns])
+                order_by = _resolve_ordinals(head.order_by, first_columns)
+                rows = self._order_rows(rows, order_by, schema)
+            rows = _apply_limit(rows, head.limit, head.offset)
+        return QueryResult(first_columns, rows)
+
+    def run_subquery(self, statement: SelectStatement) -> List[RowT]:
+        return self.execute_select(statement).rows
+
+    # ------------------------------------------------------------------
+    # one SELECT block
+    # ------------------------------------------------------------------
+
+    def _execute_block(self, statement: SelectStatement) -> Tuple[List[str], List[RowT]]:
+        where_conjuncts = split_conjuncts(statement.where)
+        consumed: Set[int] = set()
+        if statement.source is None:
+            relation = Relation(RowSchema([]), [()])
+        else:
+            relation = self._plan_source(statement.source, where_conjuncts, consumed)
+        # apply any conjunct not consumed by pushdown/joins
+        remaining = [c for i, c in enumerate(where_conjuncts) if i not in consumed]
+        if remaining:
+            predicate = conjunction(remaining)
+            assert predicate is not None
+            compiler = self._compiler(relation.schema)
+            compiled = compiler.compile(predicate)
+            relation = Relation(
+                relation.schema,
+                [row for row in relation.rows if compiled(row) is True],
+            )
+        has_aggregates = self._statement_has_aggregates(statement)
+        source_rows: Optional[List[RowT]] = None
+        if has_aggregates or statement.group_by:
+            columns, rows = self._aggregate(statement, relation)
+        else:
+            columns, rows = self._project(statement, relation)
+            source_rows = relation.rows
+        if statement.distinct:
+            rows = self._deduplicate(rows)
+            source_rows = None  # alignment with source rows is lost
+        if statement.order_by and statement.union is None:
+            output_schema = RowSchema([(None, c) for c in columns])
+            order_by = _resolve_ordinals(statement.order_by, columns)
+            if source_rows is not None and len(source_rows) == len(rows):
+                # ORDER BY may reference source columns (e.g. e.name) that
+                # are not in the select list: sort projected rows zipped
+                # with their source rows under the combined schema.
+                combined_schema = output_schema.concat(relation.schema)
+                combined_rows = [p + s for p, s in zip(rows, source_rows)]
+                combined_rows = self._order_rows(
+                    combined_rows, order_by, combined_schema
+                )
+                width = len(columns)
+                rows = [row[:width] for row in combined_rows]
+            else:
+                rows = self._order_rows(rows, order_by, output_schema)
+        if statement.union is None:
+            rows = _apply_limit(rows, statement.limit, statement.offset)
+        return columns, rows
+
+    def _compiler(self, schema: RowSchema) -> ExpressionCompiler:
+        return ExpressionCompiler(schema, subquery_executor=self.run_subquery)
+
+    # ------------------------------------------------------------------
+    # FROM planning
+    # ------------------------------------------------------------------
+
+    def _plan_source(
+        self,
+        source: TableRef,
+        where_conjuncts: List[Expr],
+        consumed: Set[int],
+    ) -> Relation:
+        relations, join_conjuncts, left_joins = self._flatten(source)
+        if not left_joins:
+            # pushdown: WHERE conjuncts that touch exactly one relation
+            for index, conjunct in enumerate(where_conjuncts):
+                target = self._single_relation_target(conjunct, relations)
+                if target is not None:
+                    consumed.add(index)
+                    self._apply_local_predicate(target, conjunct)
+                    continue
+                # multi-relation conjuncts participate in join planning
+                if self._resolvable_in(conjunct, relations):
+                    consumed.add(index)
+                    join_conjuncts.append(conjunct)
+            relation = self._join_relations(relations, join_conjuncts)
+            return relation
+        # LEFT JOIN present: evaluate the tree structurally (no reordering)
+        return self._plan_tree(source)
+
+    def _flatten(
+        self, source: TableRef
+    ) -> Tuple[List[Relation], List[Expr], bool]:
+        """Flatten INNER-join trees into relations + conjuncts.
+
+        Returns (relations, join conjuncts, saw_left_join).  When a LEFT
+        join is present the caller falls back to structural evaluation.
+        """
+        relations: List[Relation] = []
+        conjuncts: List[Expr] = []
+        saw_left = False
+
+        def walk(node: TableRef) -> None:
+            nonlocal saw_left
+            if isinstance(node, Join):
+                if node.kind == "LEFT":
+                    saw_left = True
+                    return
+                if node.kind == "NATURAL":
+                    # handled structurally too (needs schema knowledge)
+                    left_rel = self._plan_tree(node.left)
+                    right_rel = self._plan_tree(node.right)
+                    relations.append(self._natural_join(left_rel, right_rel))
+                    return
+                walk(node.left)
+                if saw_left:
+                    return
+                walk(node.right)
+                if node.condition is not None:
+                    conjuncts.extend(split_conjuncts(node.condition))
+                return
+            relations.append(self._scan(node))
+
+        walk(source)
+        return relations, conjuncts, saw_left
+
+    def _plan_tree(self, node: TableRef) -> Relation:
+        """Structural (no reordering) evaluation of a FROM subtree."""
+        if isinstance(node, NamedTable) or isinstance(node, SubquerySource):
+            return self._scan(node)
+        assert isinstance(node, Join)
+        left = self._plan_tree(node.left)
+        right = self._plan_tree(node.right)
+        if node.kind == "NATURAL":
+            return self._natural_join(left, right)
+        if node.kind == "LEFT":
+            return self._left_join(left, right, node.condition)
+        return self._inner_join(left, right, split_conjuncts(node.condition))
+
+    def _scan(self, node: TableRef) -> Relation:
+        if isinstance(node, NamedTable):
+            table = self.catalog.table(node.name)
+            binding = (node.alias or node.name).lower()
+            schema = RowSchema([(binding, c) for c in table.column_names])
+            rows = list(table.iter_rows())
+            self.stats.rows_scanned += len(rows)
+            self._trace(f"SeqScan {table.name} as {binding} ({len(rows)} rows)")
+            return Relation(schema, rows, binding, table)
+        if isinstance(node, SubquerySource):
+            result = self.execute_select(node.query)
+            binding = node.alias.lower()
+            schema = RowSchema([(binding, c) for c in result.columns])
+            return Relation(schema, result.rows, binding)
+        raise ExecutionError(f"cannot scan {node!r}")
+
+    # -- pushdown -----------------------------------------------------------
+
+    def _resolvable_in(self, conjunct: Expr, relations: List[Relation]) -> bool:
+        """All column refs resolve somewhere in the flattened relations."""
+        if any(
+            isinstance(node, (InSubquery, ExistsSubquery))
+            for node in _walk_expr(conjunct)
+        ):
+            return False
+        refs = expr_columns(conjunct)
+        for ref in refs:
+            if not any(r.schema.try_resolve(ref) is not None for r in relations):
+                return False
+        return True
+
+    def _single_relation_target(
+        self, conjunct: Expr, relations: List[Relation]
+    ) -> Optional[Relation]:
+        refs = expr_columns(conjunct)
+        if not refs:
+            return None
+        if any(
+            isinstance(node, (InSubquery, ExistsSubquery))
+            for node in _walk_expr(conjunct)
+        ):
+            return None
+        target: Optional[Relation] = None
+        for ref in refs:
+            owners = [r for r in relations if r.schema.try_resolve(ref) is not None]
+            if len(owners) != 1:
+                return None
+            if target is None:
+                target = owners[0]
+            elif target is not owners[0]:
+                return None
+        return target
+
+    def _apply_local_predicate(self, relation: Relation, conjunct: Expr) -> None:
+        """Filter a relation in place, via an index when possible."""
+        index_rows = self._try_index_scan(relation, conjunct)
+        if index_rows is not None:
+            relation.rows = index_rows
+            return
+        compiler = self._compiler(relation.schema)
+        compiled = compiler.compile(conjunct)
+        relation.rows = [row for row in relation.rows if compiled(row) is True]
+
+    def _try_index_scan(
+        self, relation: Relation, conjunct: Expr
+    ) -> Optional[List[RowT]]:
+        """Use a hash/sorted index for ``col OP literal`` when available."""
+        table = relation.base_table
+        if table is None or len(relation.rows) != table.row_count:
+            return None  # already filtered; index row ids would be stale
+        if not isinstance(conjunct, BinaryOp):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(right, ColumnRef) and isinstance(left, LiteralValue):
+            left, right = right, left
+            op = _mirror_op(conjunct.op)
+        else:
+            op = conjunct.op
+        if not (isinstance(left, ColumnRef) and isinstance(right, LiteralValue)):
+            return None
+        if relation.schema.try_resolve(left) is None:
+            return None
+        column = left.name.lower()
+        value = right.value
+        if value is None:
+            return []
+        if op == "=":
+            index = table.hash_index_for((column,))
+            if index is None:
+                return None
+            self.stats.index_lookups += 1
+            self._trace(f"IndexScan {table.name}.{column} = {value!r}")
+            row_ids = sorted(index.lookup((value,)))
+            return [table.rows[i] for i in row_ids if table.rows[i] is not None]
+        if op in ("<", "<=", ">", ">="):
+            index = table.sorted_index_for(column)
+            if index is None:
+                return None
+            self.stats.index_lookups += 1
+            if op in ("<", "<="):
+                row_ids = index.range(high=value, include_high=(op == "<="))
+            else:
+                row_ids = index.range(low=value, include_low=(op == ">="))
+            rows = [table.rows[i] for i in row_ids]
+            return [row for row in rows if row is not None]
+        return None
+
+    # -- join ordering -----------------------------------------------------
+
+    def _join_relations(
+        self, relations: List[Relation], conjuncts: List[Expr]
+    ) -> Relation:
+        if not relations:
+            return Relation(RowSchema([]), [()])
+        pending = list(relations)
+        pending_conjuncts = list(conjuncts)
+        # greedy: start from the smallest relation
+        pending.sort(key=lambda r: len(r.rows))
+        current = pending.pop(0)
+        while pending:
+            chosen_index = None
+            for index, candidate in enumerate(pending):
+                if self._connecting_conjuncts(current, candidate, pending_conjuncts):
+                    chosen_index = index
+                    break
+            if chosen_index is None:
+                chosen_index = 0  # cross join fallback
+            candidate = pending.pop(chosen_index)
+            connecting = self._connecting_conjuncts(
+                current, candidate, pending_conjuncts
+            )
+            for conjunct in connecting:
+                pending_conjuncts.remove(conjunct)
+            current = self._inner_join(current, candidate, connecting)
+        if pending_conjuncts:
+            predicate = conjunction(pending_conjuncts)
+            assert predicate is not None
+            compiled = self._compiler(current.schema).compile(predicate)
+            current = Relation(
+                current.schema,
+                [row for row in current.rows if compiled(row) is True],
+            )
+        return current
+
+    def _connecting_conjuncts(
+        self, left: Relation, right: Relation, conjuncts: List[Expr]
+    ) -> List[Expr]:
+        combined = left.schema.concat(right.schema)
+        connecting = []
+        for conjunct in conjuncts:
+            refs = expr_columns(conjunct)
+            if not refs:
+                continue
+            if all(combined.try_resolve(ref) is not None for ref in refs):
+                touches_left = any(
+                    left.schema.try_resolve(ref) is not None for ref in refs
+                )
+                touches_right = any(
+                    right.schema.try_resolve(ref) is not None for ref in refs
+                )
+                if touches_left and touches_right:
+                    connecting.append(conjunct)
+        return connecting
+
+    # -- physical joins ------------------------------------------------------
+
+    @staticmethod
+    def _equi_keys(
+        left: Relation, right: Relation, conjuncts: Sequence[Expr]
+    ) -> Tuple[List[int], List[int], List[Expr], List[Expr]]:
+        """Split conjuncts into equi-join key positions and residuals."""
+        left_keys: List[int] = []
+        right_keys: List[int] = []
+        equi: List[Expr] = []
+        residual: List[Expr] = []
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                left_position = left.schema.try_resolve(conjunct.left)
+                right_position = right.schema.try_resolve(conjunct.right)
+                if left_position is None or right_position is None:
+                    left_position = left.schema.try_resolve(conjunct.right)
+                    right_position = right.schema.try_resolve(conjunct.left)
+                if left_position is not None and right_position is not None:
+                    left_keys.append(left_position)
+                    right_keys.append(right_position)
+                    equi.append(conjunct)
+                    continue
+            residual.append(conjunct)
+        return left_keys, right_keys, equi, residual
+
+    def _inner_join(
+        self, left: Relation, right: Relation, conjuncts: Sequence[Expr]
+    ) -> Relation:
+        schema = left.schema.concat(right.schema)
+        left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
+        residual_predicate = conjunction(residual)
+        compiled_residual = (
+            self._compiler(schema).compile(residual_predicate)
+            if residual_predicate is not None
+            else None
+        )
+        output: List[RowT] = []
+        if left_keys:
+            if self.profile.hash_join:
+                self.stats.hash_joins += 1
+                self._trace(
+                    f"HashJoin build={len(right.rows)} probe={len(left.rows)}"
+                )
+                buckets: Dict[Tuple[Any, ...], List[RowT]] = {}
+                for row in right.rows:
+                    key = tuple(_hashable(row[p]) for p in right_keys)
+                    if any(part is None for part in key):
+                        continue
+                    buckets.setdefault(key, []).append(row)
+                for left_row in left.rows:
+                    key = tuple(_hashable(left_row[p]) for p in left_keys)
+                    if any(part is None for part in key):
+                        continue
+                    for right_row in buckets.get(key, ()):
+                        combined = left_row + right_row
+                        if compiled_residual is None or compiled_residual(combined) is True:
+                            output.append(combined)
+                return Relation(schema, output)
+            # index nested loop: probe right base-table index if available
+            index = None
+            if right.base_table is not None and len(right.rows) == right.base_table.row_count:
+                columns = [right.schema.fields[p][1] for p in right_keys]
+                index = right.base_table.hash_index_for(columns)
+                if index is None and right.base_table.row_count > 64:
+                    index = right.base_table.create_hash_index(columns)
+            if index is not None:
+                self.stats.index_nl_joins += 1
+                table = right.base_table
+                assert table is not None
+                self._trace(
+                    f"IndexNLJoin outer={len(left.rows)} inner={table.name}"
+                )
+                for left_row in left.rows:
+                    key = tuple(_hashable(left_row[p]) for p in left_keys)
+                    if any(part is None for part in key):
+                        continue
+                    for row_id in sorted(index.lookup(key)):
+                        right_row = table.rows[row_id]
+                        if right_row is None:
+                            continue
+                        combined = left_row + right_row
+                        if compiled_residual is None or compiled_residual(combined) is True:
+                            output.append(combined)
+                return Relation(schema, output)
+            # derived-table auto-keying (MySQL 5.6+): equi-joins against a
+            # materialized subquery get a transient hash key, counted as an
+            # index NL join rather than a hash join
+            self.stats.index_nl_joins += 1
+            self._trace(
+                f"AutoKeyJoin (derived) build={len(right.rows)} "
+                f"probe={len(left.rows)}"
+            )
+            buckets = {}
+            for row in right.rows:
+                key = tuple(_hashable(row[p]) for p in right_keys)
+                if any(part is None for part in key):
+                    continue
+                buckets.setdefault(key, []).append(row)
+            for left_row in left.rows:
+                key = tuple(_hashable(left_row[p]) for p in left_keys)
+                if any(part is None for part in key):
+                    continue
+                for right_row in buckets.get(key, ()):
+                    combined = left_row + right_row
+                    if compiled_residual is None or compiled_residual(combined) is True:
+                        output.append(combined)
+            return Relation(schema, output)
+        # block nested loop fallback
+        self.stats.nested_loop_joins += 1
+        self._trace(
+            f"BlockNLJoin outer={len(left.rows)} inner={len(right.rows)}"
+        )
+        predicate = conjunction(list(conjuncts))
+        compiled = (
+            self._compiler(schema).compile(predicate) if predicate is not None else None
+        )
+        for left_row in left.rows:
+            for right_row in right.rows:
+                combined = left_row + right_row
+                if compiled is None or compiled(combined) is True:
+                    output.append(combined)
+        return Relation(schema, output)
+
+    def _left_join(
+        self, left: Relation, right: Relation, condition: Optional[Expr]
+    ) -> Relation:
+        schema = left.schema.concat(right.schema)
+        conjuncts = split_conjuncts(condition)
+        left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
+        residual_predicate = conjunction(residual)
+        compiled_residual = (
+            self._compiler(schema).compile(residual_predicate)
+            if residual_predicate is not None
+            else None
+        )
+        null_pad = (None,) * len(right.schema)
+        output: List[RowT] = []
+        if left_keys and (self.profile.hash_join or len(right.rows) > 64):
+            self.stats.hash_joins += 1
+            buckets: Dict[Tuple[Any, ...], List[RowT]] = {}
+            for row in right.rows:
+                key = tuple(_hashable(row[p]) for p in right_keys)
+                if any(part is None for part in key):
+                    continue
+                buckets.setdefault(key, []).append(row)
+            for left_row in left.rows:
+                key = tuple(_hashable(left_row[p]) for p in left_keys)
+                matched = False
+                if not any(part is None for part in key):
+                    for right_row in buckets.get(key, ()):
+                        combined = left_row + right_row
+                        if compiled_residual is None or compiled_residual(combined) is True:
+                            output.append(combined)
+                            matched = True
+                if not matched:
+                    output.append(left_row + null_pad)
+            return Relation(schema, output)
+        self.stats.nested_loop_joins += 1
+        predicate = conjunction(conjuncts)
+        compiled = (
+            self._compiler(schema).compile(predicate) if predicate is not None else None
+        )
+        for left_row in left.rows:
+            matched = False
+            for right_row in right.rows:
+                combined = left_row + right_row
+                if compiled is None or compiled(combined) is True:
+                    output.append(combined)
+                    matched = True
+            if not matched:
+                output.append(left_row + null_pad)
+        return Relation(schema, output)
+
+    def _natural_join(self, left: Relation, right: Relation) -> Relation:
+        left_names = [name for _, name in left.schema.fields]
+        right_names = [name for _, name in right.schema.fields]
+        shared = [name for name in left_names if name in right_names]
+        left_positions = {name: left_names.index(name) for name in shared}
+        right_positions = {name: right_names.index(name) for name in shared}
+        # output schema: all left fields + right fields minus shared
+        kept_right = [
+            (position, field)
+            for position, field in enumerate(right.schema.fields)
+            if field[1] not in shared
+        ]
+        schema = RowSchema(list(left.schema.fields) + [f for _, f in kept_right])
+        output: List[RowT] = []
+        if shared:
+            buckets: Dict[Tuple[Any, ...], List[RowT]] = {}
+            for row in right.rows:
+                key = tuple(_hashable(row[right_positions[name]]) for name in shared)
+                if any(part is None for part in key):
+                    continue
+                buckets.setdefault(key, []).append(row)
+            self.stats.hash_joins += 1
+            for left_row in left.rows:
+                key = tuple(_hashable(left_row[left_positions[name]]) for name in shared)
+                if any(part is None for part in key):
+                    continue
+                for right_row in buckets.get(key, ()):
+                    trimmed = tuple(right_row[p] for p, _ in kept_right)
+                    output.append(left_row + trimmed)
+        else:
+            self.stats.nested_loop_joins += 1
+            for left_row in left.rows:
+                for right_row in right.rows:
+                    output.append(left_row + right_row)
+        return Relation(schema, output)
+
+    # ------------------------------------------------------------------
+    # projection / aggregation / dedup / ordering
+    # ------------------------------------------------------------------
+
+    def _expand_items(
+        self, items: Sequence[SelectItem], schema: RowSchema
+    ) -> List[SelectItem]:
+        expanded: List[SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                qualifier = item.expr.qualifier
+                for field_qualifier, name in schema.fields:
+                    if qualifier is None or field_qualifier == qualifier.lower():
+                        expanded.append(SelectItem(ColumnRef(name, field_qualifier)))
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _project(
+        self, statement: SelectStatement, relation: Relation
+    ) -> Tuple[List[str], List[RowT]]:
+        items = self._expand_items(statement.items, relation.schema)
+        compiler = self._compiler(relation.schema)
+        compiled = [compiler.compile(item.expr) for item in items]
+        columns = [item.output_name for item in items]
+        rows = [tuple(fn(row) for fn in compiled) for row in relation.rows]
+        return columns, rows
+
+    @staticmethod
+    def _statement_has_aggregates(statement: SelectStatement) -> bool:
+        def has_aggregate(expr: Expr) -> bool:
+            return any(
+                isinstance(node, FunctionCall) and node.is_aggregate
+                for node in _walk_expr(expr)
+            )
+
+        if any(has_aggregate(item.expr) for item in statement.items):
+            return True
+        if statement.having is not None and has_aggregate(statement.having):
+            return True
+        return False
+
+    def _aggregate(
+        self, statement: SelectStatement, relation: Relation
+    ) -> Tuple[List[str], List[RowT]]:
+        items = self._expand_items(statement.items, relation.schema)
+        compiler = self._compiler(relation.schema)
+        # collect aggregate calls from items + having
+        aggregate_calls: List[FunctionCall] = []
+
+        def collect(expr: Expr) -> None:
+            for node in _walk_expr(expr):
+                if isinstance(node, FunctionCall) and node.is_aggregate:
+                    if node not in aggregate_calls:
+                        aggregate_calls.append(node)
+
+        for item in items:
+            collect(item.expr)
+        if statement.having is not None:
+            collect(statement.having)
+        group_exprs = list(statement.group_by)
+        compiled_groups = [compiler.compile(expr) for expr in group_exprs]
+        # group rows
+        groups: Dict[Tuple[Any, ...], List[RowT]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in relation.rows:
+            key = tuple(_hashable(fn(row)) for fn in compiled_groups)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        if not group_exprs and not groups:
+            groups[()] = []
+            order.append(())
+        # evaluate aggregates per group
+        compiled_args = []
+        for call in aggregate_calls:
+            if call.args and not isinstance(call.args[0], Star):
+                compiled_args.append(compiler.compile(call.args[0]))
+            else:
+                compiled_args.append(None)
+        group_rows: List[RowT] = []
+        for key in order:
+            member_rows = groups[key]
+            values: List[Any] = list(key)
+            for call, arg in zip(aggregate_calls, compiled_args):
+                values.append(_evaluate_aggregate(call, arg, member_rows))
+            group_rows.append(tuple(values))
+        # synthetic schema: group-by slots then aggregate slots
+        synthetic_fields: List[Tuple[Optional[str], str]] = []
+        replacement: Dict[Expr, ColumnRef] = {}
+        for position, expr in enumerate(group_exprs):
+            name = f"_g{position}"
+            synthetic_fields.append((None, name))
+            replacement[expr] = ColumnRef(name)
+        for position, call in enumerate(aggregate_calls):
+            name = f"_a{position}"
+            synthetic_fields.append((None, name))
+            replacement[call] = ColumnRef(name)
+        synthetic_schema = RowSchema(synthetic_fields)
+        synthetic_compiler = ExpressionCompiler(
+            synthetic_schema, subquery_executor=self.run_subquery
+        )
+        if statement.having is not None:
+            # HAVING may reference select-list aliases (MySQL-compatible):
+            # substitute them with the underlying expressions first
+            alias_map = {
+                item.output_name: item.expr for item in items if item.alias
+            }
+            having = _substitute_aliases(statement.having, alias_map)
+            having = _replace_expr(having, replacement)
+            compiled_having = synthetic_compiler.compile(having)
+            group_rows = [row for row in group_rows if compiled_having(row) is True]
+        columns = [item.output_name for item in items]
+        projected: List[RowT] = []
+        compiled_items = [
+            synthetic_compiler.compile(_replace_expr(item.expr, replacement))
+            for item in items
+        ]
+        for row in group_rows:
+            projected.append(tuple(fn(row) for fn in compiled_items))
+        return columns, projected
+
+    def _deduplicate(self, rows: List[RowT]) -> List[RowT]:
+        self._trace(
+            f"Distinct ({'hash' if self.profile.hash_distinct else 'sort'}) "
+            f"over {len(rows)} rows"
+        )
+        if self.profile.hash_distinct:
+            seen: Set[Tuple[Any, ...]] = set()
+            output: List[RowT] = []
+            for row in rows:
+                key = tuple(_hashable(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    output.append(row)
+            return output
+        # sort-based dedup (MySQL filesort behaviour)
+        decorated = sorted(
+            rows, key=lambda row: tuple(_sortable(value) for value in row)
+        )
+        output = []
+        previous: Optional[RowT] = None
+        for row in decorated:
+            if previous is None or row != previous:
+                output.append(row)
+            previous = row
+        return output
+
+    def _order_rows(
+        self, rows: List[RowT], order_by: Sequence[OrderItem], schema: RowSchema
+    ) -> List[RowT]:
+        compiler = ExpressionCompiler(schema, subquery_executor=self.run_subquery)
+        # qualified refs (t.b) may survive into post-projection ordering
+        # when the projection renamed them; fall back to the bare name
+        relaxed = [
+            OrderItem(_relax_column_refs(item.expr, schema), item.ascending)
+            for item in order_by
+        ]
+        compiled = [(compiler.compile(item.expr), item.ascending) for item in relaxed]
+        return sorted(rows, key=_sort_key_function(compiled))
+
+
+def _resolve_ordinals(
+    order_by: Sequence[OrderItem], columns: List[str]
+) -> List[OrderItem]:
+    """Translate ``ORDER BY 1`` ordinals into output-column references."""
+    resolved: List[OrderItem] = []
+    for item in order_by:
+        expr = item.expr
+        if isinstance(expr, LiteralValue) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < len(columns):
+                raise ExecutionError(f"ORDER BY position {expr.value} out of range")
+            resolved.append(OrderItem(ColumnRef(columns[position]), item.ascending))
+        else:
+            resolved.append(item)
+    return resolved
+
+
+def _apply_limit(
+    rows: List[RowT], limit: Optional[int], offset: Optional[int]
+) -> List[RowT]:
+    start = offset or 0
+    if limit is None:
+        return rows[start:] if start else rows
+    return rows[start : start + limit]
+
+
+def _sortable(value: Any) -> Tuple[int, Any]:
+    """Total-order key tolerant of mixed types and NULLs."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))
+
+
+def _walk_expr(expr: Expr) -> Iterator[Expr]:
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from _walk_expr(expr.left)
+        yield from _walk_expr(expr.right)
+    elif isinstance(expr, IsNull):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, InList):
+        yield from _walk_expr(expr.operand)
+        for item in expr.items:
+            yield from _walk_expr(item)
+    elif isinstance(expr, InSubquery):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, Between):
+        yield from _walk_expr(expr.operand)
+        yield from _walk_expr(expr.low)
+        yield from _walk_expr(expr.high)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from _walk_expr(arg)
+    elif isinstance(expr, Cast):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, CaseWhen):
+        for condition, result in expr.branches:
+            yield from _walk_expr(condition)
+            yield from _walk_expr(result)
+        if expr.default is not None:
+            yield from _walk_expr(expr.default)
+
+
+def _relax_column_refs(expr: Expr, schema: RowSchema) -> Expr:
+    """Drop qualifiers that no longer resolve but whose bare name does."""
+
+    def relax(node: Expr) -> Expr:
+        if isinstance(node, ColumnRef) and node.qualifier is not None:
+            if schema.try_resolve(node) is None:
+                bare = ColumnRef(node.name)
+                if schema.try_resolve(bare) is not None:
+                    return bare
+        return node
+
+    return _map_expr(expr, relax)
+
+
+def _map_expr(expr: Expr, fn) -> Expr:
+    """Rebuild an expression applying *fn* to every node bottom-up."""
+    if isinstance(expr, UnaryOp):
+        return fn(UnaryOp(expr.op, _map_expr(expr.operand, fn)))
+    if isinstance(expr, BinaryOp):
+        return fn(
+            BinaryOp(expr.op, _map_expr(expr.left, fn), _map_expr(expr.right, fn))
+        )
+    if isinstance(expr, IsNull):
+        return fn(IsNull(_map_expr(expr.operand, fn), expr.negated))
+    if isinstance(expr, Between):
+        return fn(
+            Between(
+                _map_expr(expr.operand, fn),
+                _map_expr(expr.low, fn),
+                _map_expr(expr.high, fn),
+                expr.negated,
+            )
+        )
+    if isinstance(expr, InList):
+        return fn(
+            InList(
+                _map_expr(expr.operand, fn),
+                tuple(_map_expr(item, fn) for item in expr.items),
+                expr.negated,
+            )
+        )
+    if isinstance(expr, FunctionCall):
+        return fn(
+            FunctionCall(
+                expr.name,
+                tuple(_map_expr(arg, fn) for arg in expr.args),
+                expr.distinct,
+            )
+        )
+    if isinstance(expr, Cast):
+        return fn(Cast(_map_expr(expr.operand, fn), expr.target))
+    if isinstance(expr, CaseWhen):
+        return fn(
+            CaseWhen(
+                tuple(
+                    (_map_expr(c, fn), _map_expr(r, fn)) for c, r in expr.branches
+                ),
+                _map_expr(expr.default, fn) if expr.default else None,
+            )
+        )
+    return fn(expr)
+
+
+def _substitute_aliases(expr: Expr, aliases: Dict[str, Expr]) -> Expr:
+    """Replace unqualified column refs naming select aliases."""
+    if isinstance(expr, ColumnRef) and expr.qualifier is None:
+        replacement = aliases.get(expr.name.lower())
+        if replacement is not None:
+            return replacement
+        return expr
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _substitute_aliases(expr.operand, aliases))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _substitute_aliases(expr.left, aliases),
+            _substitute_aliases(expr.right, aliases),
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(_substitute_aliases(expr.operand, aliases), expr.negated)
+    if isinstance(expr, Between):
+        return Between(
+            _substitute_aliases(expr.operand, aliases),
+            _substitute_aliases(expr.low, aliases),
+            _substitute_aliases(expr.high, aliases),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _substitute_aliases(expr.operand, aliases),
+            tuple(_substitute_aliases(item, aliases) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            tuple(_substitute_aliases(arg, aliases) for arg in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, Cast):
+        return Cast(_substitute_aliases(expr.operand, aliases), expr.target)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            tuple(
+                (
+                    _substitute_aliases(c, aliases),
+                    _substitute_aliases(r, aliases),
+                )
+                for c, r in expr.branches
+            ),
+            _substitute_aliases(expr.default, aliases) if expr.default else None,
+        )
+    return expr
+
+
+def _replace_expr(expr: Expr, mapping: Dict[Expr, ColumnRef]) -> Expr:
+    """Structurally replace subtrees listed in *mapping* (by equality)."""
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _replace_expr(expr.operand, mapping))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _replace_expr(expr.left, mapping),
+            _replace_expr(expr.right, mapping),
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(_replace_expr(expr.operand, mapping), expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            _replace_expr(expr.operand, mapping),
+            tuple(_replace_expr(item, mapping) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _replace_expr(expr.operand, mapping),
+            _replace_expr(expr.low, mapping),
+            _replace_expr(expr.high, mapping),
+            expr.negated,
+        )
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            tuple(_replace_expr(arg, mapping) for arg in expr.args),
+            expr.distinct,
+        )
+    if isinstance(expr, Cast):
+        return Cast(_replace_expr(expr.operand, mapping), expr.target)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            tuple(
+                (_replace_expr(c, mapping), _replace_expr(r, mapping))
+                for c, r in expr.branches
+            ),
+            _replace_expr(expr.default, mapping) if expr.default else None,
+        )
+    return expr
+
+
+def _evaluate_aggregate(
+    call: FunctionCall,
+    compiled_arg: Optional[Callable[[RowT], Any]],
+    rows: List[RowT],
+) -> Any:
+    name = call.name.upper()
+    if name == "COUNT":
+        if compiled_arg is None:  # COUNT(*)
+            return len(rows)
+        values = [compiled_arg(row) for row in rows]
+        values = [value for value in values if value is not None]
+        if call.distinct:
+            return len({_hashable(value) for value in values})
+        return len(values)
+    values = [compiled_arg(row) for row in rows] if compiled_arg else []
+    values = [value for value in values if value is not None]
+    if call.distinct:
+        unique: List[Any] = []
+        seen: Set[Any] = set()
+        for value in values:
+            key = _hashable(value)
+            if key not in seen:
+                seen.add(key)
+                unique.append(value)
+        values = unique
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values, key=_sortable)
+    if name == "MAX":
+        return max(values, key=_sortable)
+    raise ExecutionError(f"unknown aggregate {name}")
+
+
+def _mirror_op(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}.get(
+        op, op
+    )

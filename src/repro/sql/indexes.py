@@ -1,0 +1,125 @@
+"""Secondary index structures: hash and sorted indexes.
+
+Indexes map a key (tuple of column values) to the set of row ids holding
+that key.  ``None`` keys are indexed too (SQL NULLs never match equality
+predicates, but the planner filters those out before probing).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Key = Tuple[Any, ...]
+
+
+class HashIndex:
+    """Equality index: key tuple -> set of row ids."""
+
+    __slots__ = ("columns", "_buckets")
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = tuple(columns)
+        self._buckets: Dict[Key, Set[int]] = defaultdict(set)
+
+    def insert(self, key: Key, row_id: int) -> None:
+        self._buckets[key].add(row_id)
+
+    def delete(self, key: Key, row_id: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: Key) -> Set[int]:
+        return self._buckets.get(key, set())
+
+    def contains_key(self, key: Key) -> bool:
+        return key in self._buckets
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def keys(self) -> Iterator[Key]:
+        yield from self._buckets.keys()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """Ordered index over a single column supporting range scans.
+
+    Backed by a sorted list of (value, row_id) pairs, rebuilt lazily after
+    bulk mutations: lookups trigger a re-sort only when the dirty flag is
+    set, which keeps bulk loads (the common VIG pattern) linear.
+    """
+
+    __slots__ = ("column", "_entries", "_dirty")
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: List[Tuple[Any, int]] = []
+        self._dirty = False
+
+    def insert(self, value: Any, row_id: int) -> None:
+        if value is None:
+            return  # NULLs are not range-searchable
+        self._entries.append((value, row_id))
+        self._dirty = True
+
+    def delete(self, value: Any, row_id: int) -> None:
+        if value is None:
+            return
+        self._ensure_sorted()
+        position = bisect.bisect_left(self._entries, (value, row_id))
+        if position < len(self._entries) and self._entries[position] == (value, row_id):
+            self._entries.pop(position)
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            self._entries.sort(key=lambda pair: (self._sort_key(pair[0]), pair[1]))
+            self._dirty = False
+
+    @staticmethod
+    def _sort_key(value: Any) -> Any:
+        # mixed int/float sort fine; strings sort with strings only
+        return value
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield row ids with value in the given (optionally open) range."""
+        self._ensure_sorted()
+        entries = self._entries
+        start = 0
+        if low is not None:
+            if include_low:
+                start = bisect.bisect_left(entries, (low,))
+            else:
+                start = bisect.bisect_right(entries, (low, float("inf")))
+        for value, row_id in entries[start:]:
+            if high is not None:
+                if include_high:
+                    if value > high:
+                        break
+                elif value >= high:
+                    break
+            yield row_id
+
+    def min_value(self) -> Optional[Any]:
+        self._ensure_sorted()
+        return self._entries[0][0] if self._entries else None
+
+    def max_value(self) -> Optional[Any]:
+        self._ensure_sorted()
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

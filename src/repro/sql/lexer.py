@@ -1,0 +1,90 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL AS
+    AND OR NOT NULL TRUE FALSE IS IN BETWEEN LIKE EXISTS UNION JOIN INNER
+    LEFT RIGHT OUTER NATURAL CROSS ON USING CASE WHEN THEN ELSE END CAST
+    CREATE TABLE INDEX PRIMARY KEY FOREIGN REFERENCES INSERT INTO VALUES
+    DELETE UPDATE SET ASC DESC
+    """.split()
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*\n?)
+  | (?P<number>\d+\.\d+([eE][+-]?\d+)?|\d+[eE][+-]?\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*|"[^"]+"|`[^`]+`)
+  | (?P<operator><>|<=|>=|!=|\|\||[=<>+\-*/%])
+  | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; always ends with an EOF token."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise LexError(f"unexpected character {text[position]!r}", position)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group(0)
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenType.NUMBER, value, match.start()))
+        elif match.lastgroup == "string":
+            unquoted = value[1:-1].replace("''", "'")
+            tokens.append(Token(TokenType.STRING, unquoted, match.start()))
+        elif match.lastgroup == "ident":
+            if value[0] in '"`':
+                tokens.append(Token(TokenType.IDENT, value[1:-1], match.start()))
+            elif value.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, value.upper(), match.start()))
+            else:
+                tokens.append(Token(TokenType.IDENT, value, match.start()))
+        elif match.lastgroup == "operator":
+            op = "<>" if value == "!=" else value
+            tokens.append(Token(TokenType.OPERATOR, op, match.start()))
+        else:
+            tokens.append(Token(TokenType.PUNCT, value, match.start()))
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

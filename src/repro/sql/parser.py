@@ -1,0 +1,664 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar summary (case-insensitive keywords)::
+
+    statement   := select | create_table | create_index | insert | delete
+                 | update
+    select      := SELECT [DISTINCT|ALL] items FROM source [WHERE expr]
+                   [GROUP BY exprs] [HAVING expr] [ORDER BY order_items]
+                   [LIMIT n [OFFSET m]] [UNION [ALL] select]
+    source      := table_ref ((',' | join) table_ref)*
+    join        := [INNER|LEFT [OUTER]|NATURAL|CROSS] JOIN ... [ON expr]
+    table_ref   := ident [alias] | '(' select ')' alias
+
+Expression precedence (loosest to tightest): OR, AND, NOT, comparison
+(including IS NULL / IN / BETWEEN / LIKE), additive (+ - ||),
+multiplicative (* / %), unary +/-, primary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnDef,
+    ColumnRef,
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    ExistsSubquery,
+    Expr,
+    ForeignKeyDef,
+    FunctionCall,
+    InList,
+    InSubquery,
+    InsertStatement,
+    IsNull,
+    Join,
+    LiteralValue,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnaryOp,
+    UnionTail,
+    UpdateStatement,
+)
+from .errors import ParseError
+from .lexer import Token, TokenType, tokenize
+from .types import parse_type_name
+
+
+class Parser:
+    """One-shot parser over a token list."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._position = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        return self._current.type is TokenType.KEYWORD and self._current.value in keywords
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        if self._check_keyword(*keywords):
+            return self._advance().value
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise ParseError(f"expected {keyword}, got {self._current.value!r}")
+
+    def _accept_punct(self, punct: str) -> bool:
+        if self._current.matches(TokenType.PUNCT, punct):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        if not self._accept_punct(punct):
+            raise ParseError(f"expected {punct!r}, got {self._current.value!r}")
+
+    def _accept_operator(self, *ops: str) -> Optional[str]:
+        if self._current.type is TokenType.OPERATOR and self._current.value in ops:
+            return self._advance().value
+        return None
+
+    def _expect_ident(self) -> str:
+        token = self._current
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return token.value
+        raise ParseError(f"expected identifier, got {token.value!r}")
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        statement = self._parse_statement()
+        self._accept_punct(";")
+        if self._current.type is not TokenType.EOF:
+            raise ParseError(f"trailing input at {self._current.value!r}")
+        return statement
+
+    def parse_script(self) -> List[Statement]:
+        statements: List[Statement] = []
+        while self._current.type is not TokenType.EOF:
+            statements.append(self._parse_statement())
+            while self._accept_punct(";"):
+                pass
+        return statements
+
+    def _parse_statement(self) -> Statement:
+        if self._check_keyword("SELECT"):
+            return self._parse_select()
+        if self._check_keyword("CREATE"):
+            return self._parse_create()
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("DELETE"):
+            return self._parse_delete()
+        if self._check_keyword("UPDATE"):
+            return self._parse_update()
+        raise ParseError(f"unexpected token {self._current.value!r}")
+
+    # -- SELECT -------------------------------------------------------------
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if not distinct:
+            self._accept_keyword("ALL")
+        items = self._parse_select_items()
+        source: Optional[TableRef] = None
+        if self._accept_keyword("FROM"):
+            source = self._parse_source()
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        group_by: Tuple[Expr, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = tuple(self._parse_expression_list())
+        having = self._parse_expression() if self._accept_keyword("HAVING") else None
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = tuple(self._parse_order_items())
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_integer()
+            if self._accept_keyword("OFFSET"):
+                offset = self._parse_integer()
+        union: Optional[UnionTail] = None
+        if self._accept_keyword("UNION"):
+            union_all = bool(self._accept_keyword("ALL"))
+            union = UnionTail(self._parse_select(), all=union_all)
+        return SelectStatement(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            union=union,
+        )
+
+    def _parse_integer(self) -> int:
+        token = self._current
+        if token.type is TokenType.NUMBER and token.value.isdigit():
+            self._advance()
+            return int(token.value)
+        raise ParseError(f"expected integer, got {token.value!r}")
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._current.matches(TokenType.OPERATOR, "*"):
+            self._advance()
+            return SelectItem(Star())
+        # alias.* needs two-token lookahead
+        if (
+            self._current.type is TokenType.IDENT
+            and self._tokens[self._position + 1].matches(TokenType.PUNCT, ".")
+            and self._tokens[self._position + 2].matches(TokenType.OPERATOR, "*")
+        ):
+            qualifier = self._advance().value
+            self._advance()
+            self._advance()
+            return SelectItem(Star(qualifier))
+        expr = self._parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_order_items(self) -> List[OrderItem]:
+        items = []
+        while True:
+            expr = self._parse_expression()
+            ascending = True
+            if self._accept_keyword("DESC"):
+                ascending = False
+            else:
+                self._accept_keyword("ASC")
+            items.append(OrderItem(expr, ascending))
+            if not self._accept_punct(","):
+                return items
+
+    # -- FROM ----------------------------------------------------------------
+
+    def _parse_source(self) -> TableRef:
+        source = self._parse_joined_table()
+        while self._accept_punct(","):
+            right = self._parse_joined_table()
+            source = Join("INNER", source, right, None)  # cross join
+        return source
+
+    def _parse_joined_table(self) -> TableRef:
+        source = self._parse_table_primary()
+        while True:
+            if self._accept_keyword("NATURAL"):
+                self._expect_keyword("JOIN")
+                right = self._parse_table_primary()
+                source = Join("NATURAL", source, right, None)
+                continue
+            if self._accept_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                right = self._parse_table_primary()
+                source = Join("INNER", source, right, None)
+                continue
+            kind = None
+            if self._accept_keyword("INNER"):
+                kind = "INNER"
+            elif self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                kind = "LEFT"
+            elif self._accept_keyword("RIGHT"):
+                raise ParseError("RIGHT JOIN is not supported; rewrite as LEFT JOIN")
+            if kind is None and not self._check_keyword("JOIN"):
+                return source
+            self._expect_keyword("JOIN")
+            right = self._parse_table_primary()
+            condition = None
+            if self._accept_keyword("ON"):
+                condition = self._parse_expression()
+            elif self._accept_keyword("USING"):
+                self._expect_punct("(")
+                columns = [self._expect_ident()]
+                while self._accept_punct(","):
+                    columns.append(self._expect_ident())
+                self._expect_punct(")")
+                condition = self._using_condition(source, right, columns)
+            source = Join(kind or "INNER", source, right, condition)
+
+    @staticmethod
+    def _binding_of(ref: TableRef) -> str:
+        if isinstance(ref, NamedTable):
+            return ref.alias or ref.name
+        if isinstance(ref, SubquerySource):
+            return ref.alias
+        raise ParseError("USING requires simple table references")
+
+    def _using_condition(
+        self, left: TableRef, right: TableRef, columns: List[str]
+    ) -> Expr:
+        left_name = self._binding_of(left)
+        right_name = self._binding_of(right)
+        condition: Optional[Expr] = None
+        for column in columns:
+            eq = BinaryOp(
+                "=",
+                ColumnRef(column, left_name),
+                ColumnRef(column, right_name),
+            )
+            condition = eq if condition is None else BinaryOp("AND", condition, eq)
+        assert condition is not None
+        return condition
+
+    def _parse_table_primary(self) -> TableRef:
+        if self._accept_punct("("):
+            if self._check_keyword("SELECT"):
+                query = self._parse_select()
+                self._expect_punct(")")
+                self._accept_keyword("AS")
+                alias = self._expect_ident()
+                return SubquerySource(query, alias)
+            source = self._parse_source()
+            self._expect_punct(")")
+            return source
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return NamedTable(name, alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression_list(self) -> List[Expr]:
+        exprs = [self._parse_expression()]
+        while self._accept_punct(","):
+            exprs.append(self._parse_expression())
+        return exprs
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._accept_keyword("OR"):
+            expr = BinaryOp("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_not()
+        while self._accept_keyword("AND"):
+            expr = BinaryOp("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        expr = self._parse_additive()
+        while True:
+            op = self._accept_operator("=", "<>", "<", "<=", ">", ">=")
+            if op is not None:
+                expr = BinaryOp(op, expr, self._parse_additive())
+                continue
+            if self._accept_keyword("IS"):
+                negated = bool(self._accept_keyword("NOT"))
+                self._expect_keyword("NULL")
+                expr = IsNull(expr, negated)
+                continue
+            negated = False
+            if self._check_keyword("NOT"):
+                next_token = self._tokens[self._position + 1]
+                if next_token.type is TokenType.KEYWORD and next_token.value in (
+                    "IN",
+                    "BETWEEN",
+                    "LIKE",
+                ):
+                    self._advance()
+                    negated = True
+                else:
+                    return expr
+            if self._accept_keyword("IN"):
+                expr = self._parse_in_tail(expr, negated)
+                continue
+            if self._accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                expr = Between(expr, low, high, negated)
+                continue
+            if self._accept_keyword("LIKE"):
+                pattern = self._parse_additive()
+                like = BinaryOp("LIKE", expr, pattern)
+                expr = UnaryOp("NOT", like) if negated else like
+                continue
+            return expr
+
+    def _parse_in_tail(self, operand: Expr, negated: bool) -> Expr:
+        self._expect_punct("(")
+        if self._check_keyword("SELECT"):
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return InSubquery(operand, subquery, negated)
+        items = tuple(self._parse_expression_list())
+        self._expect_punct(")")
+        return InList(operand, items, negated)
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            op = self._accept_operator("+", "-", "||")
+            if op is None:
+                return expr
+            expr = BinaryOp(op, expr, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while True:
+            op = self._accept_operator("*", "/", "%")
+            if op is None:
+                return expr
+            expr = BinaryOp(op, expr, self._parse_unary())
+
+    def _parse_unary(self) -> Expr:
+        op = self._accept_operator("-", "+")
+        if op is not None:
+            return UnaryOp(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if any(c in token.value for c in ".eE"):
+                return LiteralValue(float(token.value))
+            return LiteralValue(int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return LiteralValue(token.value)
+        if self._accept_keyword("NULL"):
+            return LiteralValue(None)
+        if self._accept_keyword("TRUE"):
+            return LiteralValue(True)
+        if self._accept_keyword("FALSE"):
+            return LiteralValue(False)
+        if self._accept_keyword("EXISTS"):
+            self._expect_punct("(")
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return ExistsSubquery(subquery)
+        if self._accept_keyword("CASE"):
+            return self._parse_case()
+        if self._accept_keyword("CAST"):
+            self._expect_punct("(")
+            operand = self._parse_expression()
+            self._expect_keyword("AS")
+            type_name = self._expect_ident_or_keyword()
+            # swallow optional length, e.g. VARCHAR(50)
+            if self._accept_punct("("):
+                self._parse_integer()
+                self._expect_punct(")")
+            self._expect_punct(")")
+            return Cast(operand, parse_type_name(type_name))
+        if self._accept_punct("("):
+            if self._check_keyword("SELECT"):
+                # scalar subquery is not supported; only IN/EXISTS forms are
+                raise ParseError("scalar subqueries are not supported")
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._parse_identifier_expression()
+        raise ParseError(f"unexpected token {token.value!r} in expression")
+
+    def _expect_ident_or_keyword(self) -> str:
+        token = self._current
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self._advance()
+            return token.value
+        raise ParseError(f"expected type name, got {token.value!r}")
+
+    def _parse_case(self) -> Expr:
+        branches = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            result = self._parse_expression()
+            branches.append((condition, result))
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN branch")
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self._parse_expression()
+        self._expect_keyword("END")
+        return CaseWhen(tuple(branches), default)
+
+    def _parse_identifier_expression(self) -> Expr:
+        name = self._expect_ident()
+        if self._accept_punct("("):
+            return self._parse_call_tail(name)
+        if self._accept_punct("."):
+            if self._current.matches(TokenType.OPERATOR, "*"):
+                self._advance()
+                return Star(name)
+            column = self._expect_ident()
+            return ColumnRef(column, name)
+        return ColumnRef(name)
+
+    def _parse_call_tail(self, name: str) -> Expr:
+        upper = name.upper()
+        if self._current.matches(TokenType.OPERATOR, "*"):
+            self._advance()
+            self._expect_punct(")")
+            if upper != "COUNT":
+                raise ParseError(f"'*' argument only valid in COUNT, not {name}")
+            return FunctionCall("COUNT", (Star(),))
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if self._accept_punct(")"):
+            return FunctionCall(upper, ())
+        args = tuple(self._parse_expression_list())
+        self._expect_punct(")")
+        return FunctionCall(upper, args, distinct=distinct)
+
+    # -- DDL -------------------------------------------------------------------
+
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("TABLE"):
+            return self._parse_create_table()
+        if self._accept_keyword("INDEX"):
+            return self._parse_create_index()
+        raise ParseError("expected TABLE or INDEX after CREATE")
+
+    def _parse_create_table(self) -> CreateTableStatement:
+        name = self._expect_ident()
+        self._expect_punct("(")
+        columns: List[ColumnDef] = []
+        primary_key: Tuple[str, ...] = ()
+        foreign_keys: List[ForeignKeyDef] = []
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                self._expect_punct("(")
+                pk = [self._expect_ident()]
+                while self._accept_punct(","):
+                    pk.append(self._expect_ident())
+                self._expect_punct(")")
+                if primary_key:
+                    raise ParseError("duplicate PRIMARY KEY clause")
+                primary_key = tuple(pk)
+            elif self._accept_keyword("FOREIGN"):
+                self._expect_keyword("KEY")
+                self._expect_punct("(")
+                fk_cols = [self._expect_ident()]
+                while self._accept_punct(","):
+                    fk_cols.append(self._expect_ident())
+                self._expect_punct(")")
+                self._expect_keyword("REFERENCES")
+                ref_table = self._expect_ident()
+                self._expect_punct("(")
+                ref_cols = [self._expect_ident()]
+                while self._accept_punct(","):
+                    ref_cols.append(self._expect_ident())
+                self._expect_punct(")")
+                foreign_keys.append(
+                    ForeignKeyDef(tuple(fk_cols), ref_table, tuple(ref_cols))
+                )
+            else:
+                columns.append(self._parse_column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return CreateTableStatement(name, tuple(columns), primary_key, tuple(foreign_keys))
+
+    def _parse_column_def(self) -> ColumnDef:
+        name = self._expect_ident()
+        type_name = self._expect_ident_or_keyword()
+        if self._accept_punct("("):
+            self._parse_integer()
+            if self._accept_punct(","):
+                self._parse_integer()
+            self._expect_punct(")")
+        not_null = False
+        primary_key = False
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+                continue
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+                not_null = True
+                continue
+            break
+        return ColumnDef(name, parse_type_name(type_name), not_null, primary_key)
+
+    def _parse_create_index(self) -> CreateIndexStatement:
+        name = self._expect_ident()
+        self._expect_keyword("ON")
+        table = self._expect_ident()
+        self._expect_punct("(")
+        columns = [self._expect_ident()]
+        while self._accept_punct(","):
+            columns.append(self._expect_ident())
+        self._expect_punct(")")
+        return CreateIndexStatement(name, table, tuple(columns))
+
+    # -- DML --------------------------------------------------------------------
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: Tuple[str, ...] = ()
+        if self._accept_punct("("):
+            cols = [self._expect_ident()]
+            while self._accept_punct(","):
+                cols.append(self._expect_ident())
+            self._expect_punct(")")
+            columns = tuple(cols)
+        self._expect_keyword("VALUES")
+        rows = []
+        while True:
+            self._expect_punct("(")
+            values = tuple(self._parse_expression_list())
+            self._expect_punct(")")
+            rows.append(values)
+            if not self._accept_punct(","):
+                break
+        return InsertStatement(table, columns, tuple(rows))
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        return DeleteStatement(table, where)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = []
+        while True:
+            column = self._expect_ident()
+            if self._accept_operator("=") is None:
+                raise ParseError("expected '=' in UPDATE assignment")
+            assignments.append((column, self._parse_expression()))
+            if not self._accept_punct(","):
+                break
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        return UpdateStatement(table, tuple(assignments), where)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single SQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a statement and require it to be a SELECT."""
+    statement = parse_statement(text)
+    if not isinstance(statement, SelectStatement):
+        raise ParseError("expected a SELECT statement")
+    return statement
+
+
+def parse_script(text: str) -> List[Statement]:
+    """Parse a semicolon-separated script."""
+    return Parser(text).parse_script()

@@ -1,0 +1,244 @@
+"""SQL type system: declared column types and value coercion.
+
+The engine supports the types the NPD schema needs -- integers, doubles,
+decimals, varchars, booleans, dates (stored as ISO strings) and a simple
+``GEOMETRY`` type holding polygons as coordinate lists, mirroring the MySQL
+geometric columns the paper's VIG has to handle.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from .errors import TypeMismatchError
+
+
+class SqlType(enum.Enum):
+    """Declared SQL column types."""
+
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DOUBLE = "DOUBLE"
+    DECIMAL = "DECIMAL"
+    VARCHAR = "VARCHAR"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+    GEOMETRY = "GEOMETRY"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.BIGINT, SqlType.DOUBLE, SqlType.DECIMAL)
+
+    @property
+    def is_textual(self) -> bool:
+        return self in (SqlType.VARCHAR, SqlType.TEXT)
+
+    @property
+    def is_ordered(self) -> bool:
+        """Types with a total order VIG can draw adjacent fresh values from."""
+        return self is not SqlType.GEOMETRY
+
+
+_TYPE_ALIASES = {
+    "INT": SqlType.INTEGER,
+    "INTEGER": SqlType.INTEGER,
+    "SMALLINT": SqlType.INTEGER,
+    "BIGINT": SqlType.BIGINT,
+    "DOUBLE": SqlType.DOUBLE,
+    "FLOAT": SqlType.DOUBLE,
+    "REAL": SqlType.DOUBLE,
+    "DECIMAL": SqlType.DECIMAL,
+    "NUMERIC": SqlType.DECIMAL,
+    "VARCHAR": SqlType.VARCHAR,
+    "CHAR": SqlType.VARCHAR,
+    "TEXT": SqlType.TEXT,
+    "BOOLEAN": SqlType.BOOLEAN,
+    "BOOL": SqlType.BOOLEAN,
+    "DATE": SqlType.DATE,
+    "GEOMETRY": SqlType.GEOMETRY,
+    "POLYGON": SqlType.GEOMETRY,
+}
+
+
+def parse_type_name(name: str) -> SqlType:
+    """Resolve a type name (with aliases) to a :class:`SqlType`."""
+    try:
+        return _TYPE_ALIASES[name.upper()]
+    except KeyError as exc:
+        raise TypeMismatchError(f"unknown SQL type {name!r}") from exc
+
+
+_DATE_RE = re.compile(r"\d{4}-\d{2}-\d{2}")
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Geometry:
+    """A closed polygon as a ring of (x, y) points.
+
+    A valid polygon has at least 4 points with the first equal to the last,
+    matching the MySQL constraint the paper mentions ("a polygon is a closed
+    non-intersecting line").  Self-intersection is not checked -- neither
+    does MySQL by default.
+    """
+
+    ring: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.ring) < 4:
+            raise TypeMismatchError("polygon ring needs at least 4 points")
+        if self.ring[0] != self.ring[-1]:
+            raise TypeMismatchError("polygon ring must be closed")
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """Return (min_x, min_y, max_x, max_y)."""
+        xs = [p[0] for p in self.ring]
+        ys = [p[1] for p in self.ring]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def wkt(self) -> str:
+        """Well-known-text serialization, e.g. ``POLYGON((0 0, ...))``.
+
+        Coordinates use ``repr`` so round-tripping through WKT is exact.
+        """
+        coords = ", ".join(f"{x!r} {y!r}" for x, y in self.ring)
+        return f"POLYGON(({coords}))"
+
+    @staticmethod
+    def from_wkt(text: str) -> "Geometry":
+        match = re.fullmatch(r"\s*POLYGON\s*\(\((.*)\)\)\s*", text, re.IGNORECASE)
+        if not match:
+            raise TypeMismatchError(f"bad WKT polygon: {text!r}")
+        points = []
+        for pair in match.group(1).split(","):
+            parts = pair.split()
+            if len(parts) != 2:
+                raise TypeMismatchError(f"bad WKT coordinate: {pair!r}")
+            points.append((float(parts[0]), float(parts[1])))
+        return Geometry(tuple(points))
+
+    @staticmethod
+    def rectangle(min_x: float, min_y: float, max_x: float, max_y: float) -> "Geometry":
+        """An axis-aligned rectangle polygon."""
+        return Geometry(
+            (
+                (min_x, min_y),
+                (max_x, min_y),
+                (max_x, max_y),
+                (min_x, max_y),
+                (min_x, min_y),
+            )
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.wkt()
+
+
+def coerce_value(value: Any, sql_type: SqlType, column: str = "?") -> Any:
+    """Validate/convert a Python value for storage in a column.
+
+    ``None`` passes through (NOT NULL is enforced by the catalog layer, not
+    here).  Returns the stored representation:
+
+    * INTEGER/BIGINT -> int
+    * DOUBLE/DECIMAL -> float
+    * VARCHAR/TEXT/DATE -> str (dates validated as ISO ``YYYY-MM-DD``)
+    * BOOLEAN -> bool
+    * GEOMETRY -> :class:`Geometry`
+    """
+    if value is None:
+        return None
+    if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"column {column}: boolean is not an integer")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"column {column}: {value!r} is not an integer")
+    if sql_type in (SqlType.DOUBLE, SqlType.DECIMAL):
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"column {column}: boolean is not numeric")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"column {column}: {value!r} is not numeric")
+    if sql_type is SqlType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise TypeMismatchError(f"column {column}: {value!r} is not a boolean")
+    if sql_type is SqlType.DATE:
+        if isinstance(value, str) and _DATE_RE.fullmatch(value):
+            return value
+        raise TypeMismatchError(f"column {column}: {value!r} is not an ISO date")
+    if sql_type is SqlType.GEOMETRY:
+        if isinstance(value, Geometry):
+            return value
+        if isinstance(value, str):
+            return Geometry.from_wkt(value)
+        raise TypeMismatchError(f"column {column}: {value!r} is not a geometry")
+    # VARCHAR / TEXT
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise TypeMismatchError(f"column {column}: {value!r} is not textual")
+
+
+def comparable(left: Any, right: Any) -> bool:
+    """True when two stored values can be compared with ``<``/``>``."""
+    if isinstance(left, Geometry) or isinstance(right, Geometry):
+        return False
+    numeric = (int, float)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return True
+    return type(left) is type(right)
+
+
+def sql_type_of_value(value: Any) -> Optional[SqlType]:
+    """Infer the narrowest SQL type of a Python value (None for NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.DOUBLE
+    if isinstance(value, Geometry):
+        return SqlType.GEOMETRY
+    if isinstance(value, str):
+        return SqlType.DATE if _DATE_RE.fullmatch(value) else SqlType.VARCHAR
+    raise TypeMismatchError(f"unsupported runtime value {value!r}")
+
+
+def format_value(value: Any) -> str:
+    """Render a stored value as a SQL literal (for INSERT generation)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, Geometry):
+        return f"'{value.wkt()}'"
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

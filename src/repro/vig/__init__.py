@@ -1,0 +1,57 @@
+"""VIG: the Virtual Instance Generator, with analysis and validation."""
+
+from .analysis import (
+    ColumnProfile,
+    CycleInfo,
+    DatabaseProfile,
+    DomainKind,
+    TableProfile,
+    analyze,
+)
+from .generation import GenerationReport, VIG, scale_database
+from .iga import (
+    IgaPair,
+    MultiplicityDrift,
+    MultiplicityProfile,
+    average_drift,
+    iga_duplication,
+    iga_pairs,
+    multiplicity_drift,
+    multiplicity_profile,
+)
+from .random_generator import RandomGenerator
+from .validation import (
+    ElementGrowth,
+    ValidationSummary,
+    expected_growth_classification,
+    expected_growth_model,
+    measure_growth,
+    summarize,
+)
+
+__all__ = [
+    "analyze",
+    "ColumnProfile",
+    "TableProfile",
+    "DatabaseProfile",
+    "CycleInfo",
+    "DomainKind",
+    "VIG",
+    "scale_database",
+    "GenerationReport",
+    "IgaPair",
+    "MultiplicityProfile",
+    "MultiplicityDrift",
+    "iga_pairs",
+    "iga_duplication",
+    "multiplicity_profile",
+    "multiplicity_drift",
+    "average_drift",
+    "RandomGenerator",
+    "ElementGrowth",
+    "ValidationSummary",
+    "expected_growth_classification",
+    "expected_growth_model",
+    "measure_growth",
+    "summarize",
+]

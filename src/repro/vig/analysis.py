@@ -1,0 +1,213 @@
+"""VIG analysis phase (Section 5.1 of the paper).
+
+For every column of every table the analyzer computes the measures the
+generation phase needs:
+
+* **duplicate ratio** ``(|T.C| - |distinct(T.C)|) / |T.C|`` -- a ratio
+  close to 1 marks an *intrinsically constant* column whose value set must
+  not grow with the database;
+* **domain classification** -- ordered (numeric/date) domains record
+  ``[min, max]`` so fresh values stay adjacent to the observed interval;
+  unordered string domains record the observed values; geometry columns
+  record the minimal bounding rectangle enclosing all observed polygons;
+* **NULL ratio**;
+* **foreign-key structure**, including the cycles in the FK graph and the
+  bound on chase-insertion chains each cycle admits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sql.catalog import ForeignKey, Table
+from ..sql.engine import Database
+from ..sql.types import Geometry, SqlType
+
+
+class DomainKind(enum.Enum):
+    INTEGER = "integer"
+    DOUBLE = "double"
+    DATE = "date"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    GEOMETRY = "geometry"
+
+
+@dataclass
+class ColumnProfile:
+    """Statistics of one column, as discovered in the analysis phase."""
+
+    table: str
+    name: str
+    sql_type: SqlType
+    kind: DomainKind
+    total: int
+    non_null: int
+    distinct: int
+    duplicate_ratio: float
+    null_ratio: float
+    min_value: Any = None
+    max_value: Any = None
+    observed: Tuple[Any, ...] = ()
+    bounding_box: Optional[Tuple[float, float, float, float]] = None
+    is_pk_member: bool = False
+    fk_target: Optional[Tuple[str, str]] = None  # (table, column)
+
+    def is_constant(self, threshold: float = 0.95) -> bool:
+        """Intrinsically constant: duplicate ratio close to 1.
+
+        Columns with almost no values observed cannot be classified and
+        default to non-constant.
+        """
+        if self.non_null < 4:
+            return False
+        return self.duplicate_ratio >= threshold
+
+
+@dataclass
+class TableProfile:
+    name: str
+    row_count: int
+    columns: Dict[str, ColumnProfile]
+
+
+@dataclass
+class CycleInfo:
+    """One FK cycle plus the chase-chain bound VIG derives for it."""
+
+    tables: Tuple[str, ...]
+    # maximum chain of fresh insertions before the chase must close the
+    # cycle with a duplicate or NULL (paper: "discovers the maximum number
+    # of insertions that can be performed in the generation phase")
+    max_chain: int
+
+
+@dataclass
+class DatabaseProfile:
+    tables: Dict[str, TableProfile]
+    cycles: List[CycleInfo]
+    cycle_edges: Set[Tuple[str, str]]  # (table, column) FKs inside a cycle
+
+    def column(self, table: str, column: str) -> ColumnProfile:
+        return self.tables[table].columns[column]
+
+
+_KIND_BY_TYPE = {
+    SqlType.INTEGER: DomainKind.INTEGER,
+    SqlType.BIGINT: DomainKind.INTEGER,
+    SqlType.DOUBLE: DomainKind.DOUBLE,
+    SqlType.DECIMAL: DomainKind.DOUBLE,
+    SqlType.VARCHAR: DomainKind.STRING,
+    SqlType.TEXT: DomainKind.STRING,
+    SqlType.BOOLEAN: DomainKind.BOOLEAN,
+    SqlType.DATE: DomainKind.DATE,
+    SqlType.GEOMETRY: DomainKind.GEOMETRY,
+}
+
+# how many distinct observed values to retain for duplicate drawing
+_OBSERVED_CAP = 4096
+
+
+def _analyze_column(table: Table, position: int, fk_target, pk_member) -> ColumnProfile:
+    column = table.columns[position]
+    kind = _KIND_BY_TYPE[column.sql_type]
+    values = [row[position] for row in table.iter_rows()]
+    total = len(values)
+    non_null_values = [value for value in values if value is not None]
+    non_null = len(non_null_values)
+    distinct_values: Set[Any] = set()
+    bounding: Optional[Tuple[float, float, float, float]] = None
+    min_value = max_value = None
+    if kind is DomainKind.GEOMETRY:
+        for value in non_null_values:
+            assert isinstance(value, Geometry)
+            box = value.bounding_box()
+            distinct_values.add(value.ring)
+            if bounding is None:
+                bounding = box
+            else:
+                bounding = (
+                    min(bounding[0], box[0]),
+                    min(bounding[1], box[1]),
+                    max(bounding[2], box[2]),
+                    max(bounding[3], box[3]),
+                )
+    else:
+        distinct_values = set(non_null_values)
+        if non_null_values and kind in (
+            DomainKind.INTEGER,
+            DomainKind.DOUBLE,
+            DomainKind.DATE,
+            DomainKind.STRING,
+        ):
+            try:
+                min_value = min(non_null_values)
+                max_value = max(non_null_values)
+            except TypeError:
+                min_value = max_value = None
+    duplicate_ratio = (
+        (non_null - len(distinct_values)) / non_null if non_null else 0.0
+    )
+    null_ratio = (total - non_null) / total if total else 0.0
+    observed: Tuple[Any, ...] = ()
+    if kind is not DomainKind.GEOMETRY:
+        observed = tuple(sorted(distinct_values, key=repr)[:_OBSERVED_CAP])
+    return ColumnProfile(
+        table=table.name,
+        name=column.lname,
+        sql_type=column.sql_type,
+        kind=kind,
+        total=total,
+        non_null=non_null,
+        distinct=len(distinct_values),
+        duplicate_ratio=duplicate_ratio,
+        null_ratio=null_ratio,
+        min_value=min_value,
+        max_value=max_value,
+        observed=observed,
+        bounding_box=bounding,
+        is_pk_member=pk_member,
+        fk_target=fk_target,
+    )
+
+
+def analyze(database: Database) -> DatabaseProfile:
+    """Run the analysis phase over the whole database."""
+    catalog = database.catalog
+    cycles_raw = catalog.fk_cycles()
+    cycle_tables: Set[str] = set()
+    for cycle in cycles_raw:
+        cycle_tables.update(cycle)
+    cycle_edges: Set[Tuple[str, str]] = set()
+    cycles: List[CycleInfo] = []
+    for cycle in cycles_raw:
+        chain = 0
+        members = set(cycle)
+        for table_name in cycle:
+            table = catalog.table(table_name)
+            chain = max(chain, table.row_count)
+            for fk in table.foreign_keys:
+                if fk.ref_table in members:
+                    for column in fk.columns:
+                        cycle_edges.add((table_name, column))
+        # the chase may at most walk each existing key once before closing
+        cycles.append(CycleInfo(tuple(cycle), max_chain=chain))
+    tables: Dict[str, TableProfile] = {}
+    for table in catalog.tables():
+        fk_by_column: Dict[str, Tuple[str, str]] = {}
+        for fk in table.foreign_keys:
+            if len(fk.columns) == 1:
+                fk_by_column[fk.columns[0]] = (fk.ref_table, fk.ref_columns[0])
+        pk_set = set(table.primary_key)
+        columns = {}
+        for position, column in enumerate(table.columns):
+            columns[column.lname] = _analyze_column(
+                table,
+                position,
+                fk_by_column.get(column.lname),
+                column.lname in pk_set,
+            )
+        tables[table.name] = TableProfile(table.name, table.row_count, columns)
+    return DatabaseProfile(tables=tables, cycles=cycles, cycle_edges=cycle_edges)

@@ -1,0 +1,296 @@
+"""VIG generation phase: grow a database by a tunable factor.
+
+Implements the strategies of Section 5.1:
+
+* **Duplicate Values Generation** -- each column receives duplicates with
+  the probability discovered in the analysis phase, drawn uniformly from
+  the existing values; intrinsically constant columns (duplicate ratio
+  ~1) never receive fresh values.
+* **Fresh Values Generation** -- fresh values are drawn from the interval
+  ``[min, max]`` of the column (or just beyond it once the interval is
+  exhausted), so selections keep returning results on generated data.
+* **Metadata Constraints** -- primary keys stay unique, foreign keys only
+  reference existing keys of the target table, and geometry values are
+  generated inside the minimal bounding rectangle of the observed
+  polygons.
+* **Length of Chase Cycles** -- FK columns participating in a cycle are
+  filled with duplicates or NULLs so insertion chains terminate.
+
+Growth semantics match the paper's naming: ``scale_database(db, g)``
+makes every table roughly ``g`` times its seed size (NPD2 = twice the
+seed, NPD50 = fifty times).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sql.catalog import Table
+from ..sql.engine import Database
+from ..sql.types import Geometry
+from .analysis import ColumnProfile, DatabaseProfile, DomainKind, analyze
+
+
+@dataclass
+class GenerationReport:
+    """What one VIG run did."""
+
+    growth_factor: float
+    rows_inserted: int
+    elapsed_seconds: float
+    per_table: Dict[str, int]
+
+    @property
+    def rows_per_second(self) -> float:
+        if self.elapsed_seconds == 0:
+            return float("inf")
+        return self.rows_inserted / self.elapsed_seconds
+
+
+class _ColumnGenerator:
+    """Value source for one column, following the analysis profile."""
+
+    def __init__(
+        self,
+        profile: ColumnProfile,
+        rng: random.Random,
+        parent_keys: Optional[List[Any]],
+        in_cycle: bool,
+        constant_threshold: float,
+    ):
+        self.profile = profile
+        self.rng = rng
+        self.parent_keys = parent_keys
+        self.in_cycle = in_cycle
+        self.constant = profile.is_constant(constant_threshold)
+        self.pool: List[Any] = list(profile.observed)
+        self._fresh_counter = 0
+        # fresh integers walk upward from the observed maximum when the
+        # in-interval space is exhausted; uniqueness for PKs is handled by
+        # the table generator's retry loop
+        self._next_beyond = None
+        if profile.kind is DomainKind.INTEGER and profile.max_value is not None:
+            self._next_beyond = int(profile.max_value) + 1
+
+    def next_value(self) -> Any:
+        profile = self.profile
+        if self.rng.random() < profile.null_ratio:
+            return None
+        if self.parent_keys is not None:
+            if self.in_cycle:
+                # close chase chains with a duplicate or NULL
+                if not self.parent_keys or self.rng.random() < 0.3:
+                    return None
+                return self.rng.choice(self.parent_keys)
+            if not self.parent_keys:
+                return None
+            return self.rng.choice(self.parent_keys)
+        if self.constant:
+            if not self.pool:
+                return None
+            return self.rng.choice(self.pool)
+        if self.pool and self.rng.random() < profile.duplicate_ratio:
+            return self.rng.choice(self.pool)
+        value = self._fresh_value()
+        if value is not None:
+            self.pool.append(value)
+        return value
+
+    def fresh_for_key(self) -> Any:
+        """A guaranteed-fresh value for PK retry loops."""
+        value = self._fresh_value(force_beyond=True)
+        if value is not None:
+            self.pool.append(value)
+        return value
+
+    def _fresh_value(self, force_beyond: bool = False) -> Any:
+        profile = self.profile
+        kind = profile.kind
+        self._fresh_counter += 1
+        if kind is DomainKind.INTEGER:
+            if (
+                not force_beyond
+                and profile.min_value is not None
+                and profile.max_value is not None
+                and profile.max_value > profile.min_value
+            ):
+                candidate = self.rng.randint(
+                    int(profile.min_value), int(profile.max_value)
+                )
+                return candidate
+            if self._next_beyond is None:
+                self._next_beyond = 1
+            value = self._next_beyond
+            self._next_beyond += 1
+            return value
+        if kind is DomainKind.DOUBLE:
+            low = profile.min_value if profile.min_value is not None else 0.0
+            high = profile.max_value if profile.max_value is not None else 1.0
+            if high <= low:
+                high = low + 1.0
+            return round(self.rng.uniform(low, high), 4)
+        if kind is DomainKind.DATE:
+            low = str(profile.min_value or "1970-01-01")
+            high = str(profile.max_value or "2014-12-31")
+            low_year, high_year = int(low[:4]), int(high[:4])
+            if high_year < low_year:
+                low_year, high_year = high_year, low_year
+            year = self.rng.randint(low_year, high_year)
+            return f"{year:04d}-{self.rng.randint(1, 12):02d}-{self.rng.randint(1, 28):02d}"
+        if kind is DomainKind.BOOLEAN:
+            return self.rng.random() < 0.5
+        if kind is DomainKind.GEOMETRY:
+            box = profile.bounding_box or (0.0, 0.0, 1000.0, 1000.0)
+            min_x, min_y, max_x, max_y = box
+            width = max(1.0, (max_x - min_x) / 20)
+            height = max(1.0, (max_y - min_y) / 20)
+            x = self.rng.uniform(min_x, max(min_x, max_x - width))
+            y = self.rng.uniform(min_y, max(min_y, max_y - height))
+            return Geometry.rectangle(x, y, x + width, y + height)
+        # strings: mutate an observed value so lexical shape is preserved
+        if self.pool:
+            base = str(self.rng.choice(self.pool))
+            return f"{base}-g{self._fresh_counter}"
+        return f"v{self._fresh_counter}"
+
+
+class VIG:
+    """The Virtual Instance Generator."""
+
+    def __init__(
+        self,
+        database: Database,
+        seed: int = 7,
+        constant_threshold: float = 0.95,
+        profile: Optional[DatabaseProfile] = None,
+    ):
+        self.database = database
+        self.rng = random.Random(seed)
+        self.constant_threshold = constant_threshold
+        self.profile = profile or analyze(database)
+
+    # -- table ordering -------------------------------------------------------
+
+    def _generation_order(self) -> List[Table]:
+        """Parents before children (cycle edges ignored for ordering)."""
+        catalog = self.database.catalog
+        cycle_edges = self.profile.cycle_edges
+        ordered: List[Table] = []
+        placed: Set[str] = set()
+        remaining = {table.name: table for table in catalog.tables()}
+        while remaining:
+            progressed = False
+            for name in list(remaining):
+                table = remaining[name]
+                blockers = set()
+                for fk in table.foreign_keys:
+                    if any((name, c) in cycle_edges for c in fk.columns):
+                        continue
+                    if fk.ref_table != name and fk.ref_table in remaining:
+                        blockers.add(fk.ref_table)
+                if not blockers:
+                    ordered.append(table)
+                    placed.add(name)
+                    del remaining[name]
+                    progressed = True
+            if not progressed:
+                # leftover strongly-connected tables: any order works since
+                # their cycle FKs are filled with duplicates/NULLs anyway
+                ordered.extend(remaining.values())
+                break
+        return ordered
+
+    # -- growth -----------------------------------------------------------------
+
+    def grow(self, growth_factor: float) -> GenerationReport:
+        """Grow every table to ``growth_factor ×`` its analyzed size."""
+        if growth_factor < 1:
+            raise ValueError("growth factor must be >= 1")
+        started = time.perf_counter()
+        per_table: Dict[str, int] = {}
+        total = 0
+        parent_keys_cache: Dict[Tuple[str, str], List[Any]] = {}
+
+        def parent_keys(table_name: str, column: str) -> List[Any]:
+            key = (table_name, column)
+            if key not in parent_keys_cache:
+                table = self.database.catalog.table(table_name)
+                position = table.column_position(column)
+                values = {
+                    row[position]
+                    for row in table.iter_rows()
+                    if row[position] is not None
+                }
+                parent_keys_cache[key] = list(values)
+            return parent_keys_cache[key]
+
+        for table in self._generation_order():
+            table_profile = self.profile.tables.get(table.name)
+            if table_profile is None or table_profile.row_count == 0:
+                per_table[table.name] = 0
+                continue
+            target = int(round(table_profile.row_count * growth_factor))
+            to_insert = max(0, target - table.row_count)
+            if to_insert == 0:
+                per_table[table.name] = 0
+                continue
+            generators: List[_ColumnGenerator] = []
+            for column in table.columns:
+                column_profile = table_profile.columns[column.lname]
+                keys = None
+                if column_profile.fk_target is not None:
+                    ref_table, ref_column = column_profile.fk_target
+                    keys = parent_keys(ref_table, ref_column)
+                generators.append(
+                    _ColumnGenerator(
+                        column_profile,
+                        self.rng,
+                        keys,
+                        (table.name, column.lname) in self.profile.cycle_edges,
+                        self.constant_threshold,
+                    )
+                )
+            pk_positions = [
+                table.column_position(column) for column in table.primary_key
+            ]
+            inserted = 0
+            attempts = 0
+            max_attempts = to_insert * 20 + 100
+            while inserted < to_insert and attempts < max_attempts:
+                attempts += 1
+                row = [generator.next_value() for generator in generators]
+                if pk_positions:
+                    # PK parts must be non-null; retry nulls with fresh values
+                    for position in pk_positions:
+                        if row[position] is None:
+                            row[position] = generators[position].fresh_for_key()
+                    key = tuple(row[position] for position in pk_positions)
+                    if any(part is None for part in key) or table.pk_exists(key):
+                        # nudge one PK column beyond the observed interval
+                        position = pk_positions[attempts % len(pk_positions)]
+                        row[position] = generators[position].fresh_for_key()
+                        key = tuple(row[p] for p in pk_positions)
+                        if any(part is None for part in key) or table.pk_exists(key):
+                            continue
+                table.insert(row)
+                inserted += 1
+                # newly inserted keys become available to children
+                for fk_key in list(parent_keys_cache):
+                    if fk_key[0] == table.name:
+                        position = table.column_position(fk_key[1])
+                        if row[position] is not None:
+                            parent_keys_cache[fk_key].append(row[position])
+            per_table[table.name] = inserted
+            total += inserted
+        elapsed = time.perf_counter() - started
+        return GenerationReport(growth_factor, total, elapsed, per_table)
+
+
+def scale_database(
+    database: Database, growth_factor: float, seed: int = 7
+) -> GenerationReport:
+    """Analyze + grow in one call (the common bench entry point)."""
+    return VIG(database, seed=seed).grow(growth_factor)

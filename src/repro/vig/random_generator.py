@@ -1,0 +1,126 @@
+"""The purely random baseline generator of Table 8.
+
+Grows tables by the same factor as VIG but ignores every statistic VIG
+preserves: values are drawn uniformly at random from wide type-level
+domains, with no duplicate-ratio, domain-interval, geometry-region or
+constant-column awareness.  Primary keys and foreign keys are still
+respected -- a generator producing rejected rows would be useless as a
+baseline -- which mirrors the paper's setup (its random baseline still
+yields a loadable database, just statistically wrong virtual instances).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..sql.catalog import Table
+from ..sql.engine import Database
+from ..sql.types import Geometry, SqlType
+from .analysis import DatabaseProfile, analyze
+from .generation import GenerationReport
+
+
+class RandomGenerator:
+    """Statistics-oblivious data growth."""
+
+    def __init__(
+        self,
+        database: Database,
+        seed: int = 7,
+        profile: Optional[DatabaseProfile] = None,
+    ):
+        self.database = database
+        self.rng = random.Random(seed)
+        self.profile = profile or analyze(database)
+
+    def _random_value(self, sql_type: SqlType) -> Any:
+        rng = self.rng
+        if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+            return rng.randint(0, 10_000_000)
+        if sql_type in (SqlType.DOUBLE, SqlType.DECIMAL):
+            return round(rng.uniform(-1e6, 1e6), 4)
+        if sql_type is SqlType.BOOLEAN:
+            return rng.random() < 0.5
+        if sql_type is SqlType.DATE:
+            return (
+                f"{rng.randint(1900, 2100):04d}-"
+                f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+            )
+        if sql_type is SqlType.GEOMETRY:
+            x = rng.uniform(-1e7, 1e7)
+            y = rng.uniform(-1e7, 1e7)
+            return Geometry.rectangle(x, y, x + rng.uniform(1, 1e5), y + rng.uniform(1, 1e5))
+        return "".join(rng.choices(string.ascii_uppercase + string.digits, k=12))
+
+    def grow(self, growth_factor: float) -> GenerationReport:
+        if growth_factor < 1:
+            raise ValueError("growth factor must be >= 1")
+        started = time.perf_counter()
+        per_table: Dict[str, int] = {}
+        total = 0
+        catalog = self.database.catalog
+        cycle_edges = self.profile.cycle_edges
+        parent_keys_cache: Dict[Tuple[str, str], List[Any]] = {}
+
+        def parent_keys(table_name: str, column: str) -> List[Any]:
+            key = (table_name, column)
+            if key not in parent_keys_cache:
+                table = catalog.table(table_name)
+                position = table.column_position(column)
+                parent_keys_cache[key] = [
+                    row[position]
+                    for row in table.iter_rows()
+                    if row[position] is not None
+                ]
+            return parent_keys_cache[key]
+
+        # reuse VIG's dependency order so FK targets exist before children
+        from .generation import VIG
+
+        order = VIG(self.database, profile=self.profile)._generation_order()
+        for table in order:
+            table_profile = self.profile.tables.get(table.name)
+            if table_profile is None or table_profile.row_count == 0:
+                per_table[table.name] = 0
+                continue
+            target = int(round(table_profile.row_count * growth_factor))
+            to_insert = max(0, target - table.row_count)
+            fk_by_column: Dict[str, Tuple[str, str]] = {}
+            for fk in table.foreign_keys:
+                if len(fk.columns) == 1:
+                    fk_by_column[fk.columns[0]] = (fk.ref_table, fk.ref_columns[0])
+            pk_positions = [table.column_position(c) for c in table.primary_key]
+            inserted = 0
+            attempts = 0
+            max_attempts = to_insert * 20 + 100
+            while inserted < to_insert and attempts < max_attempts:
+                attempts += 1
+                row: List[Any] = []
+                for column in table.columns:
+                    if column.lname in fk_by_column:
+                        if (table.name, column.lname) in cycle_edges:
+                            row.append(None)
+                            continue
+                        ref_table, ref_column = fk_by_column[column.lname]
+                        keys = parent_keys(ref_table, ref_column)
+                        row.append(self.rng.choice(keys) if keys else None)
+                    else:
+                        row.append(self._random_value(column.sql_type))
+                if pk_positions:
+                    key = tuple(row[p] for p in pk_positions)
+                    if any(part is None for part in key) or table.pk_exists(key):
+                        continue
+                table.insert(row)
+                inserted += 1
+                for fk_key in list(parent_keys_cache):
+                    if fk_key[0] == table.name:
+                        position = table.column_position(fk_key[1])
+                        if row[position] is not None:
+                            parent_keys_cache[fk_key].append(row[position])
+            per_table[table.name] = inserted
+            total += inserted
+        elapsed = time.perf_counter() - started
+        return GenerationReport(growth_factor, total, elapsed, per_table)

@@ -1,0 +1,125 @@
+"""Tests for the OBDA Mixer testing platform."""
+
+import pytest
+
+from repro.mixer import (
+    MIX_HEADERS,
+    Mixer,
+    OBDASystemAdapter,
+    PER_QUERY_HEADERS,
+    PhaseBreakdown,
+    TripleStoreAdapter,
+    format_table,
+    mix_report_rows,
+    per_query_rows,
+    run_mix,
+)
+from repro.obda import RewritingTripleStore, materialize
+
+EX = "http://ex.org/"
+PRE = f"PREFIX : <{EX}>\n"
+
+QUERIES = {
+    "qa": PRE + "SELECT ?p WHERE { ?p a :Person }",
+    "qb": PRE + "SELECT ?n WHERE { ?e :name ?n }",
+    "qc": PRE + "SELECT (COUNT(?p) AS ?n) WHERE { ?e :sellsProduct ?p }",
+}
+
+
+class TestPhaseBreakdown:
+    def test_overall_and_output(self):
+        phases = PhaseBreakdown(0.1, 0.2, 0.3, 0.4)
+        assert phases.overall == pytest.approx(1.0)
+        assert phases.output_time == pytest.approx(0.7)
+
+
+class TestMixerWithObda:
+    def test_run_produces_stats(self, example_engine):
+        report = Mixer(OBDASystemAdapter(example_engine), QUERIES).run(runs=2)
+        assert report.runs == 2
+        assert len(report.mix_seconds) == 2
+        assert set(report.per_query) == set(QUERIES)
+        assert report.errors == {}
+        qa = report.per_query["qa"]
+        assert qa.runs == 2
+        assert qa.avg_result_size == 2
+        assert qa.avg_overall >= qa.avg_execution
+
+    def test_qmph_positive(self, example_engine):
+        report = run_mix(OBDASystemAdapter(example_engine), QUERIES, runs=1)
+        assert report.qmph > 0
+        assert report.avg_mix_seconds > 0
+
+    def test_failing_query_recorded_not_fatal(self, example_engine):
+        queries = dict(QUERIES)
+        queries["bad"] = "THIS IS NOT SPARQL"
+        report = Mixer(OBDASystemAdapter(example_engine), queries).run(runs=1)
+        assert "bad" in report.errors
+        assert set(report.per_query) == set(QUERIES)
+
+    def test_quality_metrics_propagated(self, example_engine):
+        report = Mixer(OBDASystemAdapter(example_engine), QUERIES).run(runs=1)
+        assert "ucq_size" in report.per_query["qa"].quality
+
+    def test_loading_time_reported(self, example_engine):
+        report = Mixer(OBDASystemAdapter(example_engine), QUERIES).run(runs=1)
+        assert report.loading_seconds == example_engine.loading_seconds
+
+
+class TestMixerWithTripleStore:
+    def test_adapter(self, example_db, example_ontology, example_mappings):
+        store = RewritingTripleStore(example_ontology)
+        store.load_graph(materialize(example_db, example_mappings).graph)
+        report = Mixer(TripleStoreAdapter(store), QUERIES).run(runs=1)
+        assert report.errors == {}
+        assert report.per_query["qa"].avg_result_size == 2
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 10000.0]], "title")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "10,000" in text
+
+    def test_mix_report_rows(self, example_engine):
+        report = Mixer(OBDASystemAdapter(example_engine), QUERIES).run(runs=1)
+        rows = mix_report_rows(report, "NPD1", 123)
+        assert rows[0][0] == "NPD1"
+        assert rows[0][-1] == 123
+        assert len(rows[0]) == len(MIX_HEADERS)
+
+    def test_per_query_rows_sorted(self, example_engine):
+        report = Mixer(OBDASystemAdapter(example_engine), QUERIES).run(runs=1)
+        rows = per_query_rows(report)
+        assert len(rows) == 3
+        assert len(rows[0]) == len(PER_QUERY_HEADERS)
+
+
+class TestMultiClient:
+    def test_clients_multiply_records(self, example_engine):
+        mixer = Mixer(
+            OBDASystemAdapter(example_engine), QUERIES, warmup_runs=0, clients=3
+        )
+        report = mixer.run(runs=1)
+        assert report.clients == 3
+        assert report.per_query["qa"].runs == 3
+
+    def test_qmph_accounts_for_clients(self, example_engine):
+        single = Mixer(
+            OBDASystemAdapter(example_engine), QUERIES, warmup_runs=0, clients=1
+        ).run(runs=1)
+        multi = Mixer(
+            OBDASystemAdapter(example_engine), QUERIES, warmup_runs=0, clients=4
+        ).run(runs=1)
+        # on a single-core engine, 4 interleaved clients take ~4x the wall
+        # time per mix period, so aggregate QMpH stays in the same ballpark
+        assert multi.avg_mix_seconds > single.avg_mix_seconds
+        assert multi.qmph == pytest.approx(
+            4 * 3600 / multi.avg_mix_seconds
+        )
+
+    def test_zero_clients_rejected(self, example_engine):
+        with pytest.raises(ValueError):
+            Mixer(OBDASystemAdapter(example_engine), QUERIES, clients=0)

@@ -1,0 +1,126 @@
+"""Tests for the benchmark distribution exporter/importer."""
+
+import os
+
+import pytest
+
+from repro.npd.export import (
+    export_ddl,
+    export_distribution,
+    export_table_csv,
+    import_distribution,
+    import_mappings,
+    import_ontology,
+    import_table_csv,
+    main,
+)
+from repro.sql import Database
+from repro.sql.parser import parse_script
+
+
+class TestDdlExport:
+    def test_ddl_parses_and_creates(self):
+        ddl = export_ddl()
+        db = Database(enforce_foreign_keys=False)
+        for statement in parse_script(ddl):
+            db.execute(statement)
+        assert len(list(db.catalog.tables())) == 70
+
+
+class TestCsvRoundTrip:
+    def test_table_round_trip(self, tmp_path, npd_benchmark):
+        path = str(tmp_path / "licence.csv")
+        exported = export_table_csv(npd_benchmark.database, "licence", path)
+        assert exported == npd_benchmark.database.catalog.table("licence").row_count
+        fresh = Database(enforce_foreign_keys=False)
+        from repro.npd import create_schema
+
+        create_schema(fresh)
+        imported = import_table_csv(fresh, "licence", path)
+        assert imported == exported
+        original = sorted(
+            npd_benchmark.database.catalog.table("licence").iter_rows(),
+            key=repr,
+        )
+        reloaded = sorted(fresh.catalog.table("licence").iter_rows(), key=repr)
+        assert original == reloaded
+
+    def test_geometry_survives(self, tmp_path, npd_benchmark):
+        from repro.sql import Geometry
+
+        path = str(tmp_path / "block.csv")
+        export_table_csv(npd_benchmark.database, "block", path)
+        fresh = Database(enforce_foreign_keys=False)
+        from repro.npd import create_schema
+
+        create_schema(fresh)
+        import_table_csv(fresh, "block", path)
+        geometries = [
+            value
+            for value in fresh.catalog.table("block").column_values("geometry")
+            if value is not None
+        ]
+        assert geometries and all(isinstance(g, Geometry) for g in geometries)
+
+
+class TestFullDistribution:
+    @pytest.fixture(scope="class")
+    def dist(self, tmp_path_factory, npd_benchmark):
+        out = str(tmp_path_factory.mktemp("dist"))
+        counts = export_distribution(
+            out,
+            npd_benchmark.database,
+            npd_benchmark.ontology,
+            npd_benchmark.mappings,
+            npd_benchmark.queries,
+        )
+        return out, counts
+
+    def test_layout(self, dist):
+        out, counts = dist
+        assert os.path.exists(os.path.join(out, "schema.sql"))
+        assert os.path.exists(os.path.join(out, "ontology.owl"))
+        assert os.path.exists(os.path.join(out, "mappings.obda"))
+        assert os.path.exists(os.path.join(out, "MANIFEST.txt"))
+        assert os.path.exists(os.path.join(out, "queries", "q6.rq"))
+        assert counts["tables"] == 70
+        assert counts["queries"] == 21
+
+    def test_database_round_trip(self, dist, npd_benchmark):
+        out, counts = dist
+        reloaded = import_distribution(out)
+        assert reloaded.table_sizes() == npd_benchmark.database.table_sizes()
+        assert counts["rows"] == npd_benchmark.database.total_rows()
+
+    def test_ontology_round_trip(self, dist, npd_benchmark):
+        out, _ = dist
+        ontology = import_ontology(out)
+        assert ontology.classes == npd_benchmark.ontology.classes
+        assert len(ontology.axioms) == len(npd_benchmark.ontology.axioms)
+
+    def test_mappings_round_trip(self, dist, npd_benchmark):
+        out, _ = dist
+        mappings = import_mappings(out)
+        assert len(mappings) == len(npd_benchmark.mappings)
+        assert mappings.entities() == npd_benchmark.mappings.entities()
+
+    def test_reimported_benchmark_answers_queries(self, dist, npd_benchmark):
+        from repro.obda import OBDAEngine
+
+        out, _ = dist
+        database = import_distribution(out)
+        engine = OBDAEngine(database, import_ontology(out), import_mappings(out))
+        result = engine.execute(npd_benchmark.queries["q16"].sparql)
+        assert len(result) == 1
+
+
+class TestCli:
+    def test_main_exports(self, tmp_path, capsys):
+        from repro.npd import SeedProfile
+
+        out = str(tmp_path / "dist")
+        # CLI builds its own benchmark; keep it quick with the default seed
+        code = main(["--out", out, "--seed", "9"])
+        assert code == 0
+        assert os.path.exists(os.path.join(out, "MANIFEST.txt"))
+        assert "written to" in capsys.readouterr().out

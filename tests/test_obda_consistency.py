@@ -1,0 +1,115 @@
+"""Tests for OBDA-level consistency checking (disjointness via SQL)."""
+
+import pytest
+
+from repro.obda import (
+    OBDAConsistencyChecker,
+    check_consistency,
+    compile_tmappings,
+    parse_obda,
+)
+from repro.owl import ClassConcept, Ontology, QLReasoner
+from repro.sql import Database
+
+EX = "http://ex.org/"
+
+OBDA_DOC = """
+[PrefixDeclaration]
+:\thttp://ex.org/
+
+[MappingDeclaration] @collection [[
+mappingId\texploration
+target\t\t:w/{id} a :Exploration .
+source\t\tSELECT id FROM exploration
+
+mappingId\tdevelopment
+target\t\t:w/{id} a :Development .
+source\t\tSELECT id FROM development
+
+mappingId\tcompany
+target\t\t:c/{cid} a :Company .
+source\t\tSELECT cid FROM company
+]]
+"""
+
+
+@pytest.fixture()
+def setup():
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE exploration (id INTEGER PRIMARY KEY);
+        CREATE TABLE development (id INTEGER PRIMARY KEY);
+        CREATE TABLE company (cid INTEGER PRIMARY KEY);
+        INSERT INTO exploration VALUES (1), (2), (3);
+        INSERT INTO development VALUES (10), (11);
+        INSERT INTO company VALUES (1), (2);
+        """
+    )
+    onto = Ontology()
+    onto.add_subclass(EX + "Exploration", EX + "Wellbore")
+    onto.add_subclass(EX + "Development", EX + "Wellbore")
+    onto.add_disjoint(EX + "Exploration", EX + "Development")
+    onto.add_disjoint(EX + "Wellbore", EX + "Company")
+    reasoner = QLReasoner(onto)
+    _, mappings = parse_obda(OBDA_DOC)
+    compiled = compile_tmappings(reasoner, mappings).mappings
+    return db, reasoner, compiled
+
+
+class TestConsistency:
+    def test_consistent_instance(self, setup):
+        db, reasoner, mappings = setup
+        report = check_consistency(db, reasoner, mappings)
+        assert report.consistent
+        assert report.checked_pairs >= 2
+        assert report.executed_queries >= 1
+        # wellbore templates vs company templates never overlap: pruned
+        assert report.skipped_incompatible >= 1
+
+    def test_violation_detected(self, setup):
+        db, reasoner, mappings = setup
+        # id 1 becomes both an exploration and a development wellbore
+        db.execute("INSERT INTO development VALUES (1)")
+        report = check_consistency(db, reasoner, mappings)
+        assert not report.consistent
+        witness = report.witnesses[0]
+        assert witness.iri == EX + "w/1"
+        concepts = {witness.first_concept, witness.second_concept}
+        assert concepts == {EX + "Exploration", EX + "Development"}
+
+    def test_template_incompatibility_never_misfires(self, setup):
+        db, reasoner, mappings = setup
+        # company cid=1 exists alongside wellbore id=1, but the templates
+        # differ, so Wellbore/Company disjointness cannot be violated
+        report = check_consistency(db, reasoner, mappings)
+        for witness in report.witnesses:
+            assert {witness.first_concept, witness.second_concept} != {
+                EX + "Wellbore",
+                EX + "Company",
+            }
+
+    def test_max_witnesses_stops_early(self, setup):
+        db, reasoner, mappings = setup
+        db.execute("INSERT INTO development VALUES (1), (2), (3)")
+        report = check_consistency(db, reasoner, mappings, max_witnesses=1)
+        assert len(report.witnesses) >= 1
+
+    def test_check_pair_direct(self, setup):
+        db, reasoner, mappings = setup
+        db.execute("INSERT INTO development VALUES (2)")
+        checker = OBDAConsistencyChecker(db, reasoner, mappings)
+        witnesses, executed, _ = checker.check_pair(
+            ClassConcept(EX + "Exploration"), ClassConcept(EX + "Development")
+        )
+        assert executed >= 1
+        assert [w.iri for w in witnesses] == [EX + "w/2"]
+
+
+class TestNpdConsistency:
+    def test_npd_seed_is_consistent(self, npd_benchmark, npd_engine):
+        report = check_consistency(
+            npd_benchmark.database, npd_engine.reasoner, npd_engine.mappings
+        )
+        assert report.consistent
+        assert report.executed_queries > 0

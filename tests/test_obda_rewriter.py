@@ -1,0 +1,208 @@
+"""Tests for CQs and tree-witness rewriting."""
+
+import pytest
+
+from repro.obda import (
+    ClassAtom,
+    ConjunctiveQuery,
+    DataAtom,
+    RoleAtom,
+    TreeWitnessRewriter,
+    Vocabulary,
+    bgp_to_cq,
+    cq_homomorphism,
+    prune_redundant_cqs,
+)
+from repro.owl import Ontology, QLReasoner, Role
+from repro.rdf import IRI, Literal
+from repro.sparql import TriplePattern, Var
+from repro.sparql.parser import parse_query
+
+EX = "http://ex.org/"
+
+
+@pytest.fixture()
+def ontology():
+    o = Ontology()
+    o.add_subclass(EX + "ExplorationWellbore", EX + "Wellbore")
+    o.add_subproperty(EX + "completedBy", EX + "operatedBy")
+    o.add_domain(EX + "operatedBy", EX + "Wellbore")
+    o.add_range(EX + "operatedBy", EX + "Company")
+    o.add_data_domain(EX + "name", EX + "Wellbore")
+    # existentials: every wellbore has some core; every core is for a wellbore
+    o.add_existential(
+        EX + "Wellbore", Role(EX + "coreFor", inverse=True), EX + "Core"
+    )
+    o.add_existential(EX + "Core", Role(EX + "coreFor"), EX + "Wellbore")
+    return o
+
+
+@pytest.fixture()
+def reasoner(ontology):
+    return QLReasoner(ontology)
+
+
+def rewrite(reasoner, cq, **kwargs):
+    return TreeWitnessRewriter(reasoner, **kwargs).rewrite(cq)
+
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestCqModel:
+    def test_role_atom_normalizes_inverse(self):
+        atom = RoleAtom.of(Role(EX + "p", inverse=True), x, y)
+        assert atom == RoleAtom(EX + "p", y, x)
+
+    def test_unbound_detection(self):
+        cq = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, y),))
+        assert cq.is_unbound(y)
+        assert not cq.is_unbound(x)
+
+    def test_canonical_renames_consistently(self):
+        cq1 = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, Var("a")),))
+        cq2 = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, Var("b")),))
+        assert cq1.canonical() == cq2.canonical()
+
+    def test_substitute(self):
+        cq = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, y), ClassAtom(EX + "C", y)))
+        sub = cq.substitute({y: z})
+        assert all(y not in atom.terms() for atom in sub.atoms)
+
+    def test_bgp_to_cq_classification(self, ontology):
+        vocabulary = Vocabulary.from_ontology(ontology)
+        triples = [
+            TriplePattern(
+                x,
+                IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                IRI(EX + "Wellbore"),
+            ),
+            TriplePattern(x, IRI(EX + "operatedBy"), y),
+            TriplePattern(x, IRI(EX + "name"), z),
+        ]
+        cq = bgp_to_cq(triples, [x], vocabulary)
+        assert isinstance(cq.atoms[0], ClassAtom)
+        assert isinstance(cq.atoms[1], RoleAtom)
+        assert isinstance(cq.atoms[2], DataAtom)
+
+
+class TestHierarchyRewriting:
+    def test_class_atom_expands_to_subclasses(self, reasoner):
+        cq = ConjunctiveQuery((x,), (ClassAtom(EX + "Wellbore", x),))
+        result = rewrite(reasoner, cq)
+        rendered = {str(q) for q in result.cqs}
+        assert any("ExplorationWellbore" in r for r in rendered)
+        # domain axiom: ∃operatedBy ⊑ Wellbore gives a role-atom variant
+        assert any("operatedBy" in r for r in rendered)
+
+    def test_role_atom_expands_to_subroles(self, reasoner):
+        cq = ConjunctiveQuery((x, y), (RoleAtom(EX + "operatedBy", x, y),))
+        result = rewrite(reasoner, cq)
+        assert any(
+            isinstance(q.atoms[0], RoleAtom) and q.atoms[0].role == EX + "completedBy"
+            for q in result.cqs
+        )
+
+    def test_hierarchy_expansion_can_be_disabled(self, reasoner):
+        cq = ConjunctiveQuery((x,), (ClassAtom(EX + "Wellbore", x),))
+        result = rewrite(reasoner, cq, expand_hierarchy=False)
+        assert result.ucq_size == 1
+
+
+class TestExistentialRewriting:
+    def test_absorption(self, reasoner):
+        # q(x) :- coreFor(y, x) with y unbound: a wellbore with *some* core.
+        # The axiom Wellbore ⊑ ∃coreFor⁻.Core absorbs the atom.
+        cq = ConjunctiveQuery((x,), (RoleAtom(EX + "coreFor", y, x),))
+        result = rewrite(reasoner, cq, expand_hierarchy=False)
+        assert any(
+            len(q.atoms) == 1 and isinstance(q.atoms[0], ClassAtom)
+            and q.atoms[0].cls == EX + "Wellbore"
+            for q in result.cqs
+        )
+
+    def test_tree_witness_folding_with_class_atom(self, reasoner):
+        # q(x) :- coreFor(y, x) ∧ Core(y): folds into Wellbore(x)
+        cq = ConjunctiveQuery(
+            (x,),
+            (RoleAtom(EX + "coreFor", y, x), ClassAtom(EX + "Core", y)),
+        )
+        result = rewrite(reasoner, cq, expand_hierarchy=False)
+        assert any(
+            len(q.atoms) == 1
+            and isinstance(q.atoms[0], ClassAtom)
+            and q.atoms[0].cls == EX + "Wellbore"
+            for q in result.cqs
+        )
+        assert result.tree_witnesses >= 1
+
+    def test_no_absorption_when_var_is_answer(self, reasoner):
+        cq = ConjunctiveQuery((x, y), (RoleAtom(EX + "coreFor", y, x),))
+        result = rewrite(reasoner, cq, expand_hierarchy=False)
+        assert result.ucq_size == 1
+        assert result.tree_witnesses == 0
+
+    def test_existential_disabled(self, reasoner):
+        cq = ConjunctiveQuery((x,), (RoleAtom(EX + "coreFor", y, x),))
+        result = rewrite(reasoner, cq, expand_hierarchy=False, enable_existential=False)
+        assert result.ucq_size == 1
+        assert result.tree_witnesses == 0
+
+    def test_tree_witness_count_both_orientations(self, reasoner):
+        # coreFor(a, b) with both ends non-answer: witnesses both ways
+        a, b = Var("a"), Var("b")
+        cq = ConjunctiveQuery(
+            (x,),
+            (
+                DataAtom(EX + "name", x, Var("n")),
+                RoleAtom(EX + "coreFor", a, x),
+            ),
+        )
+        result = rewrite(reasoner, cq, expand_hierarchy=False)
+        assert result.tree_witnesses == 1
+
+    def test_max_ucq_cap(self, reasoner):
+        cq = ConjunctiveQuery((x,), (ClassAtom(EX + "Wellbore", x),))
+        result = rewrite(reasoner, cq, max_ucq=2)
+        assert result.ucq_size == 2
+
+
+class TestContainmentPruning:
+    def test_homomorphism_identity(self):
+        cq = ConjunctiveQuery((x,), (ClassAtom(EX + "C", x),))
+        assert cq_homomorphism(cq, cq)
+
+    def test_more_general_contains_specific(self):
+        general = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, y),))
+        specific = ConjunctiveQuery(
+            (x,), (RoleAtom(EX + "p", x, z), ClassAtom(EX + "C", z))
+        )
+        assert cq_homomorphism(general, specific)
+        assert not cq_homomorphism(specific, general)
+
+    def test_different_predicates_no_hom(self):
+        cq1 = ConjunctiveQuery((x,), (ClassAtom(EX + "C", x),))
+        cq2 = ConjunctiveQuery((x,), (ClassAtom(EX + "D", x),))
+        assert not cq_homomorphism(cq1, cq2)
+
+    def test_answer_vars_preserved(self):
+        general = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, y),))
+        swapped = ConjunctiveQuery((x,), (RoleAtom(EX + "p", y, x),))
+        assert not cq_homomorphism(general, swapped)
+
+    def test_prune_redundant(self):
+        general = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, y),))
+        specific = ConjunctiveQuery(
+            (x,), (RoleAtom(EX + "p", x, z), ClassAtom(EX + "C", z))
+        )
+        kept = prune_redundant_cqs([general, specific])
+        assert kept == [general]
+
+    def test_constants_must_match(self):
+        c = IRI(EX + "k")
+        cq1 = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, c),))
+        cq2 = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, Literal("v")),))
+        assert not cq_homomorphism(cq1, cq2)
+        # but a variable maps onto a constant fine
+        general = ConjunctiveQuery((x,), (RoleAtom(EX + "p", x, y),))
+        assert cq_homomorphism(general, cq1)

@@ -1,0 +1,205 @@
+"""Tests for T-mapping compilation and containment optimization."""
+
+import pytest
+
+from repro.obda import (
+    ConstantTermMap,
+    IriTermMap,
+    LiteralTermMap,
+    MappingAssertion,
+    MappingCollection,
+    RDF_TYPE_IRI,
+    Template,
+    compile_tmappings,
+)
+from repro.obda.containment import source_contains, union_branches, unwrap
+from repro.owl import Ontology, QLReasoner, Role
+from repro.rdf import IRI
+from repro.sql.parser import parse_select
+
+EX = "http://ex.org/"
+T_W = Template(EX + "w/{id}")
+T_C = Template(EX + "c/{cid}")
+
+
+def class_assertion(aid, cls, source, template=T_W):
+    return MappingAssertion(
+        aid, source, IriTermMap(template), RDF_TYPE_IRI, ConstantTermMap(IRI(cls))
+    )
+
+
+def property_assertion(aid, prop, source, subject=T_W, obj=T_C):
+    return MappingAssertion(aid, source, IriTermMap(subject), prop, IriTermMap(obj))
+
+
+@pytest.fixture()
+def ontology():
+    o = Ontology()
+    o.add_subclass(EX + "Exploration", EX + "Wellbore")
+    o.add_domain(EX + "operatedBy", EX + "Wellbore")
+    o.add_range(EX + "operatedBy", EX + "Company")
+    o.add_subproperty(EX + "completedBy", EX + "operatedBy")
+    o.add_data_domain(EX + "name", EX + "Wellbore")
+    return o
+
+
+@pytest.fixture()
+def reasoner(ontology):
+    return QLReasoner(ontology)
+
+
+class TestCompilation:
+    def test_subclass_mappings_lifted(self, reasoner):
+        mappings = MappingCollection(
+            [
+                class_assertion("m1", EX + "Exploration", "SELECT id FROM expl"),
+            ]
+        )
+        compiled = compile_tmappings(reasoner, mappings).mappings
+        wellbore = compiled.for_entity(EX + "Wellbore")
+        assert len(wellbore) == 1
+        assert wellbore[0].source_sql == "SELECT id FROM expl"
+
+    def test_domain_gives_class_from_property(self, reasoner):
+        mappings = MappingCollection(
+            [
+                property_assertion(
+                    "m1", EX + "operatedBy", "SELECT id, cid FROM op"
+                ),
+            ]
+        )
+        compiled = compile_tmappings(reasoner, mappings).mappings
+        wellbore = compiled.for_entity(EX + "Wellbore")
+        assert len(wellbore) == 1
+        assert repr(wellbore[0].subject) == repr(IriTermMap(T_W))
+
+    def test_range_gives_class_from_object_side(self, reasoner):
+        mappings = MappingCollection(
+            [property_assertion("m1", EX + "operatedBy", "SELECT id, cid FROM op")]
+        )
+        compiled = compile_tmappings(reasoner, mappings).mappings
+        company = compiled.for_entity(EX + "Company")
+        assert len(company) == 1
+        assert repr(company[0].subject) == repr(IriTermMap(T_C))
+
+    def test_subproperty_lifted(self, reasoner):
+        mappings = MappingCollection(
+            [property_assertion("m1", EX + "completedBy", "SELECT id, cid FROM cb")]
+        )
+        compiled = compile_tmappings(reasoner, mappings).mappings
+        assert len(compiled.for_entity(EX + "operatedBy")) == 1
+        assert len(compiled.for_entity(EX + "completedBy")) == 1
+
+    def test_duplicates_removed(self, reasoner):
+        mappings = MappingCollection(
+            [
+                class_assertion("m1", EX + "Wellbore", "SELECT id FROM w"),
+                class_assertion("m2", EX + "Wellbore", "select id from w"),
+            ]
+        )
+        result = compile_tmappings(reasoner, mappings)
+        assert len(result.mappings.for_entity(EX + "Wellbore")) == 1
+        assert result.duplicate_assertions_removed >= 1
+
+    def test_unknown_entities_preserved(self, reasoner):
+        mappings = MappingCollection(
+            [class_assertion("m1", EX + "Unknown", "SELECT id FROM u")]
+        )
+        compiled = compile_tmappings(reasoner, mappings).mappings
+        assert len(compiled.for_entity(EX + "Unknown")) == 1
+
+
+class TestContainment:
+    def test_unwrap_nested(self):
+        stmt = parse_select("SELECT * FROM (SELECT id FROM t) sub")
+        assert unwrap(stmt).to_sql() == parse_select("SELECT id FROM t").to_sql()
+
+    def test_union_branches(self):
+        stmt = parse_select("SELECT id FROM a UNION SELECT id FROM b")
+        assert len(union_branches(stmt)) == 2
+
+    def test_filter_contained_in_unfiltered(self):
+        assert source_contains(
+            "SELECT id FROM t",
+            "SELECT id FROM t WHERE purpose = 'WILDCAT'",
+            ["id"],
+        )
+        assert not source_contains(
+            "SELECT id FROM t WHERE purpose = 'WILDCAT'",
+            "SELECT id FROM t",
+            ["id"],
+        )
+
+    def test_conjunct_subset(self):
+        assert source_contains(
+            "SELECT id FROM t WHERE a = 1",
+            "SELECT id FROM t WHERE a = 1 AND b = 2",
+            ["id"],
+        )
+
+    def test_different_tables_not_contained(self):
+        assert not source_contains("SELECT id FROM t", "SELECT id FROM u", ["id"])
+
+    def test_union_contained_branchwise(self):
+        assert source_contains(
+            "SELECT id FROM a UNION SELECT id FROM b",
+            "SELECT id FROM a WHERE x = 1 UNION SELECT id FROM b WHERE y = 2",
+            ["id"],
+        )
+        assert not source_contains(
+            "SELECT id FROM a",
+            "SELECT id FROM a UNION SELECT id FROM b",
+            ["id"],
+        )
+
+    def test_nested_equivalence(self):
+        assert source_contains(
+            "SELECT id FROM t", "SELECT * FROM (SELECT id FROM t) s", ["id"]
+        )
+
+    def test_aliased_column_definitions_checked(self):
+        assert not source_contains(
+            "SELECT a AS id FROM t",
+            "SELECT b AS id FROM t",
+            ["id"],
+        )
+
+    def test_containment_pass_drops_subsumed(self, reasoner):
+        mappings = MappingCollection(
+            [
+                class_assertion("m1", EX + "Wellbore", "SELECT id FROM w"),
+                class_assertion(
+                    "m2", EX + "Exploration", "SELECT id FROM w WHERE k = 'E'"
+                ),
+            ]
+        )
+        result = compile_tmappings(reasoner, mappings, optimize=True)
+        # Wellbore collects both, but the filtered one is contained
+        assert len(result.mappings.for_entity(EX + "Wellbore")) == 1
+        assert result.contained_assertions_removed >= 1
+        # the subclass entity itself keeps its own mapping
+        assert len(result.mappings.for_entity(EX + "Exploration")) == 1
+
+    def test_optimize_false_keeps_redundancy(self, reasoner):
+        mappings = MappingCollection(
+            [
+                class_assertion("m1", EX + "Wellbore", "SELECT id FROM w"),
+                class_assertion(
+                    "m2", EX + "Exploration", "SELECT id FROM w WHERE k = 'E'"
+                ),
+            ]
+        )
+        result = compile_tmappings(reasoner, mappings, optimize=False)
+        assert len(result.mappings.for_entity(EX + "Wellbore")) == 2
+
+    def test_mutual_containment_keeps_one(self, reasoner):
+        mappings = MappingCollection(
+            [
+                class_assertion("a", EX + "Wellbore", "SELECT id FROM w"),
+                class_assertion(
+                    "b", EX + "Wellbore", "SELECT * FROM (SELECT id FROM w) s"
+                ),
+            ]
+        )
+        result = compile_tmappings(reasoner, mappings, optimize=True)
+        assert len(result.mappings.for_entity(EX + "Wellbore")) == 1

@@ -1,0 +1,98 @@
+"""Tests for the rewriting triple-store baseline."""
+
+import pytest
+
+from repro.obda import RewritingTripleStore, cq_to_triples
+from repro.obda.cq import ClassAtom, ConjunctiveQuery, DataAtom, RoleAtom
+from repro.owl import Ontology, Role
+from repro.rdf import Graph, IRI, Literal, RDF_TYPE, XSD_INTEGER
+from repro.sparql import Var
+
+EX = "http://ex.org/"
+PRE = f"PREFIX : <{EX}>\n"
+
+
+@pytest.fixture()
+def ontology():
+    o = Ontology()
+    o.add_subclass(EX + "Exploration", EX + "Wellbore")
+    o.add_domain(EX + "hasCore", EX + "Wellbore")
+    o.add_data_domain(EX + "name", EX + "Wellbore")
+    o.add_existential(EX + "Exploration", EX + "hasCore", EX + "Core")
+    return o
+
+
+@pytest.fixture()
+def store(ontology):
+    s = RewritingTripleStore(ontology)
+    g = Graph()
+    g.add(IRI(EX + "w1"), RDF_TYPE, IRI(EX + "Exploration"))
+    g.add(IRI(EX + "w1"), IRI(EX + "name"), Literal("W1"))
+    g.add(IRI(EX + "w2"), IRI(EX + "hasCore"), IRI(EX + "c1"))
+    g.add(IRI(EX + "w2"), IRI(EX + "name"), Literal("W2"))
+    s.load_graph(g)
+    return s
+
+
+class TestRewritingStore:
+    def test_loading_counts(self, store):
+        assert len(store) == 4
+        assert store.load_seconds >= 0
+
+    def test_hierarchy_answered_by_rewriting(self, store):
+        answer = store.execute(PRE + "SELECT ?w WHERE { ?w a :Wellbore }")
+        values = sorted(row[0] for row in answer.result.to_python_rows())
+        # w1 via subclass, w2 via domain of hasCore
+        assert values == [EX + "w1", EX + "w2"]
+
+    def test_existential_reasoning(self, store):
+        answer = store.execute(
+            PRE + "SELECT ?n WHERE { ?w :name ?n . ?w :hasCore ?c }"
+        )
+        # w2 has an actual core; w1 is Exploration ⊑ ∃hasCore.Core
+        values = sorted(row[0] for row in answer.result.to_python_rows())
+        assert values == ["W1", "W2"]
+
+    def test_existential_can_be_disabled(self, store):
+        answer = store.execute(
+            PRE + "SELECT ?n WHERE { ?w :name ?n . ?w :hasCore ?c }",
+            enable_existential=False,
+        )
+        assert [row[0] for row in answer.result.to_python_rows()] == ["W2"]
+
+    def test_reasoning_off_is_plain_sparql(self, ontology):
+        s = RewritingTripleStore(ontology, reasoning=False)
+        g = Graph()
+        g.add(IRI(EX + "w1"), RDF_TYPE, IRI(EX + "Exploration"))
+        s.load_graph(g)
+        answer = s.execute(PRE + "SELECT ?w WHERE { ?w a :Wellbore }")
+        assert answer.result.rows == []
+
+    def test_rewriting_metrics_exposed(self, store):
+        answer = store.execute(PRE + "SELECT ?w WHERE { ?w a :Wellbore }")
+        assert answer.rewriting is not None
+        assert answer.rewriting.ucq_size >= 2
+        assert answer.overall_seconds >= answer.execution_seconds
+
+    def test_dedup_across_union_branches(self, store):
+        # w1 is both Exploration and (via hierarchy) Wellbore: one answer
+        answer = store.execute(PRE + "SELECT ?w WHERE { ?w a :Wellbore }")
+        values = [row[0] for row in answer.result.to_python_rows()]
+        assert values.count(EX + "w1") == 1
+
+
+class TestCqToTriples:
+    def test_round_trip_shapes(self):
+        x, y = Var("x"), Var("y")
+        cq = ConjunctiveQuery(
+            (x,),
+            (
+                ClassAtom(EX + "C", x),
+                RoleAtom(EX + "p", x, y),
+                DataAtom(EX + "d", x, Literal("5", XSD_INTEGER)),
+            ),
+        )
+        triples = cq_to_triples(cq)
+        assert triples[0].predicate == RDF_TYPE
+        assert triples[1].predicate == IRI(EX + "p")
+        assert triples[2].obj == Literal("5", XSD_INTEGER)

@@ -1,0 +1,99 @@
+"""Tests for OWL functional-syntax serialization round-trips."""
+
+import pytest
+
+from repro.owl import (
+    ClassConcept,
+    Ontology,
+    OwlSyntaxError,
+    QualifiedSome,
+    Role,
+    SomeValues,
+    ontology_to_string,
+    parse_ontology,
+)
+
+EX = "http://ex.org/"
+
+
+@pytest.fixture()
+def ontology():
+    o = Ontology(EX + "onto")
+    o.add_subclass(EX + "A", EX + "B")
+    o.add_subclass(SomeValues(Role(EX + "p")), EX + "B")
+    o.add_subclass(SomeValues(Role(EX + "p", inverse=True)), EX + "C")
+    o.add_existential(EX + "A", Role(EX + "q"), EX + "C")
+    o.add_existential(EX + "A", Role(EX + "r", inverse=True), None)
+    o.add_subproperty(Role(EX + "q"), Role(EX + "p"))
+    o.add_data_domain(EX + "name", EX + "A")
+    o.add_data_subproperty(EX + "shortName", EX + "name")
+    o.add_disjoint(EX + "A", EX + "C")
+    o.add_disjoint_properties(Role(EX + "p"), Role(EX + "r"))
+    return o
+
+
+class TestRoundTrip:
+    def test_identity(self, ontology):
+        text = ontology_to_string(ontology)
+        parsed = parse_ontology(text)
+        assert parsed.iri == ontology.iri
+        assert parsed.classes == ontology.classes
+        assert parsed.object_properties == ontology.object_properties
+        assert parsed.data_properties == ontology.data_properties
+        assert len(parsed.axioms) == len(ontology.axioms)
+        # serialization of the reparse is byte-identical (canonical form)
+        assert ontology_to_string(parsed) == text
+
+    def test_inverse_roles_preserved(self, ontology):
+        parsed = parse_ontology(ontology_to_string(ontology))
+        inverse_axioms = [
+            a
+            for a in parsed.subclass_axioms()
+            if isinstance(a.sub, SomeValues) and a.sub.role.inverse
+        ]
+        assert inverse_axioms
+
+    def test_qualified_existential_preserved(self, ontology):
+        parsed = parse_ontology(ontology_to_string(ontology))
+        quals = [
+            a.sup
+            for a in parsed.subclass_axioms()
+            if isinstance(a.sup, QualifiedSome)
+        ]
+        assert quals == [QualifiedSome(Role(EX + "q"), ClassConcept(EX + "C"))]
+
+    def test_npd_round_trip(self, npd_benchmark):
+        text = ontology_to_string(npd_benchmark.ontology)
+        parsed = parse_ontology(text)
+        assert parsed.classes == npd_benchmark.ontology.classes
+        assert len(parsed.axioms) == len(npd_benchmark.ontology.axioms)
+
+    def test_reasoning_equivalent_after_round_trip(self, ontology):
+        from repro.owl import QLReasoner
+
+        original = QLReasoner(ontology)
+        reparsed = QLReasoner(parse_ontology(ontology_to_string(ontology)))
+        concept = ClassConcept(EX + "B")
+        assert set(map(str, original.subconcepts_of(concept))) == set(
+            map(str, reparsed.subconcepts_of(concept))
+        )
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(OwlSyntaxError):
+            parse_ontology("SubClassOf(<http://a> <http://b>)")
+
+    def test_truncated(self):
+        with pytest.raises(OwlSyntaxError):
+            parse_ontology("Ontology(<http://o>\nSubClassOf(<http://a>")
+
+    def test_garbage_token(self):
+        with pytest.raises(OwlSyntaxError):
+            parse_ontology("Ontology(<http://o>\n@@nonsense\n)")
+
+    def test_unknown_construct(self):
+        with pytest.raises(OwlSyntaxError):
+            parse_ontology(
+                "Ontology(<http://o>\nEquivalentClasses(<http://a> <http://b>)\n)"
+            )

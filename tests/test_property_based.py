@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obda import Template, cq_homomorphism, prune_redundant_cqs
+from repro.obda.cq import ClassAtom, ConjunctiveQuery, RoleAtom
+from repro.rdf import Graph, IRI, Literal, XSD_INTEGER
+from repro.rdf.ntriples import parse_line, serialize_triple
+from repro.sparql import Var
+from repro.sql import Database, mysql_profile, postgresql_profile
+from repro.sql.expressions import sql_compare
+from repro.sql.indexes import SortedIndex
+
+# -- strategies -------------------------------------------------------------
+
+iri_local = st.text(
+    alphabet=string.ascii_letters + string.digits, min_size=1, max_size=8
+)
+iris = iri_local.map(lambda s: IRI("http://ex.org/" + s))
+literals = st.one_of(
+    st.text(
+        alphabet=string.ascii_letters + string.digits + " _-",
+        max_size=12,
+    ).map(Literal),
+    st.integers(min_value=-10_000, max_value=10_000).map(
+        lambda n: Literal(str(n), XSD_INTEGER)
+    ),
+)
+terms = st.one_of(iris, literals)
+triples = st.tuples(iris, iris, terms)
+
+
+class TestNTriplesRoundTrip:
+    @given(triple=triples)
+    def test_serialize_parse_identity(self, triple):
+        assert parse_line(serialize_triple(triple)) == triple
+
+
+class TestGraphInvariants:
+    @given(triple_list=st.lists(triples, max_size=30))
+    def test_size_equals_distinct_triples(self, triple_list):
+        g = Graph()
+        for t in triple_list:
+            g.add(*t)
+        assert len(g) == len(set(triple_list))
+
+    @given(triple_list=st.lists(triples, max_size=30))
+    def test_all_indexes_agree(self, triple_list):
+        g = Graph(triple_list)
+        for s, p, o in set(triple_list):
+            assert (s, p, o) in g
+            assert (s, p, o) in set(g.triples(s, None, None))
+            assert (s, p, o) in set(g.triples(None, p, None))
+            assert (s, p, o) in set(g.triples(None, None, o))
+
+    @given(triple_list=st.lists(triples, min_size=1, max_size=20))
+    def test_remove_restores_absence(self, triple_list):
+        g = Graph(triple_list)
+        victim = triple_list[0]
+        g.remove(*victim)
+        assert victim not in g
+        assert len(g) == len(set(triple_list)) - 1
+
+
+class TestTemplateInversion:
+    @given(
+        values=st.lists(
+            st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=6),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_match_inverts_render(self, values):
+        pattern = "http://x/" + "/".join("{c%d}" % i for i in range(len(values)))
+        template = Template(pattern)
+        rendered = template.render(values)
+        assert rendered is not None
+        assert template.match(rendered) == tuple(values)
+
+
+class TestSqlCompareProperties:
+    numeric = st.one_of(
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+
+    @given(a=numeric, b=numeric)
+    def test_antisymmetry(self, a, b):
+        ab = sql_compare(a, b)
+        ba = sql_compare(b, a)
+        assert ab is not None and ba is not None
+        assert ab == -ba
+
+    @given(a=numeric)
+    def test_reflexivity(self, a):
+        assert sql_compare(a, a) == 0
+
+    @given(a=numeric)
+    def test_null_is_unknown(self, a):
+        assert sql_compare(a, None) is None
+        assert sql_compare(None, a) is None
+
+
+class TestSortedIndexInvariants:
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100), max_size=50))
+    def test_range_scan_matches_filter(self, values):
+        index = SortedIndex("v")
+        for row_id, value in enumerate(values):
+            index.insert(value, row_id)
+        low, high = -10, 25
+        expected = {
+            row_id for row_id, value in enumerate(values) if low <= value <= high
+        }
+        assert set(index.range(low=low, high=high)) == expected
+
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1))
+    def test_min_max(self, values):
+        index = SortedIndex("v")
+        for row_id, value in enumerate(values):
+            index.insert(value, row_id)
+        assert index.min_value() == min(values)
+        assert index.max_value() == max(values)
+
+
+class TestProfileEquivalence:
+    """The MySQL and PostgreSQL profiles must compute identical answers."""
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=25,
+        ),
+        threshold=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_join_group_distinct_agree(self, rows, threshold):
+        results = []
+        for profile in (mysql_profile(), postgresql_profile()):
+            db = Database(profile)
+            db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+            db.execute("CREATE TABLE u (b INTEGER, c INTEGER)")
+            db.insert_rows("t", [list(r) for r in rows])
+            db.insert_rows("u", [[b, b * 2] for b in range(6)])
+            query = (
+                "SELECT DISTINCT t.b, COUNT(*) AS n FROM t "
+                "JOIN u ON t.b = u.b WHERE t.a >= "
+                f"{threshold} GROUP BY t.b ORDER BY t.b"
+            )
+            results.append(db.query(query).rows)
+        assert results[0] == results[1]
+
+
+class TestCqHomomorphismProperties:
+    predicates = st.sampled_from(["http://x/p", "http://x/q"])
+    variables = st.sampled_from([Var("x"), Var("y"), Var("z"), Var("w")])
+
+    @st.composite
+    def cqs(draw):
+        x = Var("x")
+        n_atoms = draw(st.integers(min_value=1, max_value=3))
+        atoms = []
+        for _ in range(n_atoms):
+            pred = draw(TestCqHomomorphismProperties.predicates)
+            s = draw(TestCqHomomorphismProperties.variables)
+            o = draw(TestCqHomomorphismProperties.variables)
+            atoms.append(RoleAtom(pred, s, o))
+        return ConjunctiveQuery((x,), tuple(atoms))
+
+    @given(cq=cqs())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_reflexive(self, cq):
+        assert cq_homomorphism(cq, cq)
+
+    @given(cq=cqs())
+    @settings(deadline=None)
+    def test_prune_keeps_at_least_one(self, cq):
+        kept = prune_redundant_cqs([cq, cq])
+        assert len(kept) == 1
+
+
+class TestVigPkInvariant:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_pk_stays_unique_under_growth(self, seed):
+        from repro.vig import VIG
+
+        db = Database(enforce_foreign_keys=False)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(8))")
+        db.insert_rows("t", [[i, f"v{i % 3}"] for i in range(10)])
+        VIG(db, seed=seed).grow(4.0)
+        ids = list(db.catalog.table("t").column_values("id"))
+        assert len(ids) == len(set(ids))
+        assert len(ids) == 40

@@ -1,0 +1,110 @@
+"""Unit tests for the indexed RDF graph."""
+
+import pytest
+
+from repro.rdf import Graph, GraphError, IRI, Literal, RDF_TYPE
+
+A = IRI("http://ex.org/a")
+B = IRI("http://ex.org/b")
+C = IRI("http://ex.org/C")
+P = IRI("http://ex.org/p")
+Q = IRI("http://ex.org/q")
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add(A, RDF_TYPE, C)
+    g.add(B, RDF_TYPE, C)
+    g.add(A, P, B)
+    g.add(A, P, Literal("x"))
+    g.add(B, Q, A)
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_when_new(self):
+        g = Graph()
+        assert g.add(A, P, B) is True
+        assert g.add(A, P, B) is False
+        assert len(g) == 1
+
+    def test_remove(self, graph):
+        assert graph.remove(A, P, B) is True
+        assert graph.remove(A, P, B) is False
+        assert (A, P, B) not in graph
+
+    def test_literal_subject_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add(Literal("x"), P, B)
+
+    def test_literal_predicate_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add(A, Literal("x"), B)
+
+    def test_update_counts_only_new(self, graph):
+        added = graph.update([(A, P, B), (B, P, A)])
+        assert added == 1
+
+
+class TestMatching:
+    def test_fully_bound(self, graph):
+        assert list(graph.triples(A, P, B)) == [(A, P, B)]
+        assert list(graph.triples(A, Q, B)) == []
+
+    def test_s_bound(self, graph):
+        matched = set(graph.triples(A, None, None))
+        assert (A, RDF_TYPE, C) in matched
+        assert (A, P, B) in matched
+        assert len(matched) == 3
+
+    def test_p_bound(self, graph):
+        assert set(graph.triples(None, RDF_TYPE, None)) == {
+            (A, RDF_TYPE, C),
+            (B, RDF_TYPE, C),
+        }
+
+    def test_o_bound(self, graph):
+        assert set(graph.triples(None, None, C)) == {
+            (A, RDF_TYPE, C),
+            (B, RDF_TYPE, C),
+        }
+
+    def test_sp_bound(self, graph):
+        assert set(graph.triples(A, P, None)) == {(A, P, B), (A, P, Literal("x"))}
+
+    def test_po_bound(self, graph):
+        assert list(graph.triples(None, Q, A)) == [(B, Q, A)]
+
+    def test_wildcard(self, graph):
+        assert len(list(graph.triples())) == len(graph) == 5
+
+    def test_count(self, graph):
+        assert graph.count() == 5
+        assert graph.count(predicate=P) == 2
+        assert graph.count(subject=A) == 3
+
+
+class TestViews:
+    def test_subjects(self, graph):
+        assert set(graph.subjects(RDF_TYPE, C)) == {A, B}
+
+    def test_objects(self, graph):
+        assert set(graph.objects(A, P)) == {B, Literal("x")}
+
+    def test_instances_of(self, graph):
+        assert set(graph.instances_of(C)) == {A, B}
+
+    def test_class_extension_sizes(self, graph):
+        assert graph.class_extension_sizes() == {C: 2}
+
+    def test_predicate_extension_sizes(self, graph):
+        sizes = graph.predicate_extension_sizes()
+        assert sizes[P] == 2
+        assert sizes[Q] == 1
+        assert sizes[RDF_TYPE] == 2
+
+    def test_predicates(self, graph):
+        assert set(graph.predicates()) == {RDF_TYPE, P, Q}

@@ -1,0 +1,106 @@
+"""Unit tests for N-Triples parsing/serialization."""
+
+import io
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    NTriplesError,
+    XSD_INTEGER,
+    dump_graph,
+    load_graph,
+    parse_line,
+    serialize_triple,
+)
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        triple = parse_line("<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .")
+        assert triple == (IRI("http://ex.org/a"), IRI("http://ex.org/p"), IRI("http://ex.org/b"))
+
+    def test_plain_literal(self):
+        triple = parse_line('<http://ex.org/a> <http://ex.org/p> "hello" .')
+        assert triple[2] == Literal("hello")
+
+    def test_typed_literal(self):
+        line = (
+            '<http://ex.org/a> <http://ex.org/p> '
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        triple = parse_line(line)
+        assert triple[2] == Literal("5", XSD_INTEGER)
+
+    def test_language_literal(self):
+        triple = parse_line('<http://ex.org/a> <http://ex.org/p> "hei"@no .')
+        assert triple[2] == Literal("hei", language="no")
+
+    def test_bnode_subject(self):
+        triple = parse_line("_:b1 <http://ex.org/p> <http://ex.org/b> .")
+        assert triple[0] == BNode("b1")
+
+    def test_escapes(self):
+        triple = parse_line(
+            '<http://ex.org/a> <http://ex.org/p> "line\\nbreak \\"q\\"" .'
+        )
+        assert triple[2].lexical == 'line\nbreak "q"'
+
+    def test_unicode_escape(self):
+        triple = parse_line('<http://ex.org/a> <http://ex.org/p> "\\u00e6" .')
+        assert triple[2].lexical == "æ"
+
+    def test_comment_and_blank_lines(self):
+        assert parse_line("# comment") is None
+        assert parse_line("   ") is None
+
+    def test_missing_dot(self):
+        with pytest.raises(NTriplesError):
+            parse_line("<http://ex.org/a> <http://ex.org/p> <http://ex.org/b>")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_line('"x" <http://ex.org/p> <http://ex.org/b> .')
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_line("<http://ex.org/a> _:p <http://ex.org/b> .")
+
+    def test_garbage(self):
+        with pytest.raises(NTriplesError):
+            parse_line("not a triple at all .")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_round_trip(self):
+        triples = [
+            (IRI("http://ex.org/a"), IRI("http://ex.org/p"), IRI("http://ex.org/b")),
+            (IRI("http://ex.org/a"), IRI("http://ex.org/q"), Literal("x\ny")),
+            (BNode("n1"), IRI("http://ex.org/p"), Literal("5", XSD_INTEGER)),
+            (IRI("http://ex.org/a"), IRI("http://ex.org/r"), Literal("hei", language="no")),
+        ]
+        for triple in triples:
+            assert parse_line(serialize_triple(triple)) == triple
+
+    def test_graph_dump_load(self):
+        g = Graph()
+        g.add(IRI("http://ex.org/a"), IRI("http://ex.org/p"), Literal("v"))
+        g.add(IRI("http://ex.org/a"), IRI("http://ex.org/p"), IRI("http://ex.org/b"))
+        buf = io.StringIO()
+        count = dump_graph(g, buf)
+        assert count == 2
+        g2 = load_graph(buf.getvalue())
+        assert set(g2) == set(g)
+
+    def test_dump_is_sorted_deterministic(self):
+        g = Graph()
+        g.add(IRI("http://ex.org/b"), IRI("http://ex.org/p"), Literal("1"))
+        g.add(IRI("http://ex.org/a"), IRI("http://ex.org/p"), Literal("2"))
+        buf1, buf2 = io.StringIO(), io.StringIO()
+        dump_graph(g, buf1)
+        dump_graph(g, buf2)
+        assert buf1.getvalue() == buf2.getvalue()
+        assert buf1.getvalue().splitlines()[0].startswith("<http://ex.org/a>")

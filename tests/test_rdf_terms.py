@@ -1,0 +1,118 @@
+"""Unit tests for the RDF term model."""
+
+import math
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    TermError,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_GYEAR,
+    XSD_INTEGER,
+    XSD_STRING,
+    is_resource,
+)
+
+
+class TestIRI:
+    def test_n3(self):
+        assert IRI("http://ex.org/a").n3() == "<http://ex.org/a>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    def test_forbidden_characters_rejected(self):
+        for bad in ("http://ex.org/a b", "http://ex.org/<x>", 'http://"x"'):
+            with pytest.raises(TermError):
+                IRI(bad)
+
+    def test_local_name_hash(self):
+        assert IRI("http://ex.org/vocab#Wellbore").local_name() == "Wellbore"
+
+    def test_local_name_slash(self):
+        assert IRI("http://ex.org/data/wellbore/42").local_name() == "42"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://ex.org/a") == IRI("http://ex.org/a")
+        assert hash(IRI("http://ex.org/a")) == hash(IRI("http://ex.org/a"))
+        assert IRI("http://ex.org/a") != IRI("http://ex.org/b")
+
+
+class TestBNode:
+    def test_n3(self):
+        assert BNode("b1").n3() == "_:b1"
+
+    def test_invalid_label(self):
+        with pytest.raises(TermError):
+            BNode("has space")
+        with pytest.raises(TermError):
+            BNode("")
+
+
+class TestLiteral:
+    def test_plain_defaults_to_string(self):
+        lit = Literal("hello")
+        assert lit.datatype == XSD_STRING
+        assert lit.to_python() == "hello"
+
+    def test_from_python_int(self):
+        lit = Literal.from_python(42)
+        assert lit.datatype == XSD_INTEGER
+        assert lit.to_python() == 42
+
+    def test_from_python_bool(self):
+        assert Literal.from_python(True).lexical == "true"
+        assert Literal.from_python(False).to_python() is False
+
+    def test_from_python_float(self):
+        lit = Literal.from_python(3.25)
+        assert lit.datatype == XSD_DOUBLE
+        assert lit.to_python() == pytest.approx(3.25)
+
+    def test_from_python_special_floats(self):
+        assert Literal.from_python(math.inf).lexical == "INF"
+        assert Literal.from_python(-math.inf).lexical == "-INF"
+        assert math.isnan(Literal.from_python(math.nan).to_python())
+
+    def test_gyear(self):
+        assert Literal("2008", XSD_GYEAR).to_python() == 2008
+
+    def test_bad_integer_raises(self):
+        with pytest.raises(TermError):
+            Literal("abc", XSD_INTEGER).to_python()
+
+    def test_bad_boolean_raises(self):
+        with pytest.raises(TermError):
+            Literal("maybe", XSD_BOOLEAN).to_python()
+
+    def test_language_tag_only_on_strings(self):
+        Literal("hei", XSD_STRING, "no")
+        with pytest.raises(TermError):
+            Literal("1", XSD_INTEGER, "no")
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\n')
+        assert lit.n3() == '"say \\"hi\\"\\n"'
+
+    def test_n3_typed(self):
+        assert Literal("5", XSD_INTEGER).n3() == (
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+        )
+
+    def test_n3_language(self):
+        assert Literal("hei", language="no").n3() == '"hei"@no'
+
+    def test_is_numeric(self):
+        assert Literal("5", XSD_INTEGER).is_numeric
+        assert not Literal("5").is_numeric
+
+
+def test_is_resource():
+    assert is_resource(IRI("http://ex.org/a"))
+    assert is_resource(BNode("b"))
+    assert not is_resource(Literal("x"))

@@ -1,0 +1,79 @@
+"""Tests for SPARQL ASK support across the whole stack."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, RDF_TYPE, XSD_INTEGER
+from repro.sparql import SparqlParseError, parse_query, query_graph
+
+EX = "http://ex.org/"
+PRE = f"PREFIX : <{EX}>\n"
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add(IRI(EX + "w1"), RDF_TYPE, IRI(EX + "Wellbore"))
+    g.add(IRI(EX + "w1"), IRI(EX + "depth"), Literal("3000", XSD_INTEGER))
+    return g
+
+
+class TestAskParsing:
+    def test_ask_form(self):
+        q = parse_query(PRE + "ASK { ?w a :Wellbore }")
+        assert q.is_ask
+        assert q.limit == 1
+        assert q.projections == ()
+
+    def test_ask_where_keyword_optional(self):
+        assert parse_query(PRE + "ASK WHERE { ?w a :Wellbore }").is_ask
+
+    def test_select_is_not_ask(self):
+        assert not parse_query(PRE + "SELECT ?w WHERE { ?w a :Wellbore }").is_ask
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query(PRE + "ASK { ?w a :Wellbore } LIMIT 5")
+
+
+class TestAskEvaluation:
+    def test_true(self, graph):
+        result = query_graph(graph, PRE + "ASK { ?w a :Wellbore }")
+        assert result.boolean is True
+        assert result.rows == []
+
+    def test_false(self, graph):
+        result = query_graph(graph, PRE + "ASK { ?w a :Missing }")
+        assert result.boolean is False
+
+    def test_with_filter(self, graph):
+        assert query_graph(
+            graph, PRE + "ASK { ?w :depth ?d FILTER(?d > 2000) }"
+        ).boolean is True
+        assert query_graph(
+            graph, PRE + "ASK { ?w :depth ?d FILTER(?d > 9000) }"
+        ).boolean is False
+
+    def test_select_results_have_no_boolean(self, graph):
+        result = query_graph(graph, PRE + "SELECT ?w WHERE { ?w a :Wellbore }")
+        assert result.boolean is None
+
+
+class TestAskOverObda:
+    def test_engine_ask(self, example_engine):
+        pre = "PREFIX : <http://ex.org/>\n"
+        assert example_engine.ask(pre + "ASK { ?e a :Employee }") is True
+        assert example_engine.ask(pre + "ASK { ?e a :Nothing }") is False
+
+    def test_ask_uses_reasoning(self, example_engine):
+        pre = "PREFIX : <http://ex.org/>\n"
+        # Person has no direct mapping; only Employee ⊑ Person makes it true
+        assert example_engine.ask(pre + "ASK { ?p a :Person }") is True
+
+    def test_triple_store_ask(self, example_db, example_ontology, example_mappings):
+        from repro.obda import RewritingTripleStore, materialize
+
+        store = RewritingTripleStore(example_ontology)
+        store.load_graph(materialize(example_db, example_mappings).graph)
+        pre = "PREFIX : <http://ex.org/>\n"
+        answer = store.execute(pre + "ASK { ?p a :Person }")
+        assert answer.result.boolean is True

@@ -1,0 +1,199 @@
+"""Tests for SPARQL algebra translation and evaluation over a graph."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, RDF_TYPE, XSD_INTEGER
+from repro.sparql import (
+    AlgBGP,
+    AlgFilter,
+    AlgJoin,
+    AlgLeftJoin,
+    AlgUnion,
+    SparqlEvaluator,
+    count_optionals,
+    parse_query,
+    query_graph,
+    simplify,
+    translate,
+)
+
+EX = "http://ex.org/"
+PRE = f"PREFIX ex: <{EX}>\n"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    for wid, year, name in [(1, 2010, "W1"), (2, 2005, "W2"), (3, 2010, "W3")]:
+        w = iri(f"w{wid}")
+        g.add(w, RDF_TYPE, iri("Wellbore"))
+        g.add(w, iri("year"), Literal(str(year), XSD_INTEGER))
+        g.add(w, iri("name"), Literal(name))
+    g.add(iri("c1"), iri("coreFor"), iri("w1"))
+    g.add(iri("c1"), iri("length"), Literal("60", XSD_INTEGER))
+    g.add(iri("c2"), iri("coreFor"), iri("w2"))
+    return g
+
+
+class TestAlgebraTranslation:
+    def test_bgp_merging(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b . ?b ex:q ?c }")
+        algebra = simplify(translate(q.where))
+        assert isinstance(algebra, AlgBGP)
+        assert len(algebra.triples) == 2
+
+    def test_optional_becomes_leftjoin(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c } }")
+        algebra = simplify(translate(q.where))
+        assert isinstance(algebra, AlgLeftJoin)
+
+    def test_union(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } }")
+        algebra = simplify(translate(q.where))
+        assert isinstance(algebra, AlgUnion)
+
+    def test_filter_wraps(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b FILTER(?b > 1) }")
+        algebra = simplify(translate(q.where))
+        assert isinstance(algebra, AlgFilter)
+
+    def test_count_optionals(self):
+        q = parse_query(
+            PRE
+            + "SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?a ex:q ?c } "
+            "OPTIONAL { ?a ex:r ?d } }"
+        )
+        assert count_optionals(simplify(translate(q.where))) == 2
+
+
+class TestEvaluation:
+    def test_bgp_join(self, graph):
+        result = query_graph(
+            graph,
+            PRE + "SELECT ?n WHERE { ?w a ex:Wellbore ; ex:name ?n } ORDER BY ?n",
+        )
+        assert result.to_python_rows() == [("W1",), ("W2",), ("W3",)]
+
+    def test_filter_numeric(self, graph):
+        result = query_graph(
+            graph,
+            PRE + "SELECT ?n WHERE { ?w ex:name ?n ; ex:year ?y FILTER(?y > 2006) } ORDER BY ?n",
+        )
+        assert result.to_python_rows() == [("W1",), ("W3",)]
+
+    def test_optional_binds_when_present(self, graph):
+        result = query_graph(
+            graph,
+            PRE
+            + "SELECT ?n ?c WHERE { ?w ex:name ?n OPTIONAL { ?c ex:coreFor ?w } } ORDER BY ?n",
+        )
+        rows = result.to_python_rows()
+        assert rows[0] == ("W1", EX + "c1")
+        assert rows[2] == ("W3", None)
+
+    def test_union_concats(self, graph):
+        result = query_graph(
+            graph,
+            PRE
+            + "SELECT ?x WHERE { { ?x ex:coreFor ?w } UNION { ?x ex:length ?l } }",
+        )
+        values = [row[0] for row in result.to_python_rows()]
+        assert values.count(EX + "c1") == 2  # once per branch
+
+    def test_distinct(self, graph):
+        result = query_graph(
+            graph, PRE + "SELECT DISTINCT ?y WHERE { ?w ex:year ?y } ORDER BY ?y"
+        )
+        assert result.to_python_rows() == [(2005,), (2010,)]
+
+    def test_order_desc_limit(self, graph):
+        result = query_graph(
+            graph,
+            PRE + "SELECT ?n WHERE { ?w ex:name ?n } ORDER BY DESC(?n) LIMIT 2",
+        )
+        assert result.to_python_rows() == [("W3",), ("W2",)]
+
+    def test_offset(self, graph):
+        result = query_graph(
+            graph, PRE + "SELECT ?n WHERE { ?w ex:name ?n } ORDER BY ?n OFFSET 2"
+        )
+        assert result.to_python_rows() == [("W3",)]
+
+    def test_projection_expression(self, graph):
+        result = query_graph(
+            graph,
+            PRE + "SELECT (?y + 1 AS ?z) WHERE { ?w ex:year ?y FILTER(?y = 2005) }",
+        )
+        assert result.to_python_rows() == [(2006,)]
+
+    def test_bind(self, graph):
+        result = query_graph(
+            graph,
+            PRE + "SELECT ?z WHERE { ?w ex:year ?y BIND(?y - 2000 AS ?z) FILTER(?z = 5) }",
+        )
+        assert result.to_python_rows() == [(5,)]
+
+    def test_no_match(self, graph):
+        result = query_graph(graph, PRE + "SELECT ?x WHERE { ?x ex:missing ?y }")
+        assert result.rows == []
+
+    def test_constant_subject(self, graph):
+        result = query_graph(
+            graph, PRE + "SELECT ?n WHERE { ex:w1 ex:name ?n }"
+        )
+        assert result.to_python_rows() == [("W1",)]
+
+    def test_shared_variable_join_across_patterns(self, graph):
+        result = query_graph(
+            graph,
+            PRE
+            + "SELECT ?n ?l WHERE { ?c ex:coreFor ?w . ?c ex:length ?l . ?w ex:name ?n }",
+        )
+        assert result.to_python_rows() == [("W1", 60)]
+
+
+class TestAggregatesEval:
+    def test_count_group(self, graph):
+        result = query_graph(
+            graph,
+            PRE + "SELECT ?y (COUNT(?w) AS ?n) WHERE { ?w ex:year ?y } GROUP BY ?y ORDER BY ?y",
+        )
+        assert result.to_python_rows() == [(2005, 1), (2010, 2)]
+
+    def test_count_star_no_group(self, graph):
+        result = query_graph(
+            graph, PRE + "SELECT (COUNT(*) AS ?n) WHERE { ?w a ex:Wellbore }"
+        )
+        assert result.to_python_rows() == [(3,)]
+
+    def test_having_filters_groups(self, graph):
+        result = query_graph(
+            graph,
+            PRE
+            + "SELECT ?y (COUNT(?w) AS ?n) WHERE { ?w ex:year ?y } GROUP BY ?y HAVING (?n >= 2)",
+        )
+        assert result.to_python_rows() == [(2010, 2)]
+
+    def test_sum_avg_min_max(self, graph):
+        result = query_graph(
+            graph,
+            PRE
+            + "SELECT (SUM(?y) AS ?s) (MIN(?y) AS ?lo) (MAX(?y) AS ?hi) WHERE { ?w ex:year ?y }",
+        )
+        assert result.to_python_rows() == [(6025, 2005, 2010)]
+
+    def test_aggregate_over_empty(self, graph):
+        result = query_graph(
+            graph, PRE + "SELECT (COUNT(?w) AS ?n) WHERE { ?w ex:missing ?y }"
+        )
+        assert result.to_python_rows() == [(0,)]
+
+    def test_count_distinct(self, graph):
+        result = query_graph(
+            graph, PRE + "SELECT (COUNT(DISTINCT ?y) AS ?n) WHERE { ?w ex:year ?y }"
+        )
+        assert result.to_python_rows() == [(2,)]

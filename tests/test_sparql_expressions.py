@@ -1,0 +1,186 @@
+"""Unit tests for SPARQL expression semantics."""
+
+import pytest
+
+from repro.rdf import IRI, BNode, Literal, XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql import (
+    BinaryExpr,
+    CallExpr,
+    ExpressionError,
+    TermExpr,
+    UnaryExpr,
+    Var,
+    VarExpr,
+    compare_terms,
+    effective_boolean_value,
+    evaluate,
+    evaluate_filter,
+    terms_equal,
+)
+
+
+def lit_int(n):
+    return Literal(str(n), XSD_INTEGER)
+
+
+def const(term):
+    return TermExpr(term)
+
+
+class TestEbv:
+    def test_boolean(self):
+        assert effective_boolean_value(Literal("true", XSD_BOOLEAN)) is True
+        assert effective_boolean_value(Literal("false", XSD_BOOLEAN)) is False
+
+    def test_numeric(self):
+        assert effective_boolean_value(lit_int(1)) is True
+        assert effective_boolean_value(lit_int(0)) is False
+
+    def test_string(self):
+        assert effective_boolean_value(Literal("x")) is True
+        assert effective_boolean_value(Literal("")) is False
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("http://ex.org/a"))
+
+
+class TestComparison:
+    def test_numeric_comparison_across_types(self):
+        assert compare_terms(lit_int(5), Literal("5.0", XSD_DOUBLE)) == 0
+        assert compare_terms(lit_int(4), lit_int(5)) < 0
+
+    def test_string_comparison(self):
+        assert compare_terms(Literal("a"), Literal("b")) < 0
+
+    def test_date_strings_compare_lexicographically(self):
+        d1 = Literal("2005-01-01", "http://www.w3.org/2001/XMLSchema#date")
+        d2 = Literal("2010-01-01", "http://www.w3.org/2001/XMLSchema#date")
+        assert compare_terms(d1, d2) < 0
+
+    def test_iri_not_orderable(self):
+        with pytest.raises(ExpressionError):
+            compare_terms(IRI("http://ex.org/a"), IRI("http://ex.org/b"))
+
+    def test_terms_equal_numeric_promotion(self):
+        assert terms_equal(lit_int(5), Literal("5.0", XSD_DOUBLE))
+        assert not terms_equal(lit_int(5), Literal("5"))  # string vs int
+
+    def test_terms_equal_identity(self):
+        assert terms_equal(IRI("http://ex.org/a"), IRI("http://ex.org/a"))
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        expr = BinaryExpr("+", const(lit_int(2)), const(lit_int(3)))
+        assert evaluate(expr, {}).to_python() == 5
+
+    def test_division_by_zero_errors(self):
+        expr = BinaryExpr("/", const(lit_int(1)), const(lit_int(0)))
+        with pytest.raises(ExpressionError):
+            evaluate(expr, {})
+
+    def test_unbound_var_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate(VarExpr(Var("x")), {})
+
+    def test_logical_and_error_recovery(self):
+        # error && false == false (SPARQL error propagation tables)
+        error_expr = VarExpr(Var("unbound"))
+        expr = BinaryExpr(
+            "&&", error_expr, const(Literal("false", XSD_BOOLEAN))
+        )
+        assert evaluate(expr, {}).to_python() is False
+
+    def test_logical_or_error_recovery(self):
+        error_expr = VarExpr(Var("unbound"))
+        expr = BinaryExpr("||", error_expr, const(Literal("true", XSD_BOOLEAN)))
+        assert evaluate(expr, {}).to_python() is True
+
+    def test_logical_or_error_propagates(self):
+        error_expr = VarExpr(Var("unbound"))
+        expr = BinaryExpr("||", error_expr, const(Literal("false", XSD_BOOLEAN)))
+        with pytest.raises(ExpressionError):
+            evaluate(expr, {})
+
+    def test_negation(self):
+        expr = UnaryExpr("!", const(Literal("true", XSD_BOOLEAN)))
+        assert evaluate(expr, {}).to_python() is False
+
+
+class TestFilterSemantics:
+    def test_errors_are_false(self):
+        assert evaluate_filter(VarExpr(Var("unbound")), {}) is False
+
+    def test_comparison_filter(self):
+        expr = BinaryExpr("<", VarExpr(Var("y")), const(lit_int(10)))
+        assert evaluate_filter(expr, {Var("y"): lit_int(5)}) is True
+        assert evaluate_filter(expr, {Var("y"): lit_int(15)}) is False
+
+
+class TestBuiltins:
+    def test_str(self):
+        assert evaluate(CallExpr("STR", (const(IRI("http://x/a")),)), {}).lexical == "http://x/a"
+
+    def test_bound(self):
+        expr = CallExpr("BOUND", (VarExpr(Var("x")),))
+        assert evaluate(expr, {Var("x"): lit_int(1)}).to_python() is True
+        assert evaluate(expr, {}).to_python() is False
+
+    def test_regex(self):
+        expr = CallExpr("REGEX", (const(Literal("hello")), const(Literal("ell"))))
+        assert evaluate(expr, {}).to_python() is True
+
+    def test_regex_case_insensitive(self):
+        expr = CallExpr(
+            "REGEX",
+            (const(Literal("HELLO")), const(Literal("ell")), const(Literal("i"))),
+        )
+        assert evaluate(expr, {}).to_python() is True
+
+    def test_strlen_ucase(self):
+        assert evaluate(CallExpr("STRLEN", (const(Literal("abc")),)), {}).to_python() == 3
+        assert evaluate(CallExpr("UCASE", (const(Literal("abc")),)), {}).lexical == "ABC"
+
+    def test_contains(self):
+        expr = CallExpr("CONTAINS", (const(Literal("wellbore")), const(Literal("bore"))))
+        assert evaluate(expr, {}).to_python() is True
+
+    def test_year(self):
+        expr = CallExpr("YEAR", (const(Literal("2008-05-01")),))
+        assert evaluate(expr, {}).to_python() == 2008
+
+    def test_coalesce(self):
+        expr = CallExpr("COALESCE", (VarExpr(Var("missing")), const(lit_int(7))))
+        assert evaluate(expr, {}).to_python() == 7
+
+    def test_if(self):
+        expr = CallExpr(
+            "IF",
+            (
+                const(Literal("true", XSD_BOOLEAN)),
+                const(lit_int(1)),
+                const(lit_int(2)),
+            ),
+        )
+        assert evaluate(expr, {}).to_python() == 1
+
+    def test_isiri_isliteral(self):
+        assert evaluate(CallExpr("ISIRI", (const(IRI("http://x/a")),)), {}).to_python() is True
+        assert evaluate(CallExpr("ISLITERAL", (const(lit_int(1)),)), {}).to_python() is True
+        assert evaluate(CallExpr("ISBLANK", (const(BNode("b")),)), {}).to_python() is True
+
+    def test_cast_integer(self):
+        expr = CallExpr("CAST:" + XSD_INTEGER, (const(Literal("42")),))
+        result = evaluate(expr, {})
+        assert result.datatype == XSD_INTEGER
+        assert result.to_python() == 42
+
+    def test_cast_failure(self):
+        expr = CallExpr("CAST:" + XSD_INTEGER, (const(Literal("xyz")),))
+        with pytest.raises(ExpressionError):
+            evaluate(expr, {})
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            evaluate(CallExpr("FROBNICATE", ()), {})

@@ -1,0 +1,214 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+from repro.sparql import (
+    AggregateExpr,
+    BGP,
+    BindPattern,
+    BinaryExpr,
+    CallExpr,
+    GroupPattern,
+    OptionalPattern,
+    SparqlParseError,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    Var,
+    VarExpr,
+    parse_query,
+)
+
+PRE = "PREFIX ex: <http://ex.org/>\n"
+
+
+class TestBasics:
+    def test_select_vars(self):
+        q = parse_query(PRE + "SELECT ?a ?b WHERE { ?a ex:p ?b }")
+        assert [p.var.name for p in q.projections] == ["a", "b"]
+
+    def test_select_star(self):
+        q = parse_query(PRE + "SELECT * WHERE { ?a ex:p ?b }")
+        assert q.select_star
+        assert [v.name for v in q.projected_variables()] == ["a", "b"]
+
+    def test_distinct(self):
+        assert parse_query(PRE + "SELECT DISTINCT ?a WHERE { ?a ex:p ?b }").distinct
+
+    def test_prefix_expansion(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ex:b }")
+        bgp = q.where.elements[0]
+        assert bgp.triples[0].predicate == IRI("http://ex.org/p")
+        assert bgp.triples[0].obj == IRI("http://ex.org/b")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?a WHERE { ?a npdv:p ?b }")
+
+    def test_a_keyword(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a a ex:C }")
+        triple = q.where.elements[0].triples[0]
+        assert triple.predicate.value.endswith("#type")
+
+    def test_semicolon_comma_syntax(self):
+        q = parse_query(
+            PRE + "SELECT ?a WHERE { ?a ex:p ?b ; ex:q ?c , ?d . }"
+        )
+        triples = q.where.elements[0].triples
+        assert len(triples) == 3
+        assert all(t.subject == Var("a") for t in triples)
+
+    def test_typed_literal(self):
+        q = parse_query(
+            PRE + 'SELECT ?a WHERE { ?a ex:p "5"^^<http://www.w3.org/2001/XMLSchema#integer> }'
+        )
+        assert q.where.elements[0].triples[0].obj == Literal("5", XSD_INTEGER)
+
+    def test_numeric_literals(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p 5 . ?a ex:q 2.5 }")
+        triples = q.where.elements[0].triples
+        assert triples[0].obj == Literal("5", XSD_INTEGER)
+        assert triples[1].obj == Literal("2.5", XSD_DECIMAL)
+
+    def test_boolean_literal(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p true }")
+        assert q.where.elements[0].triples[0].obj == Literal("true", XSD_BOOLEAN)
+
+    def test_blank_node_property_list(self):
+        q = parse_query(PRE + "SELECT ?n WHERE { ?x ex:p [ ex:name ?n ] }")
+        triples = q.where.elements[0].triples
+        assert len(triples) == 2
+        # the fresh bnode variable links the inner and outer triples
+        inner, outer = triples
+        assert inner.subject == outer.obj
+
+    def test_nested_blank_nodes(self):
+        q = parse_query(
+            PRE + "SELECT ?n WHERE { ?x ex:p [ a ex:C ; ex:q [ ex:name ?n ] ] }"
+        )
+        assert len(q.where.elements[0].triples) == 4
+
+    def test_empty_bracket(self):
+        q = parse_query(PRE + "SELECT ?x WHERE { [] ex:p ?x }")
+        assert len(q.where.elements[0].triples) == 1
+
+
+class TestPatterns:
+    def test_optional(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?a ex:q ?c } }")
+        assert isinstance(q.where.elements[1], OptionalPattern)
+
+    def test_union(self):
+        q = parse_query(
+            PRE + "SELECT ?a WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } }"
+        )
+        assert isinstance(q.where.elements[0], UnionPattern)
+
+    def test_filter(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b FILTER(?b > 5) }")
+        assert len(q.where.filters) == 1
+        assert isinstance(q.where.filters[0], BinaryExpr)
+
+    def test_bind(self):
+        q = parse_query(PRE + "SELECT ?c WHERE { ?a ex:p ?b BIND(?b AS ?c) }")
+        binds = [e for e in q.where.elements if isinstance(e, BindPattern)]
+        assert binds[0].var == Var("c")
+
+    def test_filter_conjunction(self):
+        q = parse_query(
+            PRE + 'SELECT ?a WHERE { ?a ex:y ?y ; ex:l ?l '
+            'FILTER(?y >= "2008"^^<http://www.w3.org/2001/XMLSchema#integer> && ?l > 50) }'
+        )
+        expr = q.where.filters[0]
+        assert expr.op == "&&"
+
+
+class TestSolutionModifiers:
+    def test_order_by(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b } ORDER BY DESC(?b) ?a")
+        assert q.order_by[0].ascending is False
+        assert q.order_by[1].ascending is True
+
+    def test_limit_offset(self):
+        q = parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b } LIMIT 10 OFFSET 5")
+        assert q.limit == 10 and q.offset == 5
+
+    def test_group_by_having(self):
+        q = parse_query(
+            PRE
+            + "SELECT ?b (COUNT(?a) AS ?n) WHERE { ?a ex:p ?b } "
+            + "GROUP BY ?b HAVING (?n > 1)"
+        )
+        assert len(q.group_by) == 1
+        assert len(q.having) == 1
+        assert q.has_aggregates()
+
+    def test_projection_expression(self):
+        q = parse_query(PRE + "SELECT (?b AS ?c) WHERE { ?a ex:p ?b }")
+        assert q.projections[0].var == Var("c")
+        assert isinstance(q.projections[0].expression, VarExpr)
+
+
+class TestAggregates:
+    def test_count_star(self):
+        q = parse_query(PRE + "SELECT (COUNT(*) AS ?n) WHERE { ?a ex:p ?b }")
+        agg = q.projections[0].expression
+        assert isinstance(agg, AggregateExpr)
+        assert agg.argument is None
+
+    def test_count_distinct(self):
+        q = parse_query(PRE + "SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?a ex:p ?b }")
+        assert q.projections[0].expression.distinct
+
+    def test_sum_avg(self):
+        q = parse_query(
+            PRE + "SELECT (SUM(?b) AS ?s) (AVG(?b) AS ?m) WHERE { ?a ex:p ?b }"
+        )
+        assert q.projections[0].expression.name == "SUM"
+        assert q.projections[1].expression.name == "AVG"
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SparqlParseError):
+            parse_query(PRE + "SELECT (SUM(*) AS ?s) WHERE { ?a ex:p ?b }")
+
+
+class TestBuiltins:
+    def test_regex(self):
+        q = parse_query(PRE + 'SELECT ?a WHERE { ?a ex:p ?b FILTER regex(?b, "x") }')
+        assert isinstance(q.where.filters[0], CallExpr)
+
+    def test_bound(self):
+        q = parse_query(
+            PRE + "SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?a ex:q ?c } "
+            "FILTER(BOUND(?c)) }"
+        )
+        assert q.where.filters[0].name == "BOUND"
+
+    def test_cast(self):
+        q = parse_query(
+            "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n"
+            "PREFIX ex: <http://ex.org/>\n"
+            "SELECT ?a WHERE { ?a ex:p ?b FILTER(xsd:integer(?b) > 5) }"
+        )
+        call = q.where.filters[0].left
+        assert call.name.startswith("CAST:")
+
+    def test_in_desugars(self):
+        q = parse_query(PRE + 'SELECT ?a WHERE { ?a ex:p ?b FILTER(?b IN (1, 2)) }')
+        expr = q.where.filters[0]
+        assert expr.op == "||"
+
+
+class TestErrors:
+    def test_empty_select(self):
+        with pytest.raises(SparqlParseError):
+            parse_query(PRE + "SELECT WHERE { ?a ex:p ?b }")
+
+    def test_missing_brace(self):
+        with pytest.raises(SparqlParseError):
+            parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SparqlParseError):
+            parse_query(PRE + "SELECT ?a WHERE { ?a ex:p ?b } nonsense {")

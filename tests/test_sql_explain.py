@@ -1,0 +1,67 @@
+"""Tests for the EXPLAIN plan-trace facility."""
+
+import pytest
+
+from repro.sql import Database, ExecutionError, mysql_profile, postgresql_profile
+
+
+@pytest.fixture()
+def db():
+    database = Database(postgresql_profile())
+    database.execute_script(
+        """
+        CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, v VARCHAR(10));
+        CREATE TABLE u (id INTEGER PRIMARY KEY, tref INTEGER,
+                        FOREIGN KEY (tref) REFERENCES t (id));
+        INSERT INTO t VALUES (1, 1, 'a'), (2, 1, 'b'), (3, 2, 'c');
+        INSERT INTO u VALUES (10, 1), (11, 2), (12, 2);
+        """
+    )
+    return database
+
+
+class TestExplain:
+    def test_seq_scan_traced(self, db):
+        trace = db.explain("SELECT v FROM t")
+        assert any(line.startswith("SeqScan t") for line in trace)
+        assert trace[-1] == "Result: 3 rows"
+
+    def test_index_scan_traced(self, db):
+        trace = db.explain("SELECT v FROM t WHERE id = 2")
+        assert any("IndexScan t.id" in line for line in trace)
+
+    def test_hash_join_under_postgresql_profile(self, db):
+        trace = db.explain("SELECT t.v FROM t JOIN u ON t.id = u.tref")
+        assert any("HashJoin" in line for line in trace)
+
+    def test_index_nl_join_under_mysql_profile(self, db):
+        db.set_profile(mysql_profile())
+        trace = db.explain("SELECT t.v FROM u JOIN t ON t.id = u.tref")
+        assert any(
+            "IndexNLJoin" in line or "AutoKeyJoin" in line for line in trace
+        )
+        assert not any("HashJoin" in line for line in trace)
+
+    def test_distinct_strategy_traced(self, db):
+        pg_trace = db.explain("SELECT DISTINCT grp FROM t")
+        assert any("Distinct (hash)" in line for line in pg_trace)
+        db.set_profile(mysql_profile())
+        my_trace = db.explain("SELECT DISTINCT grp FROM t")
+        assert any("Distinct (sort)" in line for line in my_trace)
+
+    def test_trace_cleared_after_explain(self, db):
+        db.explain("SELECT v FROM t")
+        db.query("SELECT v FROM t")  # must not crash / append to stale trace
+        assert db._executor.trace is None
+
+    def test_explain_rejects_ddl(self, db):
+        with pytest.raises(ExecutionError):
+            db.explain("CREATE TABLE x (id INTEGER)")
+
+    def test_explain_on_obda_sql(self, example_engine):
+        unfolded = example_engine.unfold(
+            "PREFIX : <http://ex.org/>\nSELECT ?p WHERE { ?p a :Person }"
+        )
+        trace = example_engine.database.explain(unfolded.statement)
+        assert any("SeqScan" in line for line in trace)
+        assert trace[-1].startswith("Result:")

@@ -1,0 +1,117 @@
+"""Unit tests for the SQL type system and geometry values."""
+
+import pytest
+
+from repro.sql import (
+    Geometry,
+    SqlType,
+    TypeMismatchError,
+    coerce_value,
+    format_value,
+    parse_type_name,
+)
+from repro.sql.types import comparable, sql_type_of_value
+
+
+class TestTypeNames:
+    def test_aliases(self):
+        assert parse_type_name("INT") is SqlType.INTEGER
+        assert parse_type_name("varchar") is SqlType.VARCHAR
+        assert parse_type_name("Float") is SqlType.DOUBLE
+        assert parse_type_name("POLYGON") is SqlType.GEOMETRY
+
+    def test_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type_name("BLOB")
+
+    def test_properties(self):
+        assert SqlType.INTEGER.is_numeric
+        assert SqlType.TEXT.is_textual
+        assert not SqlType.GEOMETRY.is_ordered
+        assert SqlType.DATE.is_ordered
+
+
+class TestCoercion:
+    def test_none_passes(self):
+        assert coerce_value(None, SqlType.INTEGER) is None
+
+    def test_integer(self):
+        assert coerce_value(5, SqlType.INTEGER) == 5
+        assert coerce_value("7", SqlType.INTEGER) == 7
+        assert coerce_value(5.0, SqlType.INTEGER) == 5
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, SqlType.INTEGER)
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5.5, SqlType.INTEGER)
+
+    def test_double(self):
+        assert coerce_value(5, SqlType.DOUBLE) == 5.0
+        assert coerce_value("2.5", SqlType.DOUBLE) == 2.5
+
+    def test_boolean(self):
+        assert coerce_value("true", SqlType.BOOLEAN) is True
+        assert coerce_value(0, SqlType.BOOLEAN) is False
+        with pytest.raises(TypeMismatchError):
+            coerce_value("yes", SqlType.BOOLEAN)
+
+    def test_date(self):
+        assert coerce_value("2014-02-28", SqlType.DATE) == "2014-02-28"
+        with pytest.raises(TypeMismatchError):
+            coerce_value("2014/02/28", SqlType.DATE)
+
+    def test_varchar_stringifies_numbers(self):
+        assert coerce_value(5, SqlType.VARCHAR) == "5"
+
+    def test_geometry_from_wkt(self):
+        geom = coerce_value("POLYGON((0 0, 1 0, 1 1, 0 0))", SqlType.GEOMETRY)
+        assert isinstance(geom, Geometry)
+
+
+class TestGeometry:
+    def test_rectangle(self):
+        geom = Geometry.rectangle(0, 0, 2, 3)
+        assert geom.bounding_box() == (0, 0, 2, 3)
+        assert geom.ring[0] == geom.ring[-1]
+
+    def test_wkt_round_trip(self):
+        geom = Geometry.rectangle(1.5, 2.5, 4.0, 8.0)
+        assert Geometry.from_wkt(geom.wkt()) == geom
+
+    def test_open_ring_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Geometry(((0, 0), (1, 0), (1, 1), (0, 1)))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Geometry(((0, 0), (1, 1), (0, 0)))
+
+    def test_bad_wkt(self):
+        with pytest.raises(TypeMismatchError):
+            Geometry.from_wkt("CIRCLE(1 1, 5)")
+
+
+class TestHelpers:
+    def test_comparable(self):
+        assert comparable(1, 2.5)
+        assert comparable("a", "b")
+        assert not comparable(1, "a")
+        assert not comparable(Geometry.rectangle(0, 0, 1, 1), 1)
+
+    def test_sql_type_of_value(self):
+        assert sql_type_of_value(None) is None
+        assert sql_type_of_value(True) is SqlType.BOOLEAN
+        assert sql_type_of_value(1) is SqlType.INTEGER
+        assert sql_type_of_value(1.5) is SqlType.DOUBLE
+        assert sql_type_of_value("2014-01-01") is SqlType.DATE
+        assert sql_type_of_value("hello") is SqlType.VARCHAR
+
+    def test_format_value(self):
+        assert format_value(None) == "NULL"
+        assert format_value(True) == "TRUE"
+        assert format_value(5) == "5"
+        assert format_value("o'brien") == "'o''brien'"
+        assert format_value(Geometry.rectangle(0, 0, 1, 1)).startswith("'POLYGON")

@@ -1,0 +1,237 @@
+"""Tests for VIG: analysis, generation, random baseline and validation."""
+
+import pytest
+
+from repro.sql import Database, Geometry
+from repro.vig import (
+    DomainKind,
+    RandomGenerator,
+    VIG,
+    analyze,
+    expected_growth_model,
+    measure_growth,
+    scale_database,
+    summarize,
+)
+
+
+@pytest.fixture()
+def small_db():
+    """A miniature NPD-shaped database with the interesting regimes."""
+    db = Database(enforce_foreign_keys=False)
+    db.execute_script(
+        """
+        CREATE TABLE parent (
+            id INTEGER PRIMARY KEY,
+            code VARCHAR(10),
+            score DOUBLE,
+            born DATE,
+            area GEOMETRY,
+            loop_ref INTEGER,
+            FOREIGN KEY (loop_ref) REFERENCES child (id)
+        );
+        CREATE TABLE child (
+            id INTEGER PRIMARY KEY,
+            pid INTEGER,
+            note VARCHAR(20),
+            FOREIGN KEY (pid) REFERENCES parent (id)
+        );
+        """
+    )
+    rows = []
+    for i in range(1, 41):
+        rows.append(
+            [
+                i,
+                "BIG" if i % 2 else "SMALL",  # constant-domain column
+                round(10.0 + i * 0.5, 2),
+                f"19{70 + i % 30:02d}-06-15",
+                Geometry.rectangle(100 + i, 200 + i, 110 + i, 210 + i),
+                (i % 5) + 1 if i % 3 else None,  # cycle edge, some NULLs
+            ]
+        )
+    db.insert_rows("parent", rows, check_foreign_keys=False)
+    child_rows = [[i, (i % 40) + 1, f"note-{i}"] for i in range(1, 81)]
+    db.insert_rows("child", child_rows, check_foreign_keys=False)
+    return db
+
+
+class TestAnalysis:
+    def test_constant_column_detected(self, small_db):
+        profile = analyze(small_db)
+        code = profile.tables["parent"].columns["code"]
+        assert code.is_constant()
+        assert code.distinct == 2
+        assert code.duplicate_ratio > 0.9
+
+    def test_unique_column_not_constant(self, small_db):
+        profile = analyze(small_db)
+        assert not profile.tables["parent"].columns["id"].is_constant()
+
+    def test_ordered_domain_interval(self, small_db):
+        profile = analyze(small_db)
+        score = profile.tables["parent"].columns["score"]
+        assert score.kind is DomainKind.DOUBLE
+        assert score.min_value == pytest.approx(10.5)
+        assert score.max_value == pytest.approx(30.0)
+
+    def test_date_domain(self, small_db):
+        profile = analyze(small_db)
+        born = profile.tables["parent"].columns["born"]
+        assert born.kind is DomainKind.DATE
+        assert born.min_value.startswith("19")
+
+    def test_geometry_bounding_box(self, small_db):
+        profile = analyze(small_db)
+        area = profile.tables["parent"].columns["area"]
+        assert area.kind is DomainKind.GEOMETRY
+        min_x, min_y, max_x, max_y = area.bounding_box
+        assert min_x == pytest.approx(101)
+        assert max_y == pytest.approx(250)
+
+    def test_null_ratio(self, small_db):
+        profile = analyze(small_db)
+        loop = profile.tables["parent"].columns["loop_ref"]
+        assert 0.2 < loop.null_ratio < 0.5
+
+    def test_cycle_detected(self, small_db):
+        profile = analyze(small_db)
+        assert len(profile.cycles) == 1
+        assert ("parent", "loop_ref") in profile.cycle_edges
+        assert ("child", "pid") in profile.cycle_edges
+
+    def test_fk_target_recorded(self, small_db):
+        profile = analyze(small_db)
+        assert profile.tables["child"].columns["pid"].fk_target == ("parent", "id")
+
+
+class TestGeneration:
+    def test_growth_sizes(self, small_db):
+        report = VIG(small_db, seed=1).grow(3.0)
+        assert small_db.catalog.table("parent").row_count == 120
+        assert small_db.catalog.table("child").row_count == 240
+        assert report.rows_inserted == 240
+        assert report.per_table["parent"] == 80
+
+    def test_constant_column_not_grown(self, small_db):
+        VIG(small_db, seed=1).grow(4.0)
+        codes = set(small_db.catalog.table("parent").column_values("code"))
+        assert codes <= {"BIG", "SMALL", None}
+
+    def test_fresh_values_stay_adjacent(self, small_db):
+        VIG(small_db, seed=1).grow(3.0)
+        scores = [
+            v
+            for v in small_db.catalog.table("parent").column_values("score")
+            if v is not None
+        ]
+        assert min(scores) >= 10.0
+        assert max(scores) <= 31.0  # interval + tiny adjacency margin
+
+    def test_geometry_inside_region(self, small_db):
+        profile = analyze(small_db)
+        box = profile.tables["parent"].columns["area"].bounding_box
+        VIG(small_db, seed=1, profile=profile).grow(3.0)
+        for geom in small_db.catalog.table("parent").column_values("area"):
+            if geom is None:
+                continue
+            gx0, gy0, gx1, gy1 = geom.bounding_box()
+            assert gx0 >= box[0] - 1 and gy1 <= box[3] + 1
+
+    def test_pk_uniqueness_preserved(self, small_db):
+        VIG(small_db, seed=1).grow(5.0)
+        ids = list(small_db.catalog.table("parent").column_values("id"))
+        assert len(ids) == len(set(ids))
+
+    def test_fk_compliance(self, small_db):
+        VIG(small_db, seed=1).grow(3.0)
+        assert small_db.catalog.check_foreign_keys() == []
+
+    def test_cycle_columns_duplicate_or_null(self, small_db):
+        profile = analyze(small_db)
+        original = {
+            v
+            for v in small_db.catalog.table("parent").column_values("loop_ref")
+            if v is not None
+        }
+        VIG(small_db, seed=1, profile=profile).grow(3.0)
+        grown = {
+            v
+            for v in small_db.catalog.table("parent").column_values("loop_ref")
+            if v is not None
+        }
+        # cycle edges only receive duplicates of existing child keys
+        child_ids = set(small_db.catalog.table("child").column_values("id"))
+        assert grown <= child_ids
+
+    def test_growth_factor_below_one_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            VIG(small_db).grow(0.5)
+
+    def test_deterministic(self, small_db):
+        db2 = small_db.clone_with_data()
+        VIG(small_db, seed=9).grow(2.0)
+        VIG(db2, seed=9).grow(2.0)
+        assert sorted(small_db.catalog.table("child").iter_rows()) == sorted(
+            db2.catalog.table("child").iter_rows()
+        )
+
+    def test_scale_database_helper(self, small_db):
+        report = scale_database(small_db, 2.0, seed=3)
+        assert report.rows_inserted == 120
+
+
+class TestRandomBaseline:
+    def test_same_row_counts(self, small_db):
+        report = RandomGenerator(small_db, seed=1).grow(2.0)
+        assert small_db.catalog.table("parent").row_count == 80
+        assert report.rows_inserted == 120
+
+    def test_ignores_constant_domains(self, small_db):
+        RandomGenerator(small_db, seed=1).grow(3.0)
+        codes = set(small_db.catalog.table("parent").column_values("code"))
+        assert len(codes) > 2  # random strings pollute the code domain
+
+    def test_respects_fks(self, small_db):
+        RandomGenerator(small_db, seed=1).grow(2.0)
+        assert small_db.catalog.check_foreign_keys() == []
+
+
+class TestValidationOnNpd:
+    @pytest.fixture(scope="class")
+    def growth_setup(self):
+        from repro.npd import build_npd_mappings, build_seed_database
+
+        seed_db = build_seed_database(seed=3)
+        grown = build_seed_database(seed=3)
+        VIG(grown, seed=11).grow(2.0)
+        mappings = build_npd_mappings(redundancy=False)
+        return seed_db, grown, mappings
+
+    def test_vig_beats_random(self, growth_setup):
+        from repro.npd import build_seed_database
+
+        seed_db, vig_db, mappings = growth_setup
+        random_db = build_seed_database(seed=3)
+        RandomGenerator(random_db, seed=11).grow(2.0)
+        vig_summary = summarize(measure_growth(seed_db, vig_db, mappings, 2.0))
+        random_summary = summarize(measure_growth(seed_db, random_db, mappings, 2.0))
+        for kind in ("class", "object", "data"):
+            assert (
+                vig_summary[kind].avg_deviation
+                <= random_summary[kind].avg_deviation
+            ), kind
+        # NOTE: the err-50% gap only opens at larger growth factors (the
+        # paper uses g=50); at g=2 the maximum possible deviation for a
+        # linear element is exactly 50%, so only avg deviation is compared
+        # here and the bench harness reports err50 at bigger factors.
+
+    def test_expected_growth_model_sanity(self, growth_setup):
+        seed_db, _, mappings = growth_setup
+        profile = analyze(seed_db)
+        model = expected_growth_model(profile, mappings, 2.0)
+        v = "http://sws.ifi.uio.no/vocab/npd-v2#"
+        # unfiltered entities grow linearly
+        assert model[v + "Wellbore"] == pytest.approx(2.0)
+        # constant-column selections grow (purpose codes are constant)
+        assert model[v + "WildcatWellbore"] > 1.5
