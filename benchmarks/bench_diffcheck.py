@@ -1,0 +1,73 @@
+"""Differential-oracle bench: three-way agreement over the catalogue.
+
+Runs every Table 7 query plus a fixed-seed fuzz batch through the
+virtual OBDA engine, the rewriting triple store and the plain evaluator
+over the saturated materialized graph, across the engine-configuration
+matrix, and reports the verdict distribution.  The written report is the
+correctness companion to the throughput tables: QMpH numbers mean
+nothing if the three pipelines disagree on the answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import save_report
+from repro.diffcheck import (
+    DEFAULT_MATRIX,
+    DifferentialOracle,
+    OracleReport,
+    QueryFuzzer,
+)
+from repro.mixer import format_table
+
+FUZZ_COUNT = 25
+FUZZ_SEED = 0
+
+
+def run_oracle(ctx):
+    benchmark = ctx.benchmark
+    oracle = DifferentialOracle(
+        benchmark.database, benchmark.ontology, benchmark.mappings
+    )
+    # reuse the shared default-config engine from the bench context
+    from repro.diffcheck import DEFAULT_CONFIG
+    from repro.sql import postgresql_profile
+
+    oracle.set_engine(DEFAULT_CONFIG, ctx.engine(1, postgresql_profile()))
+    report = OracleReport()
+    for query_id in sorted(benchmark.queries, key=lambda q: int(q[1:])):
+        report.verdicts.extend(
+            oracle.check_matrix(
+                query_id, benchmark.queries[query_id].sparql, shrink=False
+            )
+        )
+    fuzzer = QueryFuzzer(
+        benchmark.ontology,
+        benchmark.mappings,
+        seed=FUZZ_SEED,
+        graph=oracle.materialized,
+    )
+    for fuzzed in fuzzer.generate(FUZZ_COUNT):
+        report.verdicts.extend(
+            oracle.check_matrix(fuzzed.id, fuzzed.sparql, shrink=False)
+        )
+    return report
+
+
+@pytest.mark.benchmark(group="diffcheck")
+def test_differential_oracle(benchmark, ctx):
+    report = benchmark.pedantic(run_oracle, args=(ctx,), rounds=1, iterations=1)
+    counts = report.counts()
+    rows = [[status, count] for status, count in counts.items()]
+    rows.append(["total verdicts", len(report.verdicts)])
+    rows.append(["unexplained", len(report.unexplained)])
+    text = format_table(
+        ["verdict", "count"],
+        rows,
+        "Differential oracle: 21 catalogue + "
+        f"{FUZZ_COUNT} fuzzed queries x {len(DEFAULT_MATRIX)} configs "
+        f"(fuzz seed {FUZZ_SEED})",
+    )
+    save_report("diffcheck", text)
+    assert report.ok, report.describe()

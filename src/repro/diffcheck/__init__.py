@@ -1,0 +1,63 @@
+"""Differential correctness oracle: three-way pipeline cross-checking."""
+
+from .fuzzer import FuzzedQuery, FuzzerOptions, QueryFuzzer
+from .normalize import (
+    BagComparison,
+    canonical_bag,
+    canonical_iri,
+    canonical_row,
+    canonical_term,
+    compare_bags,
+)
+from .oracle import (
+    CONFIGS_BY_NAME,
+    DEFAULT_CONFIG,
+    DEFAULT_MATRIX,
+    ERROR,
+    EXISTENTIAL_SKIP,
+    EXPLAINED,
+    LIMIT_AMBIGUOUS,
+    MATCH,
+    MISMATCH,
+    REWRITE_CAPPED,
+    SET_MATCH,
+    DifferentialOracle,
+    EngineConfig,
+    OracleReport,
+    PairOutcome,
+    QueryVerdict,
+)
+from .serialize import expression_to_sparql, query_to_sparql, term_to_sparql
+from .shrinker import shrink_query
+
+__all__ = [
+    "BagComparison",
+    "CONFIGS_BY_NAME",
+    "DEFAULT_CONFIG",
+    "DEFAULT_MATRIX",
+    "DifferentialOracle",
+    "ERROR",
+    "EXISTENTIAL_SKIP",
+    "EXPLAINED",
+    "EngineConfig",
+    "FuzzedQuery",
+    "FuzzerOptions",
+    "LIMIT_AMBIGUOUS",
+    "MATCH",
+    "MISMATCH",
+    "REWRITE_CAPPED",
+    "OracleReport",
+    "PairOutcome",
+    "QueryFuzzer",
+    "QueryVerdict",
+    "SET_MATCH",
+    "canonical_bag",
+    "canonical_iri",
+    "canonical_row",
+    "canonical_term",
+    "compare_bags",
+    "expression_to_sparql",
+    "query_to_sparql",
+    "shrink_query",
+    "term_to_sparql",
+]

@@ -1,0 +1,308 @@
+"""Seeded conjunctive-query fuzzer over the NPD ontology vocabulary.
+
+Generates well-formed SELECT/ASK queries whose shapes mirror the
+benchmark catalogue: star joins around a typed subject, object-property
+chains, OPTIONAL branches, FILTERs over sampled data values, DISTINCT and
+ORDER BY + LIMIT.  Everything is drawn from one ``random.Random(seed)``
+stream over deterministically sorted vocabulary lists, so the same seed
+produces a byte-identical query list on every run (and the first *n*
+queries are a prefix of any longer run).
+
+Join coherence comes from the mappings rather than the ontology alone:
+a property is attached to a class only when one of the property's subject
+IRI templates is compatible with one of the class's instance templates,
+which keeps the generated joins satisfiable on the virtual instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obda.mapping import (
+    IriTermMap,
+    LiteralTermMap,
+    MappingCollection,
+    Template,
+)
+from ..owl.model import Ontology
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Term, XSD_STRING
+from ..rdf.namespaces import RDF_TYPE
+
+
+@dataclass(frozen=True)
+class FuzzedQuery:
+    """One generated query with the features it exercises."""
+
+    id: str
+    sparql: str
+    features: Tuple[str, ...] = ()
+
+
+@dataclass
+class FuzzerOptions:
+    """Feature probabilities; the defaults mirror the catalogue's mix."""
+
+    ask_probability: float = 0.15
+    optional_probability: float = 0.3
+    filter_probability: float = 0.35
+    constant_probability: float = 0.2
+    distinct_probability: float = 0.5
+    limit_probability: float = 0.2
+    chain_probability: float = 0.35
+    max_branches: int = 3
+    max_limit: int = 20
+
+
+class _Vocabulary:
+    """Mapped classes/properties plus template-compatibility indexes."""
+
+    def __init__(self, ontology: Ontology, mappings: MappingCollection):
+        class_templates: Dict[str, List[Template]] = {}
+        subject_templates: Dict[str, List[Template]] = {}
+        object_templates: Dict[str, List[Template]] = {}
+        datatypes: Dict[str, str] = {}
+        for assertion in mappings:
+            if not isinstance(assertion.subject, IriTermMap):
+                continue
+            entity = assertion.entity
+            if assertion.is_class_assertion:
+                class_templates.setdefault(entity, []).append(
+                    assertion.subject.template
+                )
+                continue
+            subject_templates.setdefault(entity, []).append(
+                assertion.subject.template
+            )
+            if isinstance(assertion.object, IriTermMap):
+                object_templates.setdefault(entity, []).append(
+                    assertion.object.template
+                )
+            elif isinstance(assertion.object, LiteralTermMap):
+                datatypes.setdefault(entity, assertion.object.datatype)
+        self.classes = sorted(class_templates)
+        self.object_props = sorted(
+            p for p in subject_templates if p in ontology.object_properties
+        )
+        self.data_props = sorted(
+            p
+            for p in subject_templates
+            if p in ontology.data_properties or p in datatypes
+        )
+        self.datatypes = datatypes
+        self._class_templates = class_templates
+        self._subject_templates = subject_templates
+        self._object_templates = object_templates
+        # properties joinable to each class through a shared subject shape
+        self.class_props: Dict[str, List[str]] = {}
+        for cls in self.classes:
+            props = [
+                prop
+                for prop in (*self.object_props, *self.data_props)
+                if self._compatible(class_templates[cls], subject_templates[prop])
+            ]
+            if props:
+                self.class_props[cls] = props
+        # classes whose instances an object property can point at
+        self.range_classes: Dict[str, List[str]] = {}
+        for prop in self.object_props:
+            targets = [
+                cls
+                for cls in self.classes
+                if self._compatible(
+                    object_templates.get(prop, []), class_templates[cls]
+                )
+            ]
+            if targets:
+                self.range_classes[prop] = targets
+
+    @staticmethod
+    def _compatible(
+        left: Sequence[Template], right: Sequence[Template]
+    ) -> bool:
+        return any(a.compatible_with(b) for a in left for b in right)
+
+
+class QueryFuzzer:
+    """Deterministic generator of differential-oracle probe queries."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        mappings: MappingCollection,
+        seed: int = 0,
+        graph: Optional[Graph] = None,
+        options: Optional[FuzzerOptions] = None,
+    ):
+        self.vocabulary = _Vocabulary(ontology, mappings)
+        if not self.vocabulary.class_props:
+            raise ValueError("no joinable class/property vocabulary in mappings")
+        self.seed = seed
+        self.options = options or FuzzerOptions()
+        self._values = _ValueSampler(graph)
+
+    def generate(self, count: int) -> List[FuzzedQuery]:
+        rng = random.Random(self.seed)
+        return [self._one(rng, index) for index in range(count)]
+
+    # ------------------------------------------------------------------
+
+    def _one(self, rng: random.Random, index: int) -> FuzzedQuery:
+        options = self.options
+        vocab = self.vocabulary
+        features: List[str] = []
+        is_ask = rng.random() < options.ask_probability
+        cls = rng.choice(sorted(vocab.class_props))
+        props = vocab.class_props[cls]
+        branch_count = rng.randint(1, min(options.max_branches, len(props)))
+        branches = rng.sample(props, branch_count)
+
+        triples: List[str] = [f"  ?x0 a <{cls}> ."]
+        optional_lines: List[str] = []
+        optional_vars: set = set()
+        filters: List[str] = []
+        variables = ["x0"]
+        next_var = 1
+        numeric_vars: List[Tuple[str, str]] = []  # (var, prop)
+        string_vars: List[Tuple[str, str]] = []
+
+        for branch_index, prop in enumerate(branches):
+            var = f"x{next_var}"
+            next_var += 1
+            object_term = f"?{var}"
+            is_object_prop = prop in vocab.range_classes or (
+                prop in vocab.object_props
+            )
+            constant = None
+            if rng.random() < options.constant_probability:
+                constant = self._values.sample(rng, prop)
+            if constant is not None:
+                object_term = constant
+                features.append("constant")
+            lines = [f"  ?x0 <{prop}> {object_term} ."]
+            if constant is None:
+                variables.append(var)
+                if is_object_prop:
+                    if (
+                        rng.random() < options.chain_probability
+                        and prop in vocab.range_classes
+                    ):
+                        target = rng.choice(vocab.range_classes[prop])
+                        lines.append(f"  ?{var} a <{target}> .")
+                        features.append("chain")
+                else:
+                    datatype = vocab.datatypes.get(prop, XSD_STRING)
+                    if datatype == XSD_STRING:
+                        string_vars.append((var, prop))
+                    else:
+                        numeric_vars.append((var, prop))
+            # the last branch may become OPTIONAL (never the only branch:
+            # the required part must keep the query connected)
+            if (
+                branch_index == branch_count - 1
+                and branch_count > 1
+                and constant is None
+                and rng.random() < options.optional_probability
+            ):
+                optional_lines = lines
+                optional_vars.add(var)
+                features.append("optional")
+            else:
+                triples.extend(lines)
+
+        # FILTER only over required-part variables
+        if rng.random() < options.filter_probability:
+            numeric_candidates = [
+                (var, prop)
+                for var, prop in numeric_vars
+                if var not in optional_vars
+            ]
+            string_candidates = [
+                (var, prop)
+                for var, prop in string_vars
+                if var not in optional_vars
+            ]
+            if numeric_candidates:
+                var, prop = rng.choice(numeric_candidates)
+                constant = self._values.sample_numeric(rng, prop)
+                if constant is not None:
+                    op = rng.choice([">", ">=", "<", "<="])
+                    filters.append(f"  FILTER(?{var} {op} {constant})")
+                    features.append("filter")
+            elif string_candidates:
+                var, prop = rng.choice(string_candidates)
+                constant = self._values.sample(rng, prop)
+                if constant is not None:
+                    filters.append(f"  FILTER(?{var} = {constant})")
+                    features.append("filter")
+
+        body = list(triples)
+        if optional_lines:
+            body.append("  OPTIONAL {")
+            body.extend("  " + line for line in optional_lines)
+            body.append("  }")
+        body.extend(filters)
+
+        if is_ask:
+            sparql = "ASK WHERE {\n" + "\n".join(body) + "\n}\n"
+            features.append("ask")
+            return FuzzedQuery(f"fz{index}", sparql, tuple(features))
+
+        projected = sorted(rng.sample(variables, rng.randint(1, len(variables))))
+        distinct = rng.random() < options.distinct_probability
+        if distinct:
+            features.append("distinct")
+        head = "SELECT " + ("DISTINCT " if distinct else "")
+        head += " ".join(f"?{v}" for v in projected)
+        tail: List[str] = []
+        if rng.random() < options.limit_probability:
+            # ORDER BY over every projected variable makes the LIMIT
+            # prefix deterministic up to equal rows
+            tail.append("ORDER BY " + " ".join(f"?{v}" for v in projected))
+            tail.append(f"LIMIT {rng.randint(1, options.max_limit)}")
+            features.append("limit")
+        sparql = (
+            head
+            + "\nWHERE {\n"
+            + "\n".join(body)
+            + "\n}\n"
+            + ("\n".join(tail) + "\n" if tail else "")
+        )
+        return FuzzedQuery(f"fz{index}", sparql, tuple(features))
+
+
+class _ValueSampler:
+    """Samples constants for a property from the materialized graph."""
+
+    def __init__(self, graph: Optional[Graph]):
+        self._graph = graph
+        self._cache: Dict[str, List[Term]] = {}
+
+    def _candidates(self, prop: str) -> List[Term]:
+        if self._graph is None:
+            return []
+        cached = self._cache.get(prop)
+        if cached is None:
+            seen = set(self._graph.objects(None, IRI(prop)))
+            cached = sorted(seen, key=lambda term: term.n3())
+            self._cache[prop] = cached
+        return cached
+
+    def sample(self, rng: random.Random, prop: str) -> Optional[str]:
+        candidates = self._candidates(prop)
+        if not candidates:
+            return None
+        return rng.choice(candidates).n3()
+
+    def sample_numeric(self, rng: random.Random, prop: str) -> Optional[str]:
+        candidates = [
+            term
+            for term in self._candidates(prop)
+            if isinstance(term, Literal) and term.is_numeric
+        ]
+        if not candidates:
+            return None
+        term = rng.choice(candidates)
+        return term.n3()

@@ -1,0 +1,172 @@
+"""Answer normalization and bag comparison for the differential oracle.
+
+The three pipelines render the same certain answer through different
+machinery (SQL values translated back to RDF terms, graph terms, rewritten
+graph terms), so literal-level noise must be cancelled before comparison:
+
+* **numeric widening** -- ``"7"^^xsd:integer``, ``"7.0"^^xsd:decimal`` and
+  ``"7.0"^^xsd:double`` all denote the number 7 and compare equal;
+* **IRI canonicalization** -- percent-escape hex digits are uppercased and
+  escaped unreserved characters are decoded, per RFC 3986 normalization;
+* **row alignment** -- rows are keyed by variable *name* and sorted, so two
+  pipelines projecting the same variables in different order still match.
+
+Comparison is under bag semantics: rows are multiset-counted, and a
+:class:`BagComparison` distinguishes true bag equality from set equality
+with differing multiplicities (a weaker, separately-reported agreement).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    TermError,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_GYEAR,
+    XSD_INTEGER,
+)
+
+_NUMERIC = frozenset({XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE, XSD_GYEAR})
+
+_PCT_RE = re.compile(r"%[0-9A-Fa-f]{2}")
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+CanonicalTerm = Tuple[object, ...]
+CanonicalRow = Tuple[Tuple[str, Optional[CanonicalTerm]], ...]
+
+
+def canonical_iri(value: str) -> str:
+    """RFC 3986 percent-encoding normalization (case + unreserved)."""
+
+    def repl(match: re.Match[str]) -> str:
+        char = chr(int(match.group(0)[1:], 16))
+        if char in _UNRESERVED:
+            return char
+        return match.group(0).upper()
+
+    return _PCT_RE.sub(repl, value)
+
+
+def canonical_term(term: Optional[Term]) -> Optional[CanonicalTerm]:
+    """A hashable comparison key equating denotationally equal terms."""
+    if term is None:
+        return None
+    if isinstance(term, IRI):
+        return ("iri", canonical_iri(term.value))
+    if isinstance(term, BNode):
+        return ("bnode", term.label)
+    assert isinstance(term, Literal)
+    if term.language:
+        return ("lang", term.language.lower(), term.lexical)
+    if term.datatype in _NUMERIC:
+        try:
+            value = term.to_python()
+        except TermError:
+            return ("lit", term.datatype, term.lexical)
+        if isinstance(value, float):
+            if value != value:  # NaN compares equal to itself here
+                return ("num", "NaN")
+            if value in (float("inf"), float("-inf")):
+                return ("num", "INF" if value > 0 else "-INF")
+            if value.is_integer() and abs(value) < 2**53:
+                return ("num", int(value))
+            # absorb float noise from differing summation orders
+            return ("num", float(f"{value:.10g}"))
+        return ("num", int(value))
+    if term.datatype == XSD_BOOLEAN:
+        try:
+            return ("bool", term.to_python())
+        except TermError:
+            return ("lit", term.datatype, term.lexical)
+    return ("lit", term.datatype, term.lexical)
+
+
+def canonical_row(
+    variables: Sequence[str], row: Sequence[Optional[Term]]
+) -> CanonicalRow:
+    pairs = [
+        (name, canonical_term(term)) for name, term in zip(variables, row)
+    ]
+    return tuple(sorted(pairs))
+
+
+def canonical_bag(
+    variables: Sequence[str], rows: Sequence[Sequence[Optional[Term]]]
+) -> "Counter[CanonicalRow]":
+    return Counter(canonical_row(variables, row) for row in rows)
+
+
+def render_row(row: CanonicalRow) -> str:
+    parts = []
+    for name, key in row:
+        parts.append(f"?{name}={'UNDEF' if key is None else key}")
+    return " ".join(parts) if parts else "<empty row>"
+
+
+@dataclass
+class BagComparison:
+    """Outcome of comparing two normalized answer bags."""
+
+    equal: bool
+    set_equal: bool
+    only_left: List[Tuple[CanonicalRow, int]] = field(default_factory=list)
+    only_right: List[Tuple[CanonicalRow, int]] = field(default_factory=list)
+
+    def describe(self, left_name: str, right_name: str, limit: int = 3) -> str:
+        if self.equal:
+            return "bags equal"
+        lines: List[str] = []
+        if self.set_equal:
+            lines.append("set-equal but multiplicities differ")
+        for label, rows in (
+            (f"only in {left_name}", self.only_left),
+            (f"only in {right_name}", self.only_right),
+        ):
+            for row, count in rows[:limit]:
+                suffix = f" (x{count})" if count != 1 else ""
+                lines.append(f"{label}: {render_row(row)}{suffix}")
+        return "; ".join(lines)
+
+
+def compare_bags(
+    left: "Counter[CanonicalRow]", right: "Counter[CanonicalRow]"
+) -> BagComparison:
+    if left == right:
+        return BagComparison(equal=True, set_equal=True)
+    # sort by repr: canonical keys mix ints, floats and strings, which do
+    # not order against each other directly
+    only_left = sorted(
+        (
+            (row, count - right.get(row, 0))
+            for row, count in left.items()
+            if count > right.get(row, 0)
+        ),
+        key=repr,
+    )
+    only_right = sorted(
+        (
+            (row, count - left.get(row, 0))
+            for row, count in right.items()
+            if count > left.get(row, 0)
+        ),
+        key=repr,
+    )
+    set_equal = set(left) == set(right)
+    return BagComparison(
+        equal=False,
+        set_equal=set_equal,
+        only_left=only_left,
+        only_right=only_right,
+    )

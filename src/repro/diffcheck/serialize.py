@@ -1,0 +1,166 @@
+"""AST -> SPARQL text rendering for the supported query subset.
+
+The shrinker minimizes queries by rewriting the parsed
+:class:`~repro.sparql.ast.SelectQuery` and needs to turn every candidate
+back into concrete syntax that :func:`repro.sparql.parser.parse_query`
+accepts.  Everything is rendered with full IRIs (no prefixes), variables
+keep their names, and expressions are fully parenthesized, so the output
+re-parses to a structurally equivalent query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rdf.terms import BNode, IRI, Literal
+from ..sparql.ast import (
+    AggregateExpr,
+    BGP,
+    BinaryExpr,
+    BindPattern,
+    CallExpr,
+    Expression,
+    GroupPattern,
+    OptionalPattern,
+    Pattern,
+    PatternTerm,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnaryExpr,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+
+
+def term_to_sparql(term: PatternTerm) -> str:
+    if isinstance(term, (Var, IRI, BNode, Literal)):
+        return term.n3()
+    raise TypeError(f"cannot serialize pattern term {term!r}")
+
+
+def expression_to_sparql(expr: Expression) -> str:
+    if isinstance(expr, VarExpr):
+        return expr.var.n3()
+    if isinstance(expr, TermExpr):
+        return expr.term.n3()
+    if isinstance(expr, UnaryExpr):
+        return f"{expr.op}({expression_to_sparql(expr.operand)})"
+    if isinstance(expr, BinaryExpr):
+        left = expression_to_sparql(expr.left)
+        right = expression_to_sparql(expr.right)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, AggregateExpr):
+        distinct = "DISTINCT " if expr.distinct else ""
+        if expr.argument is None:
+            return f"{expr.name}({distinct}*)"
+        return f"{expr.name}({distinct}{expression_to_sparql(expr.argument)})"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(expression_to_sparql(arg) for arg in expr.args)
+        if expr.name.startswith("CAST:"):
+            return f"<{expr.name[len('CAST:'):]}>({args})"
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot serialize expression {expr!r}")
+
+
+def _pattern_lines(pattern: Pattern, indent: str) -> List[str]:
+    inner = indent + "  "
+    if isinstance(pattern, BGP):
+        return [
+            f"{indent}{triple.n3()}" for triple in pattern.triples
+        ]
+    if isinstance(pattern, GroupPattern):
+        lines: List[str] = [f"{indent}{{"]
+        for element in pattern.elements:
+            lines.extend(_pattern_lines(element, inner))
+        for condition in pattern.filters:
+            lines.append(f"{inner}FILTER ({expression_to_sparql(condition)})")
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(pattern, OptionalPattern):
+        lines = [f"{indent}OPTIONAL {{"]
+        lines.extend(_group_body_lines(pattern.pattern, inner))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(pattern, UnionPattern):
+        lines = [f"{indent}{{"]
+        lines.extend(_group_body_lines(pattern.left, inner))
+        lines.append(f"{indent}}} UNION {{")
+        lines.extend(_group_body_lines(pattern.right, inner))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(pattern, BindPattern):
+        rendered = expression_to_sparql(pattern.expression)
+        return [f"{indent}BIND ({rendered} AS {pattern.var.n3()})"]
+    raise TypeError(f"cannot serialize pattern {pattern!r}")
+
+
+def _group_body_lines(pattern: Pattern, indent: str) -> List[str]:
+    """Pattern lines *without* redundant braces around a lone group.
+
+    OPTIONAL/UNION syntax already supplies the enclosing braces; emitting
+    a GroupPattern's own braces inside them would add one nesting level
+    per parse/serialize round-trip instead of reaching a fixpoint.
+    """
+    if isinstance(pattern, GroupPattern):
+        lines: List[str] = []
+        for element in pattern.elements:
+            lines.extend(_pattern_lines(element, indent))
+        for condition in pattern.filters:
+            lines.append(f"{indent}FILTER ({expression_to_sparql(condition)})")
+        return lines
+    return _pattern_lines(pattern, indent)
+
+
+def query_to_sparql(query: SelectQuery) -> str:
+    """Render a query AST as executable SPARQL text."""
+    lines: List[str] = []
+    if query.is_ask:
+        lines.append("ASK")
+    else:
+        head = "SELECT DISTINCT" if query.distinct else "SELECT"
+        if query.select_star:
+            lines.append(f"{head} *")
+        else:
+            items = []
+            for projection in query.projections:
+                if projection.expression is None:
+                    items.append(projection.var.n3())
+                else:
+                    rendered = expression_to_sparql(projection.expression)
+                    items.append(f"({rendered} AS {projection.var.n3()})")
+            lines.append(f"{head} {' '.join(items)}")
+    lines.append("WHERE {")
+    body = query.where
+    if isinstance(body, GroupPattern):
+        # avoid a redundant brace level for the common top-level group
+        for element in body.elements:
+            lines.extend(_pattern_lines(element, "  "))
+        for condition in body.filters:
+            lines.append(f"  FILTER ({expression_to_sparql(condition)})")
+    else:
+        lines.extend(_pattern_lines(body, "  "))
+    lines.append("}")
+    if query.is_ask:
+        # the parser models ASK as SELECT with limit=1; none of the
+        # solution modifiers are concrete ASK syntax
+        return "\n".join(lines) + "\n"
+    if query.group_by:
+        rendered = " ".join(
+            f"({expression_to_sparql(expr)})" for expr in query.group_by
+        )
+        lines.append(f"GROUP BY {rendered}")
+    for condition in query.having:
+        lines.append(f"HAVING ({expression_to_sparql(condition)})")
+    if query.order_by:
+        keys = []
+        for condition in query.order_by:
+            rendered = f"({expression_to_sparql(condition.expression)})"
+            keys.append(f"ASC{rendered}" if condition.ascending else f"DESC{rendered}")
+        lines.append(f"ORDER BY {' '.join(keys)}")
+    if query.limit is not None:
+        lines.append(f"LIMIT {query.limit}")
+    if query.offset is not None and query.offset:
+        lines.append(f"OFFSET {query.offset}")
+    return "\n".join(lines) + "\n"

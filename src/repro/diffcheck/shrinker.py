@@ -1,0 +1,242 @@
+"""Greedy query minimization for differential-oracle counterexamples.
+
+Given a SPARQL query on which the pipelines disagree and a predicate that
+re-checks the disagreement, :func:`shrink_query` repeatedly applies the
+smallest-step simplifications --
+
+* drop one triple pattern,
+* drop an OPTIONAL / BIND element or collapse a UNION to one branch,
+* drop one FILTER condition,
+* drop one solution modifier (DISTINCT, GROUP BY, HAVING, ORDER BY,
+  LIMIT, OFFSET),
+* replace one constant in a triple pattern with a fresh variable,
+
+-- keeping a candidate only when the predicate still reports the failure.
+Every accepted step strictly shrinks the (atoms, modifiers, constants)
+triple, so the loop terminates with a locally minimal failing witness.
+Candidates that fail to parse or make any pipeline error out are
+discarded: the shrunk query must reproduce the *same kind* of evidence,
+not a different crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from ..rdf.terms import IRI, Literal
+from ..sparql.ast import (
+    BGP,
+    BindPattern,
+    GroupPattern,
+    OptionalPattern,
+    Pattern,
+    Projection,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+    pattern_variables,
+)
+from ..sparql.parser import parse_query
+from .serialize import query_to_sparql
+
+Predicate = Callable[[str], bool]
+
+
+def shrink_query(
+    sparql: str, still_failing: Predicate, max_steps: int = 400
+) -> str:
+    """Minimize *sparql* while ``still_failing`` holds; returns SPARQL text."""
+    try:
+        query = parse_query(sparql)
+        current = query_to_sparql(query)
+    except Exception:  # noqa: BLE001 - unparseable input passes through
+        return sparql
+    if not _safe(still_failing, current):
+        # the serialized form must reproduce the failure, else shrinking
+        # would chase a different bug; fall back to the original text
+        return sparql
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(query):
+            steps += 1
+            if steps >= max_steps:
+                break
+            text = query_to_sparql(candidate)
+            if _safe(still_failing, text):
+                query = candidate
+                current = text
+                improved = True
+                break
+    return current
+
+
+def _safe(predicate: Predicate, sparql: str) -> bool:
+    try:
+        return bool(predicate(sparql))
+    except Exception:  # noqa: BLE001 - broken candidates are not failures
+        return False
+
+
+# ---------------------------------------------------------------------------
+# candidate generation
+# ---------------------------------------------------------------------------
+
+
+def _candidates(query: SelectQuery):
+    """Yield every one-step simplification of *query*."""
+    # structural shrinks of the WHERE clause
+    for where in _pattern_shrinks(query.where):
+        yield _reproject(replace(query, where=where))
+    # constant -> fresh variable substitutions
+    for where in _constant_substitutions(query.where):
+        yield _reproject(replace(query, where=where))
+    # modifier drops (ASK carries a synthetic LIMIT 1: leave it alone)
+    if query.is_ask:
+        return
+    if query.distinct:
+        yield replace(query, distinct=False)
+    if query.limit is not None:
+        yield replace(query, limit=None)
+    if query.offset:
+        yield replace(query, offset=None)
+    if query.order_by:
+        yield replace(query, order_by=())
+    for index in range(len(query.having)):
+        yield replace(
+            query, having=query.having[:index] + query.having[index + 1 :]
+        )
+    if query.group_by and not query.having:
+        # dropping GROUP BY only makes sense together with plain-variable
+        # projections; grouped aggregates would dangle otherwise
+        if all(p.expression is None for p in query.projections):
+            yield replace(query, group_by=())
+    if len(query.projections) > 1:
+        for index in range(len(query.projections)):
+            kept = query.projections[:index] + query.projections[index + 1 :]
+            yield replace(query, projections=kept)
+
+
+def _pattern_shrinks(pattern: Pattern) -> List[Pattern]:
+    """All patterns obtained by removing exactly one element."""
+    results: List[Pattern] = []
+    if isinstance(pattern, BGP):
+        if len(pattern.triples) > 1:
+            for index in range(len(pattern.triples)):
+                kept = pattern.triples[:index] + pattern.triples[index + 1 :]
+                results.append(BGP(kept))
+        return results
+    if isinstance(pattern, GroupPattern):
+        if len(pattern.elements) > 1 or (pattern.elements and pattern.filters):
+            for index in range(len(pattern.elements)):
+                kept = pattern.elements[:index] + pattern.elements[index + 1 :]
+                if kept or pattern.filters:
+                    results.append(replace(pattern, elements=kept))
+        for index, element in enumerate(pattern.elements):
+            for shrunk in _pattern_shrinks(element):
+                elements = (
+                    pattern.elements[:index]
+                    + (shrunk,)
+                    + pattern.elements[index + 1 :]
+                )
+                results.append(replace(pattern, elements=elements))
+        for index in range(len(pattern.filters)):
+            kept = pattern.filters[:index] + pattern.filters[index + 1 :]
+            results.append(replace(pattern, filters=kept))
+        return results
+    if isinstance(pattern, OptionalPattern):
+        for shrunk in _pattern_shrinks(pattern.pattern):
+            results.append(OptionalPattern(shrunk))
+        return results
+    if isinstance(pattern, UnionPattern):
+        results.append(pattern.left)
+        results.append(pattern.right)
+        for shrunk in _pattern_shrinks(pattern.left):
+            results.append(UnionPattern(shrunk, pattern.right))
+        for shrunk in _pattern_shrinks(pattern.right):
+            results.append(UnionPattern(pattern.left, shrunk))
+        return results
+    return results
+
+
+def _constant_substitutions(pattern: Pattern) -> List[Pattern]:
+    """Replace one subject/object constant with a fresh variable."""
+    results: List[Pattern] = []
+    counter = [0]
+
+    def fresh() -> Var:
+        counter[0] += 1
+        return Var(f"_shrink{counter[0]}")
+
+    def walk(node: Pattern, rebuild: Callable[[Pattern], Pattern]) -> None:
+        if isinstance(node, BGP):
+            for index, triple in enumerate(node.triples):
+                for field_name in ("subject", "obj"):
+                    term = getattr(triple, field_name)
+                    if isinstance(term, (IRI, Literal)):
+                        new_triple = replace(triple, **{field_name: fresh()})
+                        triples = (
+                            node.triples[:index]
+                            + (new_triple,)
+                            + node.triples[index + 1 :]
+                        )
+                        results.append(rebuild(BGP(triples)))
+        elif isinstance(node, GroupPattern):
+            for index, element in enumerate(node.elements):
+                walk(
+                    element,
+                    lambda inner, i=index: rebuild(
+                        replace(
+                            node,
+                            elements=node.elements[:i]
+                            + (inner,)
+                            + node.elements[i + 1 :],
+                        )
+                    ),
+                )
+        elif isinstance(node, OptionalPattern):
+            walk(node.pattern, lambda inner: rebuild(OptionalPattern(inner)))
+        elif isinstance(node, UnionPattern):
+            walk(node.left, lambda inner: rebuild(UnionPattern(inner, node.right)))
+            walk(node.right, lambda inner: rebuild(UnionPattern(node.left, inner)))
+
+    walk(pattern, lambda inner: inner)
+    return results
+
+
+def _reproject(query: SelectQuery) -> SelectQuery:
+    """Drop projections whose variable no longer occurs in the body."""
+    if query.is_ask or query.select_star:
+        return query
+    in_scope = set(pattern_variables(query.where))
+    kept: Tuple[Projection, ...] = tuple(
+        p
+        for p in query.projections
+        if p.expression is not None or p.var in in_scope
+    )
+    if kept == query.projections:
+        return query
+    if not kept:
+        # fall back to projecting any surviving variable
+        variables = sorted(in_scope, key=lambda v: v.name)
+        if not variables:
+            return query
+        kept = (Projection(variables[0]),)
+    order_by = tuple(
+        condition
+        for condition in query.order_by
+        if all(
+            var in in_scope or var in {p.var for p in kept}
+            for var in _expr_vars(condition.expression)
+        )
+    )
+    return replace(query, projections=kept, order_by=order_by)
+
+
+def _expr_vars(expression) -> List[Var]:
+    from ..sparql.ast import expression_variables
+
+    return expression_variables(expression)

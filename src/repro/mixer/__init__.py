@@ -12,6 +12,8 @@ from .systems import (
     ExecutionRecord,
     OBDASystemAdapter,
     PhaseBreakdown,
+    ProbedSystemAdapter,
+    QualityProbe,
     QueryAnsweringSystem,
     TripleStoreAdapter,
 )
@@ -23,6 +25,8 @@ __all__ = [
     "run_mix",
     "QueryAnsweringSystem",
     "OBDASystemAdapter",
+    "ProbedSystemAdapter",
+    "QualityProbe",
     "TripleStoreAdapter",
     "ExecutionRecord",
     "PhaseBreakdown",

@@ -47,10 +47,20 @@ class MixReport:
         return statistics.mean(self.mix_seconds) if self.mix_seconds else 0.0
 
     clients: int = 1
+    # mix periods aborted by a mid-mix query failure; their elapsed time is
+    # kept here and excluded from mix_seconds so QMpH is not inflated by
+    # partially-measured mixes
+    aborted_mix_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def aborted_mixes(self) -> int:
+        return len(self.aborted_mix_seconds)
 
     @property
     def qmph(self) -> float:
         """Query mixes per hour (aggregated over all simulated clients)."""
+        if not self.mix_seconds:
+            return 0.0  # no fully-measured mix, no throughput evidence
         average = self.avg_mix_seconds
         if average <= 0:
             return float("inf")
@@ -110,8 +120,10 @@ class Mixer:
             query_id: [] for query_id in self.queries if query_id not in errors
         }
         mix_seconds: List[float] = []
+        aborted_mix_seconds: List[float] = []
         for _ in range(runs):
             mix_started = time.perf_counter()
+            aborted = False
             for query_id, sparql in self.queries.items():
                 if query_id in errors:
                     continue
@@ -122,10 +134,17 @@ class Mixer:
                     except Exception as exc:  # noqa: BLE001
                         errors[query_id] = f"{type(exc).__name__}: {exc}"
                         records.pop(query_id, None)
+                        aborted = True
                         break
                     if query_id in records:
                         records[query_id].append(record)
-            mix_seconds.append(time.perf_counter() - mix_started)
+            elapsed = time.perf_counter() - mix_started
+            # a mix period in which a query died measured fewer queries
+            # than a full mix -- keeping it would inflate QMpH
+            if aborted:
+                aborted_mix_seconds.append(elapsed)
+            else:
+                mix_seconds.append(elapsed)
         per_query: Dict[str, QueryStats] = {}
         for query_id, query_records in records.items():
             if not query_records:
@@ -157,6 +176,7 @@ class Mixer:
             per_query=per_query,
             errors=errors,
             clients=self.clients,
+            aborted_mix_seconds=aborted_mix_seconds,
         )
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..obda.system import OBDAEngine, OBDAResult
 from ..obda.triplestore import RewritingTripleStore, TripleStoreAnswer
@@ -88,6 +88,38 @@ class OBDASystemAdapter:
                 "weight_of_r_u": result.timings.weight_of_r_u,
             },
         )
+
+
+QualityProbe = Callable[[str, str, ExecutionRecord], None]
+
+
+class ProbedSystemAdapter:
+    """Wraps a system and runs a quality probe after every execution.
+
+    The probe mutates ``record.quality`` in place -- e.g. the
+    differential oracle's :meth:`DifferentialOracle.quality_probe` stamps
+    ``oracle_verdict``/``oracle_agreement`` so every measured mix carries
+    correctness evidence alongside its timings.  Probe time is *not*
+    charged to the system's phase breakdown.
+    """
+
+    def __init__(
+        self,
+        system: QueryAnsweringSystem,
+        probe: QualityProbe,
+        name: Optional[str] = None,
+    ):
+        self.system = system
+        self.probe = probe
+        self.name = name or f"probed-{system.name}"
+
+    def loading_time(self) -> float:
+        return self.system.loading_time()
+
+    def run_query(self, query_id: str, sparql: str) -> ExecutionRecord:
+        record = self.system.run_query(query_id, sparql)
+        self.probe(query_id, sparql, record)
+        return record
 
 
 class TripleStoreAdapter:

@@ -18,7 +18,16 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..rdf.terms import IRI, Literal, Term, XSD_STRING
+from ..rdf.terms import (
+    IRI,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
 from ..sql.ast import SelectStatement
 from ..sql.parser import parse_select
 
@@ -135,13 +144,31 @@ class LiteralTermMap:
         (value,) = values
         if value is None:
             return None
+        datatype = self.datatype
+        if datatype == XSD_STRING:
+            # refine under-declared mappings from the runtime value, the
+            # same way the OBDA result translator does -- otherwise the
+            # materialized instance says "259.48"^^xsd:string where the
+            # virtual one says "259.48"^^xsd:double
+            if isinstance(value, bool):
+                datatype = XSD_BOOLEAN
+            elif isinstance(value, int):
+                datatype = XSD_INTEGER
+            elif isinstance(value, float):
+                datatype = XSD_DOUBLE
         if isinstance(value, bool):
             lexical = "true" if value else "false"
-        elif isinstance(value, float) and value.is_integer():
-            lexical = str(value)
+        elif (
+            isinstance(value, float)
+            and value.is_integer()
+            and datatype in (XSD_INTEGER, XSD_DECIMAL)
+        ):
+            # same collapse as the OBDA result translator, so the
+            # materialized and virtual instances agree on lexical forms
+            lexical = str(int(value))
         else:
             lexical = str(value)
-        return Literal(lexical, self.datatype)
+        return Literal(lexical, datatype)
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,9 @@ class RewritingResult:
     tree_witnesses: int
     elapsed_seconds: float
     expanded_hierarchy: bool
+    #: the max_ucq safety valve fired: the UCQ is a sound but possibly
+    #: incomplete prefix of the full rewriting
+    truncated: bool = False
 
     @property
     def ucq_size(self) -> int:
@@ -124,7 +127,13 @@ class TreeWitnessRewriter:
                 if len(results) >= self.max_ucq:
                     break
         elapsed = time.perf_counter() - started
-        return RewritingResult(results, tree_witnesses, elapsed, self.expand_hierarchy)
+        return RewritingResult(
+            results,
+            tree_witnesses,
+            elapsed,
+            self.expand_hierarchy,
+            truncated=bool(frontier),
+        )
 
     # ------------------------------------------------------------------
     # successor generation

@@ -75,6 +75,8 @@ class QualityMetrics:
     sql_union_blocks: int = 0
     sql_characters: int = 0
     pruned_combinations: int = 0
+    #: the rewriter's max_ucq safety valve fired (answers may be missing)
+    rewriting_truncated: bool = False
     merged_self_joins: int = 0
 
 
@@ -191,6 +193,7 @@ class OBDAEngine:
             sql_union_blocks=unfolded.union_blocks,
             sql_characters=len(unfolded.sql_text),
             pruned_combinations=unfolded.pruned_combinations,
+            rewriting_truncated=unfolded.rewriting_truncated,
             merged_self_joins=unfolded.merged_self_joins,
         )
         if unfolded.statement is None:
@@ -240,8 +243,12 @@ def _make_term(value: Any, meta: Optional[VarMeta]) -> Optional[Term]:
             datatype = XSD_DOUBLE
     if isinstance(value, bool):
         return Literal("true" if value else "false", datatype)
+    # integer-valued floats collapse to the integer lexical form for the
+    # integer-like datatypes; xsd:decimal must behave like xsd:integer here
+    # or virtual answers render "7.0" where materialized ones say "7"
     if isinstance(value, float) and value.is_integer() and datatype in (
         XSD_INTEGER,
+        XSD_DECIMAL,
     ):
         return Literal(str(int(value)), datatype)
     return Literal(str(value), datatype)

@@ -126,6 +126,9 @@ class UnfoldResult:
     union_blocks: int
     pruned_combinations: int
     merged_self_joins: int
+    #: some BGP's rewriting hit the UCQ cap -- the SQL answers a sound
+    #: but possibly incomplete UCQ prefix
+    rewriting_truncated: bool = False
 
     @property
     def sql_text(self) -> str:
@@ -157,6 +160,8 @@ class Unfolder:
         self._pruned = 0
         self._merged = 0
         self._union_blocks = 0
+        self._any_truncated = False
+        self._nullable_cache: Dict[str, Tuple[str, ...]] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -166,6 +171,7 @@ class Unfolder:
         self._merged = 0
         self._union_blocks = 0
         self._last_rewriting: Optional[RewritingResult] = None
+        self._any_truncated = False
         algebra = simplify(translate(query.where))
         needed = self._query_level_variables(query, algebra)
         fragment = self._unfold_node(algebra, needed)
@@ -180,6 +186,7 @@ class Unfolder:
             union_blocks=self._union_blocks,
             pruned_combinations=self._pruned,
             merged_self_joins=self._merged,
+            rewriting_truncated=self._any_truncated,
         )
 
     # -- algebra lowering ------------------------------------------------------
@@ -194,6 +201,13 @@ class Unfolder:
 
         needed: Set[sp.Var] = set()
         if query.select_star:
+            needed.update(algebra_variables(algebra))
+        if query.has_aggregates():
+            # SUM/COUNT/AVG are multiplicity-sensitive: every pattern
+            # variable must survive into the fragment so the DISTINCT over
+            # union blocks dedups full assignments, not the projected slice
+            # (projecting ?member away before SUM(?production) would
+            # collapse two members with equal production into one row)
             needed.update(algebra_variables(algebra))
         for projection in query.projections:
             if projection.expression is None:
@@ -288,6 +302,7 @@ class Unfolder:
         if self.rewriter is not None:
             rewriting = self.rewriter.rewrite(cq)
             self._last_rewriting = rewriting
+            self._any_truncated = self._any_truncated or rewriting.truncated
             cqs = rewriting.cqs
         else:
             cqs = [cq]
@@ -391,6 +406,19 @@ class Unfolder:
                 if equality is None:
                     return None
                 join_constraints.extend(equality)
+        # NULL guards: a NULL term-map column means the triple does not
+        # exist, so the row must not match the atom (shared aliases from
+        # self-join merging would otherwise leak NULLs of sibling columns)
+        null_guard_keys: set = set()
+        null_guards: List[sql.Expr] = []
+        for assertion, alias in zip(combination, atom_alias):
+            for column in self._nullable_referenced_columns(assertion):
+                key = (alias, column)
+                if key not in null_guard_keys:
+                    null_guard_keys.add(key)
+                    null_guards.append(
+                        sql.IsNull(sql.ColumnRef(column, alias), negated=True)
+                    )
         # assemble FROM
         source: Optional[sql.TableRef] = None
         for alias, assertion in aliases:
@@ -398,7 +426,9 @@ class Unfolder:
             source = (
                 table_ref if source is None else sql.Join("INNER", source, table_ref)
             )
-        where = sql.conjunction(constant_constraints + join_constraints)
+        where = sql.conjunction(
+            constant_constraints + join_constraints + null_guards
+        )
         # projection: answer variables present in this CQ
         items: List[sql.SelectItem] = []
         meta: Dict[sp.Var, VarMeta] = {}
@@ -439,6 +469,54 @@ class Unfolder:
             assertion.source_sql.strip().lower(),
             assertion.subject.template.pattern,
         )
+
+    def _nullable_referenced_columns(
+        self, assertion: MappingAssertion
+    ) -> Tuple[str, ...]:
+        """Term-map columns that may be NULL in the assertion's source.
+
+        Columns of a bare single-table projection declared NOT NULL (or
+        part of the primary key) in the catalog are dropped; everything
+        else conservatively gets an ``IS NOT NULL`` guard.
+        """
+        cached = self._nullable_cache.get(assertion.id)
+        if cached is not None:
+            return cached
+        columns = assertion.referenced_columns()
+        result: Tuple[str, ...] = columns
+        if columns and self.catalog is not None:
+            try:
+                statement = assertion.parsed_source()
+            except Exception:  # noqa: BLE001 - malformed sources opt out
+                statement = None
+            if (
+                statement is not None
+                and statement.union is None
+                and isinstance(statement.source, sql.NamedTable)
+                and self.catalog.has_table(statement.source.name)
+            ):
+                table = self.catalog.table(statement.source.name)
+                not_null = {
+                    column.lname
+                    for column in table.columns
+                    if column.not_null
+                }
+                not_null.update(table.primary_key)
+                # map each projected output back to its base column when
+                # the projection is a bare column reference (or SELECT *)
+                base: Dict[str, str] = {}
+                for item in statement.items:
+                    if isinstance(item.expr, sql.Star):
+                        base.update({name: name for name in not_null})
+                    elif isinstance(item.expr, sql.ColumnRef):
+                        base[item.output_name.lower()] = item.expr.name.lower()
+                result = tuple(
+                    column
+                    for column in columns
+                    if base.get(column, "\0") not in not_null
+                )
+        self._nullable_cache[assertion.id] = result
+        return result
 
     def _unique_subject_columns(
         self, assertion: MappingAssertion

@@ -62,6 +62,23 @@ def _transitive_closure_down(
     return closure
 
 
+def _invert_descendants(
+    closure: Dict[object, Set[object]]
+) -> Dict[object, List[object]]:
+    """Invert a descendants closure into an ancestors index.
+
+    Ancestor lists preserve the closure's iteration order so the
+    ``super*_of`` methods return exactly what their previous linear scans
+    produced.
+    """
+    ancestors: Dict[object, List[object]] = {}
+    for candidate, descendants in closure.items():
+        for descendant in descendants:
+            if descendant != candidate:
+                ancestors.setdefault(descendant, []).append(candidate)
+    return ancestors
+
+
 class QLReasoner:
     """Precomputed closures for one ontology."""
 
@@ -84,6 +101,7 @@ class QLReasoner:
             sub_edges[axiom.sup].add(axiom.sub)
             sub_edges[axiom.sup.inv()].add(axiom.sub.inv())
         self._role_descendants = _transitive_closure_down(sub_edges)
+        self._role_ancestors = _invert_descendants(self._role_descendants)
 
     def subroles_of(self, role: Role, reflexive: bool = True) -> List[Role]:
         """All roles ``S`` with ``S ⊑ R`` (including R itself by default)."""
@@ -96,10 +114,7 @@ class QLReasoner:
 
     def superroles_of(self, role: Role, reflexive: bool = True) -> List[Role]:
         result: List[Role] = [role] if reflexive else []
-        for candidate, descendants in self._role_descendants.items():
-            if role in descendants and candidate != role:
-                assert isinstance(candidate, Role)
-                result.append(candidate)
+        result.extend(self._role_ancestors.get(role, ()))  # type: ignore[arg-type]
         return result
 
     def is_subrole(self, sub: Role, sup: Role) -> bool:
@@ -116,6 +131,7 @@ class QLReasoner:
         for axiom in self.ontology.data_subproperty_axioms():
             sub_edges[axiom.sup].add(axiom.sub)
         self._data_descendants = _transitive_closure_down(sub_edges)
+        self._data_ancestors = _invert_descendants(self._data_descendants)
 
     def sub_data_properties_of(
         self, prop: DataPropertyRef, reflexive: bool = True
@@ -131,10 +147,7 @@ class QLReasoner:
         self, prop: DataPropertyRef, reflexive: bool = True
     ) -> List[DataPropertyRef]:
         result: List[DataPropertyRef] = [prop] if reflexive else []
-        for candidate, descendants in self._data_descendants.items():
-            if prop in descendants and candidate != prop:
-                assert isinstance(candidate, DataPropertyRef)
-                result.append(candidate)
+        result.extend(self._data_ancestors.get(prop, ()))  # type: ignore[arg-type]
         return result
 
     # ------------------------------------------------------------------
@@ -162,6 +175,7 @@ class QLReasoner:
                 assert isinstance(sub_prop, DataPropertyRef)
                 sub_edges[DataSomeValues(sup_prop)].add(DataSomeValues(sub_prop))
         self._concept_descendants = _transitive_closure_down(sub_edges)
+        self._concept_ancestors = _invert_descendants(self._concept_descendants)
 
     def subconcepts_of(
         self, concept: BasicConcept, reflexive: bool = True
@@ -177,9 +191,7 @@ class QLReasoner:
         self, concept: BasicConcept, reflexive: bool = True
     ) -> List[BasicConcept]:
         result: List[BasicConcept] = [concept] if reflexive else []
-        for candidate, descendants in self._concept_descendants.items():
-            if concept in descendants and candidate != concept:
-                result.append(candidate)  # type: ignore[arg-type]
+        result.extend(self._concept_ancestors.get(concept, ()))  # type: ignore[arg-type]
         return result
 
     def is_subconcept(self, sub: BasicConcept, sup: BasicConcept) -> bool:

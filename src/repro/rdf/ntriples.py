@@ -124,7 +124,9 @@ def parse_line(line: str, line_number: int | None = None) -> Triple | None:
 
 def parse(source: IO[str] | str) -> Iterator[Triple]:
     """Parse an N-Triples document (string or file object) lazily."""
-    lines = source.splitlines() if isinstance(source, str) else source
+    # split on real line feeds only: str.splitlines would also break on
+    # U+2028/U+2029 etc., which are legal *inside* an N-Triples literal
+    lines = source.split("\n") if isinstance(source, str) else source
     for line_number, line in enumerate(lines, start=1):
         triple = parse_line(line, line_number)
         if triple is not None:

@@ -361,7 +361,8 @@ class SelectStatement:
     distinct: bool = False
     union: Optional["UnionTail"] = None
 
-    def to_sql(self) -> str:
+    def _block_sql(self) -> str:
+        """This SELECT block only, ignoring the union tail."""
         parts = ["SELECT"]
         if self.distinct:
             parts.append("DISTINCT")
@@ -381,19 +382,26 @@ class SelectStatement:
             parts.append(f"LIMIT {self.limit}")
         if self.offset is not None:
             parts.append(f"OFFSET {self.offset}")
-        text = " ".join(parts)
-        if self.union is not None:
-            keyword = "UNION ALL" if self.union.all else "UNION"
-            text = f"{text} {keyword} {self.union.query.to_sql()}"
-        return text
+        return " ".join(parts)
+
+    def to_sql(self) -> str:
+        # iterate the union chain: an unoptimized UCQ can have hundreds
+        # of branches, deeper than Python's recursion limit
+        segments = [self._block_sql()]
+        tail = self.union
+        while tail is not None:
+            segments.append("UNION ALL" if tail.all else "UNION")
+            segments.append(tail.query._block_sql())
+            tail = tail.query.union
+        return " ".join(segments)
 
     def union_branches(self) -> List["SelectStatement"]:
         """Flatten the UNION chain into the list of SELECT blocks."""
         branches = [self.without_union()]
         tail = self.union
         while tail is not None:
-            branches.extend(b for b in tail.query.union_branches())
-            tail = None
+            branches.append(tail.query.without_union())
+            tail = tail.query.union
         return branches
 
     def without_union(self) -> "SelectStatement":

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.mixer import (
+    ExecutionRecord,
     MIX_HEADERS,
     Mixer,
     OBDASystemAdapter,
@@ -123,3 +124,116 @@ class TestMultiClient:
     def test_zero_clients_rejected(self, example_engine):
         with pytest.raises(ValueError):
             Mixer(OBDASystemAdapter(example_engine), QUERIES, clients=0)
+
+
+class _ScriptedSystem:
+    """Fake system: fails a chosen query after N successful calls."""
+
+    name = "scripted"
+
+    def __init__(self, fail_query=None, fail_after=0, delay_query=None, delay=0.0):
+        self.fail_query = fail_query
+        self.fail_after = fail_after
+        self.delay_query = delay_query
+        self.delay = delay
+        self.calls = {}
+
+    def loading_time(self):
+        return 0.0
+
+    def run_query(self, query_id, sparql):
+        import time as _time
+
+        count = self.calls.get(query_id, 0) + 1
+        self.calls[query_id] = count
+        if query_id == self.fail_query and count > self.fail_after:
+            raise RuntimeError("scripted failure")
+        if query_id == self.delay_query:
+            _time.sleep(self.delay)
+        return ExecutionRecord(
+            query_id=query_id, result_size=1, phases=PhaseBreakdown()
+        )
+
+
+_SCRIPT_QUERIES = {"q1": "SELECT...", "q2": "SELECT...", "q3": "SELECT..."}
+
+
+class TestMixerErrorPaths:
+    def test_warmup_failure_excluded_without_abort(self):
+        # fails from the very first (warm-up) call: the query is excluded
+        # before measurement and no measured mix is aborted
+        system = _ScriptedSystem(fail_query="q2", fail_after=0)
+        report = Mixer(system, _SCRIPT_QUERIES, warmup_runs=1).run(runs=2)
+        assert "q2" in report.errors
+        assert report.aborted_mixes == 0
+        assert len(report.mix_seconds) == 2
+        assert set(report.per_query) == {"q1", "q3"}
+
+    def test_midmix_failure_aborts_the_mix(self):
+        # survives the warm-up call, dies on the first measured call:
+        # that mix period is aborted and must not count towards QMpH
+        system = _ScriptedSystem(fail_query="q2", fail_after=1)
+        report = Mixer(system, _SCRIPT_QUERIES, warmup_runs=1).run(runs=3)
+        assert "q2" in report.errors
+        assert report.aborted_mixes == 1
+        assert len(report.aborted_mix_seconds) == 1
+        assert len(report.mix_seconds) == 2  # later mixes skip q2 and complete
+        assert "q2" not in report.per_query
+        assert report.qmph == pytest.approx(3600.0 / report.avg_mix_seconds)
+
+    def test_zero_measured_mixes_means_zero_qmph(self):
+        system = _ScriptedSystem(fail_query="q2", fail_after=1)
+        report = Mixer(system, _SCRIPT_QUERIES, warmup_runs=1).run(runs=1)
+        assert report.mix_seconds == []
+        assert report.aborted_mixes == 1
+        assert report.qmph == 0.0
+        assert report.avg_mix_seconds == 0.0
+
+    def test_timeout_excludes_query_from_mixes(self):
+        system = _ScriptedSystem(delay_query="q3", delay=0.05)
+        report = Mixer(
+            system, _SCRIPT_QUERIES, warmup_runs=1, query_timeout=0.01
+        ).run(runs=2)
+        assert "q3" in report.errors
+        assert report.errors["q3"].startswith("timeout")
+        assert report.aborted_mixes == 0
+        assert set(report.per_query) == {"q1", "q2"}
+        # after warm-up the slow query is never run again
+        assert system.calls["q3"] == 1
+
+    def test_midmix_failure_with_clients(self):
+        # client 1 succeeds, client 2 trips the failure inside run 1
+        system = _ScriptedSystem(fail_query="q1", fail_after=2)
+        report = Mixer(
+            system, _SCRIPT_QUERIES, warmup_runs=0, clients=2
+        ).run(runs=3)
+        assert report.aborted_mixes == 1
+        assert len(report.mix_seconds) == 2
+        assert report.qmph == pytest.approx(
+            2 * 3600.0 / report.avg_mix_seconds
+        )
+
+
+class TestProbedSystemAdapter:
+    def test_probe_stamps_quality(self, example_engine):
+        from repro.mixer import ProbedSystemAdapter
+
+        seen = []
+
+        def probe(query_id, sparql, record):
+            seen.append(query_id)
+            record.quality["oracle_agreement"] = True
+
+        probed = ProbedSystemAdapter(OBDASystemAdapter(example_engine), probe)
+        report = Mixer(probed, QUERIES, warmup_runs=0).run(runs=1)
+        assert report.errors == {}
+        assert seen.count("qa") == 1
+        assert report.per_query["qa"].quality["oracle_agreement"] == 1.0
+
+    def test_probe_adapter_name(self, example_engine):
+        from repro.mixer import ProbedSystemAdapter
+
+        inner = OBDASystemAdapter(example_engine)
+        assert ProbedSystemAdapter(inner, lambda *a: None).name == (
+            f"probed-{inner.name}"
+        )

@@ -71,7 +71,10 @@ class TestRewritingStore:
     def test_rewriting_metrics_exposed(self, store):
         answer = store.execute(PRE + "SELECT ?w WHERE { ?w a :Wellbore }")
         assert answer.rewriting is not None
-        assert answer.rewriting.ucq_size >= 2
+        # hierarchy reasoning happens at match time, so the UCQ holds only
+        # the existential branches (here: just the original CQ)
+        assert answer.rewriting.ucq_size >= 1
+        assert not answer.truncated
         assert answer.overall_seconds >= answer.execution_seconds
 
     def test_dedup_across_union_branches(self, store):

@@ -104,3 +104,101 @@ class TestRoundTrip:
         dump_graph(g, buf2)
         assert buf1.getvalue() == buf2.getvalue()
         assert buf1.getvalue().splitlines()[0].startswith("<http://ex.org/a>")
+
+
+class TestPropertyRoundTrip:
+    """Seeded random round-trip properties (no hypothesis available)."""
+
+    # printable ASCII plus the characters the escaper must handle plus a
+    # spread of non-ASCII codepoints (Latin-1, CJK, astral plane)
+    _ALPHABET = (
+        [chr(c) for c in range(0x20, 0x7F)]
+        + ['"', "\\", "\n", "\r", "\t"]
+        + ["æ", "ø", "å", "é", "ü", "Δ", "λ", "中", "文", "🜚", " ", " "]
+    )
+
+    _DATATYPES = [
+        "http://www.w3.org/2001/XMLSchema#string",
+        "http://www.w3.org/2001/XMLSchema#integer",
+        "http://www.w3.org/2001/XMLSchema#decimal",
+        "http://www.w3.org/2001/XMLSchema#double",
+        "http://www.w3.org/2001/XMLSchema#boolean",
+        "http://www.w3.org/2001/XMLSchema#date",
+        "http://ex.org/custom#type",
+    ]
+
+    _LANGS = ["en", "no", "en-GB", "de-AT-1901", "x-klingon"]
+
+    def _random_lexical(self, rng):
+        return "".join(
+            rng.choice(self._ALPHABET) for _ in range(rng.randint(0, 24))
+        )
+
+    def _random_term(self, rng, position):
+        import random as _random
+
+        assert isinstance(rng, _random.Random)
+        if position == "predicate":
+            return IRI(f"http://ex.org/p{rng.randint(0, 999)}")
+        kind = rng.random()
+        if position == "subject":
+            if kind < 0.8:
+                return IRI(f"http://ex.org/s{rng.randint(0, 999)}")
+            return BNode(f"b{rng.randint(0, 999)}")
+        if kind < 0.3:
+            return IRI(f"http://ex.org/o{rng.randint(0, 999)}")
+        if kind < 0.4:
+            return BNode(f"b{rng.randint(0, 999)}")
+        lexical = self._random_lexical(rng)
+        if kind < 0.7:
+            return Literal(lexical)
+        if kind < 0.85:
+            return Literal(lexical, datatype=rng.choice(self._DATATYPES))
+        return Literal(lexical, language=rng.choice(self._LANGS))
+
+    def test_random_triples_round_trip(self):
+        import random
+
+        rng = random.Random(20260805)
+        for _ in range(300):
+            triple = (
+                self._random_term(rng, "subject"),
+                self._random_term(rng, "predicate"),
+                self._random_term(rng, "object"),
+            )
+            line = serialize_triple(triple)
+            assert parse_line(line) == triple, line
+
+    def test_serialize_is_parse_inverse_twice(self):
+        # parse(serialize(t)) == t implies serialize is injective up to
+        # term equality; check the second round trip is byte-identical
+        import random
+
+        rng = random.Random(7)
+        for _ in range(100):
+            triple = (
+                self._random_term(rng, "subject"),
+                self._random_term(rng, "predicate"),
+                self._random_term(rng, "object"),
+            )
+            line = serialize_triple(triple)
+            assert serialize_triple(parse_line(line)) == line
+
+    def test_random_graph_dump_load_identity(self):
+        import random
+
+        rng = random.Random(99)
+        g = Graph()
+        for _ in range(150):
+            g.add(
+                self._random_term(rng, "subject"),
+                self._random_term(rng, "predicate"),
+                self._random_term(rng, "object"),
+            )
+        buf = io.StringIO()
+        dump_graph(g, buf)
+        g2 = load_graph(buf.getvalue())
+        assert set(g2) == set(g)
+        buf2 = io.StringIO()
+        dump_graph(g2, buf2)
+        assert buf2.getvalue() == buf.getvalue()
