@@ -1,0 +1,74 @@
+"""Concurrency primitives shared across the engine stack.
+
+The OBDA engine and the SQL database are read-mostly once loaded: query
+mixes only *read* table data and compiled-plan caches, while DML, DDL and
+profile swaps are rare exclusive events.  A readers-writer lock matches
+that profile -- N Mixer client threads execute SELECTs concurrently, and
+any mutation (INSERT/DELETE/UPDATE, CREATE INDEX, ``set_profile``) drains
+the readers first and runs alone.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """A classic readers-writer lock with writer preference.
+
+    Writers take priority: once a writer is waiting, new readers block, so
+    a steady stream of SELECTs cannot starve a DML statement.  The lock is
+    not reentrant -- callers must not nest ``read()`` inside ``write()`` or
+    vice versa (the engine acquires it only at the ``Database`` facade
+    boundary, which never nests).
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -337,10 +337,11 @@ class DifferentialOracle:
             )
         is_ask = query.is_ask
 
-        # pipeline 1: virtual OBDA
+        # pipeline 1: virtual OBDA (executed by text so the engine's
+        # compiled-artifact cache is on the differential path)
         try:
             engine = self.engine(config)
-            obda = engine.execute(query)
+            obda = engine.execute(sparql)
         except Exception as exc:  # noqa: BLE001
             return QueryVerdict(
                 query_id, config.name, ERROR, error=f"obda: {exc}"

@@ -24,15 +24,22 @@ class PhaseBreakdown:
     unfolding: float = 0.0
     execution: float = 0.0
     translation: float = 0.0
+    planning: float = 0.0
 
     @property
     def overall(self) -> float:
-        return self.rewriting + self.unfolding + self.execution + self.translation
+        return (
+            self.rewriting
+            + self.unfolding
+            + self.planning
+            + self.execution
+            + self.translation
+        )
 
     @property
     def output_time(self) -> float:
         """The paper's 'out_time': everything that is not raw execution."""
-        return self.rewriting + self.unfolding + self.translation
+        return self.rewriting + self.unfolding + self.planning + self.translation
 
 
 @dataclass
@@ -68,6 +75,9 @@ class OBDASystemAdapter:
     def loading_time(self) -> float:
         return self.engine.loading_seconds
 
+    def cache_stats(self) -> Dict[str, int]:
+        return self.engine.cache_stats()
+
     def run_query(self, query_id: str, sparql: str) -> ExecutionRecord:
         result: OBDAResult = self.engine.execute(sparql)
         phases = PhaseBreakdown(
@@ -75,6 +85,7 @@ class OBDASystemAdapter:
             unfolding=result.timings.unfolding,
             execution=result.timings.execution,
             translation=result.timings.translation,
+            planning=result.timings.planning,
         )
         return ExecutionRecord(
             query_id=query_id,
@@ -86,6 +97,7 @@ class OBDASystemAdapter:
                 "sql_union_blocks": result.metrics.sql_union_blocks,
                 "sql_characters": result.metrics.sql_characters,
                 "weight_of_r_u": result.timings.weight_of_r_u,
+                "compile_cache_hit": int(result.metrics.compile_cache_hit),
             },
         )
 
@@ -115,6 +127,10 @@ class ProbedSystemAdapter:
 
     def loading_time(self) -> float:
         return self.system.loading_time()
+
+    def cache_stats(self) -> Dict[str, int]:
+        stats = getattr(self.system, "cache_stats", None)
+        return stats() if callable(stats) else {}
 
     def run_query(self, query_id: str, sparql: str) -> ExecutionRecord:
         record = self.system.run_query(query_id, sparql)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..owl.model import (
@@ -65,6 +65,8 @@ class RewritingResult:
     #: the max_ucq safety valve fired: the UCQ is a sound but possibly
     #: incomplete prefix of the full rewriting
     truncated: bool = False
+    #: served from the rewrite cache (elapsed_seconds is the lookup time)
+    cached: bool = False
 
     @property
     def ucq_size(self) -> int:
@@ -89,7 +91,17 @@ class TreeWitnessRewriter:
     max_ucq:
         safety valve against exponential blow-ups (the paper discusses
         q6-like queries exploding); rewriting stops growing beyond this.
+    fingerprint:
+        an opaque digest of everything outside the CQ that influences the
+        rewriting (ontology axioms, T-mappings, ablation flags).  Baked
+        into every cache key so two engines sharing a rewriter -- or the
+        diffcheck matrix rebuilding engines with different configs --
+        can never serve each other's rewritings.
     """
+
+    #: bound on the per-rewriter result cache (a mix has 21 queries, so
+    #: this is generous; canonicalized CQs are small)
+    CACHE_LIMIT = 1024
 
     def __init__(
         self,
@@ -97,17 +109,50 @@ class TreeWitnessRewriter:
         expand_hierarchy: bool = True,
         enable_existential: bool = True,
         max_ucq: int = 2048,
+        fingerprint: str = "",
     ):
         self.reasoner = reasoner
         self.expand_hierarchy = expand_hierarchy
         self.enable_existential = enable_existential
         self.max_ucq = max_ucq
+        self.fingerprint = fingerprint
         self._fresh_counter = itertools.count()
+        self._cache: Dict[Tuple[ConjunctiveQuery, bool, bool, int, str], RewritingResult] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
 
+    def _cache_key(
+        self, query: ConjunctiveQuery
+    ) -> Tuple[ConjunctiveQuery, bool, bool, int, str]:
+        return (
+            query.canonical(),
+            self.expand_hierarchy,
+            self.enable_existential,
+            self.max_ucq,
+            self.fingerprint,
+        )
+
     def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
         started = time.perf_counter()
+        key = self._cache_key(query)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return replace(
+                hit, elapsed_seconds=time.perf_counter() - started, cached=True
+            )
+        self.cache_misses += 1
+        result = self._rewrite_uncached(query, started)
+        if len(self._cache) >= self.CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+    def _rewrite_uncached(
+        self, query: ConjunctiveQuery, started: float
+    ) -> RewritingResult:
         tree_witnesses = (
             self._count_tree_witnesses(query) if self.enable_existential else 0
         )

@@ -17,9 +17,12 @@ measure table (Table 1) of the paper.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..owl.model import Ontology
 from ..owl.reasoner import QLReasoner
@@ -36,6 +39,7 @@ from ..rdf.terms import (
 from ..sparql.ast import SelectQuery
 from ..sparql.parser import parse_query
 from ..sql.engine import Database
+from ..sql.plan import CompiledPlan
 from .mapping import MappingCollection
 from .rewriter import TreeWitnessRewriter
 from .tmappings import TMappingResult, compile_tmappings
@@ -51,11 +55,20 @@ class PhaseTimings:
     unfolding: float = 0.0
     execution: float = 0.0
     translation: float = 0.0
+    #: logical SQL planning (cache lookup on the warm path); kept separate
+    #: from ``execution`` so warm/cold compile costs are observable
+    planning: float = 0.0
 
     @property
     def overall_response(self) -> float:
         """Phases 2+3+4 -- the paper's 'overall response time'."""
-        return self.rewriting + self.unfolding + self.execution + self.translation
+        return (
+            self.rewriting
+            + self.unfolding
+            + self.planning
+            + self.execution
+            + self.translation
+        )
 
     @property
     def weight_of_r_u(self) -> float:
@@ -63,7 +76,7 @@ class PhaseTimings:
         overall = self.overall_response
         if overall == 0:
             return 0.0
-        return (self.rewriting + self.unfolding) / overall
+        return (self.rewriting + self.unfolding + self.planning) / overall
 
 
 @dataclass
@@ -78,6 +91,8 @@ class QualityMetrics:
     #: the rewriter's max_ucq safety valve fired (answers may be missing)
     rewriting_truncated: bool = False
     merged_self_joins: int = 0
+    #: the whole SPARQL->SQL artifact came from the engine's query cache
+    compile_cache_hit: bool = False
 
 
 @dataclass
@@ -111,8 +126,31 @@ class OBDAResult:
         return converted
 
 
+@dataclass
+class CompiledQuery:
+    """The end-to-end SPARQL->SQL artifact the engine caches.
+
+    Holds the unfold result (SQL text, column metadata, quality metrics)
+    plus the database-compiled logical plan.  Data mutations never make
+    the artifact wrong: the SPARQL->SQL translation depends only on
+    ontology + mappings (covered by the rewriter fingerprint), and the
+    attached plan self-heals against the database's generation counter
+    inside :meth:`Database.execute_plan`.
+    """
+
+    unfolded: UnfoldResult
+    plan: Optional[CompiledPlan]
+    rewriting_seconds: float
+    unfolding_seconds: float
+    planning_seconds: float
+    hits: int = 0
+
+
 class OBDAEngine:
     """An OBDA system instance over one database + ontology + mappings."""
+
+    #: bound on the compiled-artifact cache (a mix is 21 queries)
+    QUERY_CACHE_LIMIT = 256
 
     def __init__(
         self,
@@ -124,6 +162,7 @@ class OBDAEngine:
         enable_sqo: bool = True,
         distinct_unions: bool = True,
         max_ucq: int = 2048,
+        enable_query_cache: bool = True,
     ):
         started = time.perf_counter()
         self.database = database
@@ -132,6 +171,7 @@ class OBDAEngine:
         self.enable_tmappings = enable_tmappings
         self.enable_existential = enable_existential
         self.enable_sqo = enable_sqo
+        self.enable_query_cache = enable_query_cache
         self.reasoner = QLReasoner(ontology)
         self.tmapping_result: Optional[TMappingResult] = None
         if enable_tmappings:
@@ -143,11 +183,13 @@ class OBDAEngine:
         else:
             active_mappings = mappings
         self.mappings = active_mappings
+        self.fingerprint = self._compute_fingerprint(max_ucq, distinct_unions)
         self.rewriter = TreeWitnessRewriter(
             self.reasoner,
             expand_hierarchy=not enable_tmappings,
             enable_existential=enable_existential,
             max_ucq=max_ucq,
+            fingerprint=self.fingerprint,
         )
         self.unfolder = Unfolder(
             active_mappings,
@@ -157,14 +199,45 @@ class OBDAEngine:
             enable_sqo=enable_sqo,
             distinct_unions=distinct_unions,
         )
+        self._compiled: "OrderedDict[Hashable, CompiledQuery]" = OrderedDict()
+        # the unfolder keeps per-query mutable state, so compilation is
+        # serialized; executing cached artifacts stays concurrent
+        self._compile_lock = threading.Lock()
+        self.query_cache_hits = 0
+        self.query_cache_misses = 0
         self.loading_seconds = time.perf_counter() - started
+
+    def _compute_fingerprint(self, max_ucq: int, distinct_unions: bool) -> str:
+        """Digest of everything outside the query that shapes compilation.
+
+        Covers ontology axioms, the *active* (post-T-mapping) mapping set
+        and the ablation-config tuple, so the diffcheck engine matrix --
+        which builds one engine per config over shared inputs -- can never
+        cross-contaminate cached rewritings or artifacts.
+        """
+        digest = hashlib.sha1()
+        digest.update(self.ontology.iri.encode("utf-8"))
+        for axiom in sorted(str(axiom) for axiom in self.ontology.axioms):
+            digest.update(axiom.encode("utf-8"))
+            digest.update(b"\n")
+        for assertion in self.mappings:
+            digest.update(str(assertion.id).encode("utf-8"))
+            digest.update(b"|")
+            digest.update(str(assertion.entity).encode("utf-8"))
+            digest.update(b"\n")
+        digest.update(
+            f"tm={self.enable_tmappings};ex={self.enable_existential};"
+            f"sqo={self.enable_sqo};ucq={max_ucq};du={distinct_unions}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
 
     # ------------------------------------------------------------------
 
     def unfold(self, sparql: str | SelectQuery) -> UnfoldResult:
         """Phases 2+3 only: produce the SQL without executing it."""
         query = parse_query(sparql) if isinstance(sparql, str) else sparql
-        return self.unfolder.unfold_query(query)
+        with self._compile_lock:
+            return self.unfolder.unfold_query(query)
 
     def ask(self, sparql: str | SelectQuery) -> bool:
         """Answer an ASK query (or any query, testing answer existence)."""
@@ -172,19 +245,102 @@ class OBDAEngine:
         result = self.execute(query)
         return len(result) > 0
 
+    # -- compilation cache ------------------------------------------------------
+
+    def _cache_key(self, sparql: str | SelectQuery) -> Optional[Hashable]:
+        if isinstance(sparql, str):
+            return ("text", sparql)
+        try:
+            hash(sparql)
+        except TypeError:
+            return None
+        return ("ast", sparql)
+
+    def _compile_query(
+        self, sparql: str | SelectQuery
+    ) -> Tuple[CompiledQuery, bool]:
+        """Compile (or fetch) the end-to-end artifact for one query."""
+        key = self._cache_key(sparql) if self.enable_query_cache else None
+        if key is not None:
+            artifact = self._compiled.get(key)
+            if artifact is not None:
+                self.query_cache_hits += 1
+                artifact.hits += 1
+                self._compiled.move_to_end(key)
+                return artifact, True
+        with self._compile_lock:
+            if key is not None:
+                artifact = self._compiled.get(key)
+                if artifact is not None:
+                    self.query_cache_hits += 1
+                    artifact.hits += 1
+                    return artifact, True
+            query = parse_query(sparql) if isinstance(sparql, str) else sparql
+            unfold_started = time.perf_counter()
+            unfolded = self.unfolder.unfold_query(query)
+            unfold_elapsed = time.perf_counter() - unfold_started
+            rewriting_seconds = (
+                unfolded.rewriting.elapsed_seconds if unfolded.rewriting else 0.0
+            )
+            planning_started = time.perf_counter()
+            plan = (
+                self.database.compile(unfolded.statement)
+                if unfolded.statement is not None
+                else None
+            )
+            planning_seconds = time.perf_counter() - planning_started
+            artifact = CompiledQuery(
+                unfolded=unfolded,
+                plan=plan,
+                rewriting_seconds=rewriting_seconds,
+                unfolding_seconds=max(0.0, unfold_elapsed - rewriting_seconds),
+                planning_seconds=planning_seconds,
+            )
+            self.query_cache_misses += 1
+            if key is not None:
+                self._compiled[key] = artifact
+                while len(self._compiled) > self.QUERY_CACHE_LIMIT:
+                    self._compiled.popitem(last=False)
+            return artifact, False
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of every cache layer, for reports."""
+        stats: Dict[str, int] = {
+            "query_cache_hits": self.query_cache_hits,
+            "query_cache_misses": self.query_cache_misses,
+            "query_cache_entries": len(self._compiled),
+            "rewrite_cache_hits": self.rewriter.cache_hits,
+            "rewrite_cache_misses": self.rewriter.cache_misses,
+        }
+        stats.update(self.database.plan_cache_stats())
+        return stats
+
+    def clear_query_cache(self) -> None:
+        with self._compile_lock:
+            self._compiled.clear()
+
+    # ------------------------------------------------------------------
+
     def execute(self, sparql: str | SelectQuery) -> OBDAResult:
-        query = parse_query(sparql) if isinstance(sparql, str) else sparql
-        unfold_started = time.perf_counter()
-        unfolded = self.unfolder.unfold_query(query)
-        unfold_elapsed = time.perf_counter() - unfold_started
-        rewriting_seconds = (
-            unfolded.rewriting.elapsed_seconds if unfolded.rewriting else 0.0
-        )
-        timings = PhaseTimings(
-            loading=self.loading_seconds,
-            rewriting=rewriting_seconds,
-            unfolding=max(0.0, unfold_elapsed - rewriting_seconds),
-        )
+        compile_started = time.perf_counter()
+        artifact, cache_hit = self._compile_query(sparql)
+        compile_elapsed = time.perf_counter() - compile_started
+        unfolded = artifact.unfolded
+        if cache_hit:
+            # the whole compile pipeline collapsed into one cache lookup
+            timings = PhaseTimings(
+                loading=self.loading_seconds,
+                rewriting=0.0,
+                unfolding=0.0,
+                planning=compile_elapsed,
+            )
+        else:
+            timings = PhaseTimings(
+                loading=self.loading_seconds,
+                rewriting=artifact.rewriting_seconds,
+                unfolding=artifact.unfolding_seconds,
+                planning=artifact.planning_seconds,
+            )
         metrics = QualityMetrics(
             tree_witnesses=(
                 unfolded.rewriting.tree_witnesses if unfolded.rewriting else 0
@@ -195,11 +351,12 @@ class OBDAEngine:
             pruned_combinations=unfolded.pruned_combinations,
             rewriting_truncated=unfolded.rewriting_truncated,
             merged_self_joins=unfolded.merged_self_joins,
+            compile_cache_hit=cache_hit,
         )
-        if unfolded.statement is None:
+        if artifact.plan is None:
             return OBDAResult(unfolded.columns, [], timings, metrics, unfolded.sql_text)
         execution_started = time.perf_counter()
-        result = self.database.execute(unfolded.statement)
+        result = self.database.execute_plan(artifact.plan)
         timings.execution = time.perf_counter() - execution_started
         translation_started = time.perf_counter()
         rows = [
@@ -223,6 +380,8 @@ class OBDAEngine:
             "sqo": self.enable_sqo,
             "profile": self.database.profile.name,
             "loading_seconds": self.loading_seconds,
+            "query_cache": self.enable_query_cache,
+            "fingerprint": self.fingerprint,
         }
 
 

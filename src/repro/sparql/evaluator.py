@@ -7,6 +7,7 @@ dictionaries mapping :class:`~repro.sparql.ast.Var` to RDF terms.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..rdf.graph import Graph
@@ -481,7 +482,11 @@ def _compute_aggregate(expr: AggregateExpr, members: List[Solution]) -> Term:
 
     if expr.name in ("SUM", "AVG"):
         numbers = [_numeric_value(value) for value in values]
-        total = sum(numbers)
+        if any(isinstance(number, float) for number in numbers):
+            # fsum is exact, hence independent of summation order
+            total = math.fsum(numbers)
+        else:
+            total = sum(numbers)
         if expr.name == "AVG":
             total = total / len(numbers)
         if isinstance(total, int):

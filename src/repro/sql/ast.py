@@ -8,7 +8,7 @@ Expression nodes double as the exchange format between the OBDA unfolder
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .types import SqlType, format_value
 
@@ -213,6 +213,39 @@ def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
     if isinstance(expr, BinaryOp) and expr.op == "AND":
         return split_conjuncts(expr.left) + split_conjuncts(expr.right)
     return [expr]
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield *expr* and every sub-expression, depth first."""
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, IsNull):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, InList):
+        yield from walk_expr(expr.operand)
+        for item in expr.items:
+            yield from walk_expr(item)
+    elif isinstance(expr, InSubquery):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Between):
+        yield from walk_expr(expr.operand)
+        yield from walk_expr(expr.low)
+        yield from walk_expr(expr.high)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, Cast):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, CaseWhen):
+        for condition, result in expr.branches:
+            yield from walk_expr(condition)
+            yield from walk_expr(result)
+        if expr.default is not None:
+            yield from walk_expr(expr.default)
 
 
 def expr_columns(expr: Expr) -> List[ColumnRef]:

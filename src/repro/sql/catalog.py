@@ -8,6 +8,7 @@ helpers used by both the executor and VIG's analysis phase.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -82,6 +83,10 @@ class Table:
         )
         self._hash_indexes: Dict[Tuple[str, ...], HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
+        # the executor auto-creates join/FK indexes mid-SELECT, so with
+        # concurrent Mixer readers two threads may race to build the same
+        # index; creation is serialized per table
+        self._index_creation_lock = threading.Lock()
         if self._pk_index is not None:
             self._hash_indexes[self.primary_key] = self._pk_index
 
@@ -111,27 +116,37 @@ class Table:
 
     def create_hash_index(self, columns: Sequence[str]) -> HashIndex:
         key = tuple(column.lower() for column in columns)
-        if key in self._hash_indexes:
-            return self._hash_indexes[key]
-        index = HashIndex(key)
-        positions = [self.column_position(column) for column in key]
-        for row_id, row in enumerate(self.rows):
-            if row is not None:
-                index.insert(tuple(row[p] for p in positions), row_id)
-        self._hash_indexes[key] = index
-        return index
+        existing = self._hash_indexes.get(key)
+        if existing is not None:
+            return existing
+        with self._index_creation_lock:
+            existing = self._hash_indexes.get(key)
+            if existing is not None:
+                return existing
+            index = HashIndex(key)
+            positions = [self.column_position(column) for column in key]
+            for row_id, row in enumerate(self.rows):
+                if row is not None:
+                    index.insert(tuple(row[p] for p in positions), row_id)
+            self._hash_indexes[key] = index
+            return index
 
     def create_sorted_index(self, column: str) -> SortedIndex:
         lname = column.lower()
-        if lname in self._sorted_indexes:
-            return self._sorted_indexes[lname]
-        index = SortedIndex(lname)
-        position = self.column_position(lname)
-        for row_id, row in enumerate(self.rows):
-            if row is not None:
-                index.insert(row[position], row_id)
-        self._sorted_indexes[lname] = index
-        return index
+        existing = self._sorted_indexes.get(lname)
+        if existing is not None:
+            return existing
+        with self._index_creation_lock:
+            existing = self._sorted_indexes.get(lname)
+            if existing is not None:
+                return existing
+            index = SortedIndex(lname)
+            position = self.column_position(lname)
+            for row_id, row in enumerate(self.rows):
+                if row is not None:
+                    index.insert(row[position], row_id)
+            self._sorted_indexes[lname] = index
+            return index
 
     def hash_index_for(self, columns: Sequence[str]) -> Optional[HashIndex]:
         return self._hash_indexes.get(tuple(column.lower() for column in columns))

@@ -10,6 +10,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..concurrency import ReadWriteLock
 from .ast import (
     CreateIndexStatement,
     CreateTableStatement,
@@ -25,11 +26,21 @@ from .errors import ExecutionError, IntegrityError, SqlError
 from .executor import ExecutionStats, Executor, QueryResult
 from .expressions import ExpressionCompiler, RowSchema
 from .parser import parse_script, parse_statement
+from .plan import CompiledPlan, PlanCache, compile_select, refresh_plan
 from .profiles import EngineProfile, postgresql_profile
 
 
 class Database:
-    """An in-memory relational database with a SQL text interface."""
+    """An in-memory relational database with a SQL text interface.
+
+    SELECT statements arriving as text are compiled once into a
+    :class:`~repro.sql.plan.CompiledPlan` and cached per SQL text; every
+    mutation event (DML, index/table creation, ``set_profile``) bumps a
+    generation counter and flushes the cache, so cached plans can never
+    serve stale physical assumptions.  A readers-writer lock at this
+    facade lets concurrent Mixer clients run SELECTs in parallel while
+    mutations run exclusively.
+    """
 
     def __init__(
         self,
@@ -40,17 +51,45 @@ class Database:
         self.profile = profile or postgresql_profile()
         self.enforce_foreign_keys = enforce_foreign_keys
         self._executor = Executor(self.catalog, self.profile)
+        self._plan_cache = PlanCache()
+        self._plan_generation = 0
+        self._lock = ReadWriteLock()
 
     # -- profile management -------------------------------------------------
 
     def set_profile(self, profile: EngineProfile) -> None:
-        """Swap the engine profile (e.g. mysql vs postgresql emulation)."""
-        self.profile = profile
-        self._executor = Executor(self.catalog, profile)
+        """Swap the engine profile (e.g. mysql vs postgresql emulation).
+
+        Profiles change physical operator choices, so every cached plan is
+        invalidated -- the next execution re-plans under the new profile.
+        """
+        with self._lock.write():
+            self.profile = profile
+            self._executor = Executor(self.catalog, profile)
+            self._invalidate_plans("set_profile")
 
     @property
     def stats(self) -> ExecutionStats:
-        return self._executor.stats
+        stats = self._executor.stats
+        batch_sorts = merges = 0
+        for table in self.catalog.tables():
+            for index in table._sorted_indexes.values():
+                batch_sorts += index.batch_sorts
+                merges += index.merges
+        stats.index_batch_sorts = batch_sorts
+        stats.index_merges = merges
+        return stats
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
+
+    @property
+    def plan_generation(self) -> int:
+        return self._plan_generation
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        return self._plan_cache.stats()
 
     # -- statement execution ----------------------------------------------------
 
@@ -58,31 +97,104 @@ class Database:
         """Execute one statement; queries return a :class:`QueryResult`.
 
         DDL/DML return an empty result whose single column ``affected``
-        holds the number of affected rows.
+        holds the number of affected rows.  Text-form SELECTs go through
+        the per-SQL-text plan cache; repeated executions of the same text
+        skip both parsing and logical planning.
         """
-        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(sql, str) and _looks_like_select(sql):
+            plan = self._plan_cache.get(sql)
+            if plan is not None:
+                self._executor.stats.plan_cache_hits += 1
+                return self.execute_plan(plan)
+            statement = parse_statement(sql)
+            if isinstance(statement, SelectStatement):
+                self._executor.stats.plan_cache_misses += 1
+                plan = self._compile_statement(statement, sql)
+                self._plan_cache.put(sql, plan)
+                return self.execute_plan(plan)
+        else:
+            statement = parse_statement(sql) if isinstance(sql, str) else sql
         if isinstance(statement, SelectStatement):
-            return self._executor.execute_select(statement)
+            return self.execute_plan(self._compile_statement(statement, None))
         if isinstance(statement, CreateTableStatement):
-            table = self.catalog.create_table_from_ast(statement)
-            self._auto_index(table)
+            with self._lock.write():
+                table = self.catalog.create_table_from_ast(statement)
+                self._auto_index(table)
+                self._invalidate_plans("create_table")
             return QueryResult(["affected"], [(0,)])
         if isinstance(statement, CreateIndexStatement):
-            table = self.catalog.table(statement.table)
-            table.create_hash_index(statement.columns)
-            if len(statement.columns) == 1:
-                table.create_sorted_index(statement.columns[0])
+            with self._lock.write():
+                table = self.catalog.table(statement.table)
+                table.create_hash_index(statement.columns)
+                if len(statement.columns) == 1:
+                    table.create_sorted_index(statement.columns[0])
+                self._invalidate_plans("create_index")
             return QueryResult(["affected"], [(0,)])
         if isinstance(statement, InsertStatement):
-            count = self._execute_insert(statement)
+            with self._lock.write():
+                count = self._execute_insert(statement)
+                self._invalidate_plans("insert")
             return QueryResult(["affected"], [(count,)])
         if isinstance(statement, DeleteStatement):
-            count = self._execute_delete(statement)
+            with self._lock.write():
+                count = self._execute_delete(statement)
+                self._invalidate_plans("delete")
             return QueryResult(["affected"], [(count,)])
         if isinstance(statement, UpdateStatement):
-            count = self._execute_update(statement)
+            with self._lock.write():
+                count = self._execute_update(statement)
+                self._invalidate_plans("update")
             return QueryResult(["affected"], [(count,)])
         raise ExecutionError(f"cannot execute {statement!r}")
+
+    # -- compiled-plan interface --------------------------------------------
+
+    def compile(self, sql: Union[str, SelectStatement]) -> CompiledPlan:
+        """Compile a SELECT into a reusable plan (cached for text input).
+
+        The returned plan can be executed many times via
+        :meth:`execute_plan`; if the database mutates in between, the plan
+        transparently re-plans itself from its retained AST.
+        """
+        if isinstance(sql, str):
+            plan = self._plan_cache.get(sql)
+            if plan is not None:
+                self._executor.stats.plan_cache_hits += 1
+                return plan
+            statement = parse_statement(sql)
+            if not isinstance(statement, SelectStatement):
+                raise ExecutionError("compile() only applies to SELECT statements")
+            self._executor.stats.plan_cache_misses += 1
+            plan = self._compile_statement(statement, sql)
+            self._plan_cache.put(sql, plan)
+            return plan
+        if not isinstance(sql, SelectStatement):
+            raise ExecutionError("compile() only applies to SELECT statements")
+        return self._compile_statement(sql, None)
+
+    def execute_plan(self, plan: CompiledPlan) -> QueryResult:
+        """Execute a compiled plan, refreshing it first if it went stale."""
+        with self._lock.read():
+            if (
+                plan.generation != self._plan_generation
+                or plan.profile_name != self.profile.name
+            ):
+                refresh_plan(plan, self.profile.name, self._plan_generation)
+                self._executor.stats.plan_recompiles += 1
+            return self._executor.execute_plan(plan)
+
+    def _compile_statement(
+        self, statement: SelectStatement, sql_text: Optional[str]
+    ) -> CompiledPlan:
+        plan = compile_select(statement, sql_text)
+        plan.profile_name = self.profile.name
+        plan.generation = self._plan_generation
+        return plan
+
+    def _invalidate_plans(self, reason: str) -> None:
+        """Flush cached plans and bump the generation (caller holds write)."""
+        self._plan_generation += 1
+        self._plan_cache.invalidate(reason)
 
     def execute_script(self, sql: str) -> List[QueryResult]:
         return [self.execute(statement) for statement in parse_script(sql)]
@@ -97,19 +209,44 @@ class Database:
 
         Unlike a cost-only EXPLAIN, this executes the query (the planner
         makes its physical choices from actual cardinalities), so the
-        trace reflects exactly what a plain ``execute`` would do.
+        trace reflects exactly what a plain ``execute`` would do.  The
+        first two lines report whether the logical plan was served from
+        the plan cache (``plan: cached``) or freshly compiled
+        (``plan: compiled``), plus the cache-key summary.
         """
-        statement = parse_statement(sql) if isinstance(sql, str) else sql
-        if not isinstance(statement, SelectStatement):
-            raise ExecutionError("EXPLAIN only applies to SELECT statements")
-        self._executor.trace = []
-        try:
-            result = self._executor.execute_select(statement)
-        finally:
-            trace = self._executor.trace or []
-            self._executor.trace = None
+        plan: Optional[CompiledPlan] = None
+        cached = False
+        if isinstance(sql, str) and _looks_like_select(sql):
+            plan = self._plan_cache.peek(sql)
+            cached = plan is not None
+        if plan is None:
+            statement = parse_statement(sql) if isinstance(sql, str) else sql
+            if not isinstance(statement, SelectStatement):
+                raise ExecutionError("EXPLAIN only applies to SELECT statements")
+            plan = self._compile_statement(
+                statement, sql if isinstance(sql, str) else None
+            )
+            if isinstance(sql, str):
+                self._plan_cache.put(sql, plan)
+        with self._lock.read():
+            if (
+                plan.generation != self._plan_generation
+                or plan.profile_name != self.profile.name
+            ):
+                refresh_plan(plan, self.profile.name, self._plan_generation)
+                self._executor.stats.plan_recompiles += 1
+            self._executor.trace = []
+            try:
+                result = self._executor.execute_plan(plan)
+            finally:
+                trace = self._executor.trace or []
+                self._executor.trace = None
         trace.append(f"Result: {len(result.rows)} rows")
-        return trace
+        header = [
+            f"plan: {'cached' if cached else 'compiled'}",
+            f"plan-key: {plan.describe_key()}",
+        ]
+        return header + trace
 
     # -- programmatic data loading ------------------------------------------------
 
@@ -121,6 +258,20 @@ class Database:
         check_foreign_keys: Optional[bool] = None,
     ) -> int:
         """Bulk insert Python tuples (much faster than INSERT statements)."""
+        with self._lock.write():
+            count = self._insert_rows_locked(
+                table_name, rows, columns, check_foreign_keys
+            )
+            self._invalidate_plans("insert_rows")
+        return count
+
+    def _insert_rows_locked(
+        self,
+        table_name: str,
+        rows: Iterable[Sequence[Any]],
+        columns: Optional[Sequence[str]] = None,
+        check_foreign_keys: Optional[bool] = None,
+    ) -> int:
         table = self.catalog.table(table_name)
         ordered_rows: Iterable[Sequence[Any]]
         if columns is not None:
@@ -285,3 +436,14 @@ class Database:
 
     def total_rows(self) -> int:
         return self.catalog.total_rows()
+
+
+def _looks_like_select(sql: str) -> bool:
+    """Cheap sniff used to route text at the plan cache without parsing.
+
+    False negatives are harmless (the statement takes the parse path and
+    executes correctly, just uncached); the parser confirms the statement
+    type before anything is inserted into the cache.
+    """
+    head = sql.lstrip()[:8].lower()
+    return head.startswith("select") or head.startswith("(")

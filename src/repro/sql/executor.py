@@ -22,6 +22,7 @@ much easier to reason about than a streaming Volcano design.
 from __future__ import annotations
 
 import functools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -50,10 +51,12 @@ from .ast import (
     conjunction,
     expr_columns,
     split_conjuncts,
+    walk_expr,
 )
 from .catalog import Catalog, Table
 from .errors import ExecutionError
 from .expressions import ExpressionCompiler, RowSchema, sql_compare
+from .plan import CompiledPlan, PlannedBlock, compile_select
 from .profiles import EngineProfile, postgresql_profile
 
 RowT = Tuple[Any, ...]
@@ -69,6 +72,13 @@ class ExecutionStats:
     nested_loop_joins: int = 0
     index_nl_joins: int = 0
     union_branches: int = 0
+    # compiled-plan cache counters (maintained by the Database facade)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_recompiles: int = 0
+    # sorted-index maintenance counters (aggregated from the catalog)
+    index_batch_sorts: int = 0
+    index_merges: int = 0
 
     def reset(self) -> None:
         self.rows_scanned = 0
@@ -77,6 +87,11 @@ class ExecutionStats:
         self.nested_loop_joins = 0
         self.index_nl_joins = 0
         self.union_branches = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_recompiles = 0
+        self.index_batch_sorts = 0
+        self.index_merges = 0
 
 
 @dataclass
@@ -169,31 +184,27 @@ class Executor:
     # ------------------------------------------------------------------
 
     def execute_select(self, statement: SelectStatement) -> QueryResult:
-        branches: List[Tuple[SelectStatement, bool]] = []
-        node: Optional[SelectStatement] = statement
-        dedup_needed = False
-        while node is not None:
-            tail = node.union
-            branches.append((node.without_union(), tail.all if tail else True))
-            if tail is not None and not tail.all:
-                dedup_needed = True
-            node = tail.query if tail else None
-        first_columns, rows = self._execute_block(branches[0][0])
-        if len(branches) > 1:
-            self.stats.union_branches += len(branches)
+        return self.execute_plan(compile_select(statement))
+
+    def execute_plan(self, plan: CompiledPlan) -> QueryResult:
+        """Execute a pre-compiled logical plan (see :mod:`repro.sql.plan`)."""
+        blocks = plan.blocks
+        first_columns, rows = self._execute_block(blocks[0].statement, blocks[0])
+        if len(blocks) > 1:
+            self.stats.union_branches += len(blocks)
             width = len(first_columns)
-            for branch, _ in branches[1:]:
-                columns, branch_rows = self._execute_block(branch)
+            for block in blocks[1:]:
+                columns, branch_rows = self._execute_block(block.statement, block)
                 if len(columns) != width:
                     raise ExecutionError(
                         "UNION branches have different column counts: "
                         f"{width} vs {len(columns)}"
                     )
                 rows.extend(branch_rows)
-            if dedup_needed:
+            if plan.dedup_needed:
                 rows = self._deduplicate(rows)
             # ORDER BY / LIMIT of the first branch apply to the whole union
-            head = branches[0][0]
+            head = blocks[0].statement
             if head.order_by:
                 schema = RowSchema([(None, c) for c in first_columns])
                 order_by = _resolve_ordinals(head.order_by, first_columns)
@@ -208,8 +219,18 @@ class Executor:
     # one SELECT block
     # ------------------------------------------------------------------
 
-    def _execute_block(self, statement: SelectStatement) -> Tuple[List[str], List[RowT]]:
-        where_conjuncts = split_conjuncts(statement.where)
+    def _execute_block(
+        self,
+        statement: SelectStatement,
+        planned: Optional[PlannedBlock] = None,
+    ) -> Tuple[List[str], List[RowT]]:
+        # the conjunct list is read-only here; sharing it across
+        # executions of a cached plan is safe
+        where_conjuncts = (
+            planned.where_conjuncts
+            if planned is not None
+            else split_conjuncts(statement.where)
+        )
         consumed: Set[int] = set()
         if statement.source is None:
             relation = Relation(RowSchema([]), [()])
@@ -226,7 +247,11 @@ class Executor:
                 relation.schema,
                 [row for row in relation.rows if compiled(row) is True],
             )
-        has_aggregates = self._statement_has_aggregates(statement)
+        has_aggregates = (
+            planned.has_aggregates
+            if planned is not None
+            else self._statement_has_aggregates(statement)
+        )
         source_rows: Optional[List[RowT]] = None
         if has_aggregates or statement.group_by:
             columns, rows = self._aggregate(statement, relation)
@@ -745,17 +770,9 @@ class Executor:
 
     @staticmethod
     def _statement_has_aggregates(statement: SelectStatement) -> bool:
-        def has_aggregate(expr: Expr) -> bool:
-            return any(
-                isinstance(node, FunctionCall) and node.is_aggregate
-                for node in _walk_expr(expr)
-            )
+        from .plan import statement_has_aggregates
 
-        if any(has_aggregate(item.expr) for item in statement.items):
-            return True
-        if statement.having is not None and has_aggregate(statement.having):
-            return True
-        return False
+        return statement_has_aggregates(statement)
 
     def _aggregate(
         self, statement: SelectStatement, relation: Relation
@@ -915,36 +932,8 @@ def _sortable(value: Any) -> Tuple[int, Any]:
     return (3, str(value))
 
 
-def _walk_expr(expr: Expr) -> Iterator[Expr]:
-    yield expr
-    if isinstance(expr, UnaryOp):
-        yield from _walk_expr(expr.operand)
-    elif isinstance(expr, BinaryOp):
-        yield from _walk_expr(expr.left)
-        yield from _walk_expr(expr.right)
-    elif isinstance(expr, IsNull):
-        yield from _walk_expr(expr.operand)
-    elif isinstance(expr, InList):
-        yield from _walk_expr(expr.operand)
-        for item in expr.items:
-            yield from _walk_expr(item)
-    elif isinstance(expr, InSubquery):
-        yield from _walk_expr(expr.operand)
-    elif isinstance(expr, Between):
-        yield from _walk_expr(expr.operand)
-        yield from _walk_expr(expr.low)
-        yield from _walk_expr(expr.high)
-    elif isinstance(expr, FunctionCall):
-        for arg in expr.args:
-            yield from _walk_expr(arg)
-    elif isinstance(expr, Cast):
-        yield from _walk_expr(expr.operand)
-    elif isinstance(expr, CaseWhen):
-        for condition, result in expr.branches:
-            yield from _walk_expr(condition)
-            yield from _walk_expr(result)
-        if expr.default is not None:
-            yield from _walk_expr(expr.default)
+# the expression walker moved to repro.sql.ast (shared with the planner)
+_walk_expr = walk_expr
 
 
 def _relax_column_refs(expr: Expr, schema: RowSchema) -> Expr:
@@ -1108,6 +1097,14 @@ def _replace_expr(expr: Expr, mapping: Dict[Expr, ColumnRef]) -> Expr:
     return expr
 
 
+def _stable_sum(values: List[Any]) -> Any:
+    # fsum is exact, hence independent of summation order; plain sum()
+    # of floats varies in the last ulp with row iteration order
+    if any(isinstance(value, float) for value in values):
+        return math.fsum(values)
+    return sum(values)
+
+
 def _evaluate_aggregate(
     call: FunctionCall,
     compiled_arg: Optional[Callable[[RowT], Any]],
@@ -1136,9 +1133,9 @@ def _evaluate_aggregate(
     if not values:
         return None
     if name == "SUM":
-        return sum(values)
+        return _stable_sum(values)
     if name == "AVG":
-        return sum(values) / len(values)
+        return _stable_sum(values) / len(values)
     if name == "MIN":
         return min(values, key=_sortable)
     if name == "MAX":

@@ -1,0 +1,211 @@
+"""Compiled logical plans and the per-SQL-text plan cache.
+
+The executor used to redo the whole *logical* planning pass on every
+execution: re-parse the SQL text, split the UNION chain into branches,
+flatten the WHERE clause into conjuncts and re-detect aggregates.  For
+OBDA-generated SQL (tens of kilobytes of UNION blocks) that work dwarfs
+the per-row effort on small instances and is identical run after run.
+
+This module splits that pass out into a reusable :class:`CompiledPlan`:
+
+* :func:`compile_select` performs the logical planning once, producing a
+  plan object holding the branch decomposition plus per-branch conjunct
+  lists and aggregate flags (all immutable with respect to table *data*);
+* :class:`PlanCache` keys plans by SQL text so repeated text-level
+  queries (the Mixer's warm runs) skip parsing entirely;
+* plans carry the owning database's *generation*; any mutation event
+  (DML, index creation, ``set_profile``) bumps the generation, and a
+  stale plan is transparently re-planned from its retained AST on next
+  use -- physical operator choices stay fresh without re-parsing.
+
+Physical decisions (index scans, join order, hash vs. sort dedup) remain
+execution-time choices made from live cardinalities and the active
+:class:`~repro.sql.profiles.EngineProfile`, exactly as before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ast import (
+    Expr,
+    FunctionCall,
+    SelectStatement,
+    split_conjuncts,
+    walk_expr,
+)
+
+
+def statement_has_aggregates(statement: SelectStatement) -> bool:
+    """True when the select list or HAVING clause contains an aggregate."""
+
+    def has_aggregate(expr: Expr) -> bool:
+        return any(
+            isinstance(node, FunctionCall) and node.is_aggregate
+            for node in walk_expr(expr)
+        )
+
+    if any(has_aggregate(item.expr) for item in statement.items):
+        return True
+    if statement.having is not None and has_aggregate(statement.having):
+        return True
+    return False
+
+
+@dataclass
+class PlannedBlock:
+    """One UNION branch with its pre-computed logical analysis."""
+
+    statement: SelectStatement  # the branch, union tail stripped
+    union_all: bool  # how this branch is glued to the next one
+    where_conjuncts: List[Expr]
+    has_aggregates: bool
+
+
+@dataclass
+class CompiledPlan:
+    """A reusable compiled artifact for one SELECT statement.
+
+    The plan holds only *logical* analysis -- it never embeds table rows,
+    cardinalities or physical operator choices, so executing a plan always
+    reflects the current data.  ``generation``/``profile_name`` track the
+    mutation epoch it was compiled under; :meth:`Database.execute_plan`
+    refreshes stale plans in place (cheap: no SQL re-parse).
+    """
+
+    statement: SelectStatement
+    blocks: List[PlannedBlock]
+    dedup_needed: bool
+    sql_text: Optional[str] = None
+    profile_name: str = ""
+    generation: int = -1
+    key_digest: str = ""
+    hits: int = 0
+    _refresh_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def describe_key(self) -> str:
+        """The cache-key summary EXPLAIN prints."""
+        return (
+            f"sha1={self.key_digest or '-'} blocks={len(self.blocks)} "
+            f"profile={self.profile_name or '-'} generation={self.generation}"
+        )
+
+
+def _decompose(statement: SelectStatement) -> Tuple[List[PlannedBlock], bool]:
+    blocks: List[PlannedBlock] = []
+    node: Optional[SelectStatement] = statement
+    dedup_needed = False
+    while node is not None:
+        tail = node.union
+        block = node.without_union()
+        blocks.append(
+            PlannedBlock(
+                statement=block,
+                union_all=tail.all if tail else True,
+                where_conjuncts=split_conjuncts(block.where),
+                has_aggregates=statement_has_aggregates(block),
+            )
+        )
+        if tail is not None and not tail.all:
+            dedup_needed = True
+        node = tail.query if tail else None
+    return blocks, dedup_needed
+
+
+def compile_select(
+    statement: SelectStatement, sql_text: Optional[str] = None
+) -> CompiledPlan:
+    """Run the logical planning pass once and package it as a plan."""
+    blocks, dedup_needed = _decompose(statement)
+    digest = ""
+    if sql_text is not None:
+        digest = hashlib.sha1(sql_text.encode("utf-8")).hexdigest()[:12]
+    return CompiledPlan(
+        statement=statement,
+        blocks=blocks,
+        dedup_needed=dedup_needed,
+        sql_text=sql_text,
+        key_digest=digest,
+    )
+
+
+def refresh_plan(plan: CompiledPlan, profile_name: str, generation: int) -> None:
+    """Re-plan a stale plan in place from its retained AST.
+
+    Holders of the plan object (e.g. the OBDA engine's end-to-end query
+    cache) see the refresh without re-compiling their artifact; the AST is
+    immutable so concurrent readers of the old block list stay correct.
+    """
+    with plan._refresh_lock:
+        if plan.generation == generation and plan.profile_name == profile_name:
+            return  # another thread refreshed it first
+        blocks, dedup_needed = _decompose(plan.statement)
+        plan.blocks = blocks
+        plan.dedup_needed = dedup_needed
+        plan.profile_name = profile_name
+        plan.generation = generation
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledPlan` keyed by SQL text.
+
+    Thread-safe; invalidated wholesale on every mutation event.  The
+    counters feed :class:`~repro.sql.executor.ExecutionStats` and the
+    Mixer report so cache effectiveness is observable.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.last_invalidation_reason: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, sql_text: str) -> Optional[CompiledPlan]:
+        with self._lock:
+            plan = self._entries.get(sql_text)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql_text)
+            self.hits += 1
+            plan.hits += 1
+            return plan
+
+    def peek(self, sql_text: str) -> Optional[CompiledPlan]:
+        """Like :meth:`get` but without touching the counters (EXPLAIN)."""
+        with self._lock:
+            return self._entries.get(sql_text)
+
+    def put(self, sql_text: str, plan: CompiledPlan) -> None:
+        with self._lock:
+            self._entries[sql_text] = plan
+            self._entries.move_to_end(sql_text)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, reason: str) -> None:
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self.last_invalidation_reason = reason
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "plan_cache_hits": self.hits,
+            "plan_cache_misses": self.misses,
+            "plan_cache_invalidations": self.invalidations,
+            "plan_cache_entries": len(self._entries),
+        }

@@ -1,0 +1,284 @@
+"""The multi-level compilation cache: hits, invalidation, correctness.
+
+Covers the three cache layers (SQL plan cache, rewrite cache, OBDA
+artifact cache) plus the invalidation events the ISSUE demands: DML and
+``set_profile`` after a cached SELECT must produce fresh, correct
+results, and EXPLAIN must say where the plan came from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mixer import Mixer, OBDASystemAdapter
+from repro.obda import OBDAEngine
+from repro.sql import Database, mysql_profile, postgresql_profile
+from repro.sql.plan import PlanCache, compile_select
+from repro.sql.parser import parse_select
+
+
+SELECT_EMP = "SELECT id, name FROM temployee ORDER BY id"
+
+
+def rows(result):
+    return list(result.rows)
+
+
+class TestPlanCache:
+    def test_repeated_text_select_hits_cache(self, example_db):
+        first = example_db.execute(SELECT_EMP)
+        second = example_db.execute(SELECT_EMP)
+        assert rows(first) == rows(second)
+        assert example_db.plan_cache.hits == 1
+        assert example_db.stats.plan_cache_hits == 1
+        assert example_db.stats.plan_cache_misses >= 1
+
+    def test_statement_objects_bypass_text_cache(self, example_db):
+        statement = parse_select(SELECT_EMP)
+        example_db.execute(statement)
+        example_db.execute(statement)
+        assert len(example_db.plan_cache) == 0
+
+    def test_insert_invalidates_and_serves_fresh_rows(self, example_db):
+        before = rows(example_db.execute(SELECT_EMP))
+        example_db.execute("INSERT INTO temployee VALUES (3, 'Mia', 'B2')")
+        after = rows(example_db.execute(SELECT_EMP))
+        assert len(after) == len(before) + 1
+        assert after[-1][:2] == (3, "Mia")
+        assert example_db.plan_cache.last_invalidation_reason == "insert"
+
+    def test_delete_invalidates_and_serves_fresh_rows(self, example_db):
+        example_db.execute(SELECT_EMP)
+        example_db.execute("DELETE FROM tsellsproduct WHERE id = 2")
+        example_db.execute("DELETE FROM temployee WHERE id = 2")
+        after = rows(example_db.execute(SELECT_EMP))
+        assert after == [(1, "John")]
+
+    def test_update_invalidates_and_serves_fresh_rows(self, example_db):
+        example_db.execute(SELECT_EMP)
+        example_db.execute("UPDATE temployee SET name = 'Johnny' WHERE id = 1")
+        after = rows(example_db.execute(SELECT_EMP))
+        assert after[0] == (1, "Johnny")
+
+    def test_insert_rows_invalidates(self, example_db):
+        example_db.execute(SELECT_EMP)
+        generation = example_db.plan_generation
+        example_db.insert_rows("temployee", [(7, "Zoe", "B2")])
+        assert example_db.plan_generation > generation
+        after = rows(example_db.execute(SELECT_EMP))
+        assert (7, "Zoe") in [row[:2] for row in after]
+
+    def test_create_index_invalidates(self, example_db):
+        example_db.execute(SELECT_EMP)
+        generation = example_db.plan_generation
+        example_db.execute("CREATE INDEX idx_branch ON temployee (branch)")
+        assert example_db.plan_generation > generation
+
+    def test_set_profile_invalidates_and_recompiles(self, example_db):
+        before = rows(example_db.execute(SELECT_EMP))
+        example_db.set_profile(mysql_profile())
+        after = rows(example_db.execute(SELECT_EMP))
+        assert before == after
+        assert example_db.plan_cache.last_invalidation_reason == "set_profile"
+
+    def test_stale_plan_object_self_heals(self, example_db):
+        plan = example_db.compile(SELECT_EMP)
+        example_db.execute("INSERT INTO temployee VALUES (4, 'Ada', 'B1')")
+        result = example_db.execute_plan(plan)
+        assert (4, "Ada") in [row[:2] for row in rows(result)]
+        assert example_db.stats.plan_recompiles >= 1
+        assert plan.generation == example_db.plan_generation
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        for text in ("SELECT 1", "SELECT 2", "SELECT 3"):
+            cache.put(text, compile_select(parse_select(text), text))
+        assert len(cache) == 2
+        assert cache.peek("SELECT 1") is None
+        assert cache.peek("SELECT 3") is not None
+
+
+class TestExplainPlanLines:
+    def test_compiled_then_cached(self, example_db):
+        first = example_db.explain(SELECT_EMP)
+        assert first[0] == "plan: compiled"
+        assert first[1].startswith("plan-key: sha1=")
+        assert first[-1].startswith("Result: ")
+        second = example_db.explain(SELECT_EMP)
+        assert second[0] == "plan: cached"
+        assert second[1:] == first[1:]
+
+    def test_mutation_resets_to_compiled(self, example_db):
+        example_db.explain(SELECT_EMP)
+        example_db.execute("INSERT INTO temployee VALUES (5, 'Kim', 'B2')")
+        again = example_db.explain(SELECT_EMP)
+        assert again[0] == "plan: compiled"
+
+
+class TestSortedIndexBatching:
+    def test_bulk_insert_single_batch_sort(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        index = db.catalog.table("t").sorted_index_for("v")
+        db.insert_rows("t", [(i, 1000 - i) for i in range(500)])
+        assert index.batch_sorts == 0  # lazily deferred until a lookup
+        assert list(index.range(995, 1000)) != []
+        assert index.batch_sorts == 1
+        # lookups without new inserts must not re-sort
+        list(index.range(0, 10))
+        assert index.batch_sorts == 1
+
+    def test_insert_lookup_churn_merges_batches(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        index = db.catalog.table("t").sorted_index_for("v")
+        db.insert_rows("t", [(i, i) for i in range(100)])
+        list(index.range(0, 50))
+        db.insert_rows("t", [(i, i) for i in range(100, 200)])
+        assert list(index.range(150, 160)) != []
+        assert index.batch_sorts == 2
+        assert index.merges == 1  # second batch merged, not re-sorted
+        assert db.stats.index_batch_sorts == 2
+        assert db.stats.index_merges == 1
+
+    def test_ordering_correct_after_merges(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        index = db.catalog.table("t").sorted_index_for("v")
+        import random
+
+        rng = random.Random(7)
+        values = rng.sample(range(10000), 300)
+        for position, value in enumerate(values):
+            db.insert_rows("t", [(position, value)])
+            if position % 37 == 0:
+                index.min_value()  # force periodic batch merges
+        assert index.min_value() == min(values)
+        assert index.max_value() == max(values)
+        got = [db.catalog.table("t").get_row(r)[1] for r in index.range()]
+        assert got == sorted(values)
+
+
+class TestRewriteCache:
+    def test_rewrite_cache_hit_on_repeat(self, example_engine):
+        sparql = (
+            "PREFIX : <http://ex.org/> SELECT ?x WHERE { ?x a :Person }"
+        )
+        example_engine.execute(sparql)
+        misses = example_engine.rewriter.cache_misses
+        assert misses >= 1
+        # bypass the artifact cache to hit the rewriter layer directly
+        example_engine.unfold(sparql)
+        assert example_engine.rewriter.cache_hits >= 1
+        assert example_engine.rewriter.cache_misses == misses
+
+    def test_cached_rewriting_flagged(self, example_engine):
+        sparql = (
+            "PREFIX : <http://ex.org/> SELECT ?x WHERE { ?x a :Person }"
+        )
+        example_engine.unfold(sparql)
+        again = example_engine.unfold(sparql)
+        assert again.rewriting is not None
+        assert again.rewriting.cached is True
+
+    def test_fingerprint_separates_configs(self, example_db, example_ontology, example_mappings):
+        default = OBDAEngine(example_db, example_ontology, example_mappings)
+        ablated = OBDAEngine(
+            example_db,
+            example_ontology,
+            example_mappings,
+            enable_existential=False,
+        )
+        assert default.fingerprint != ablated.fingerprint
+
+
+class TestEngineArtifactCache:
+    SPARQL = "PREFIX : <http://ex.org/> SELECT ?x WHERE { ?x a :Employee }"
+
+    def test_second_execution_is_cache_hit(self, example_engine):
+        first = example_engine.execute(self.SPARQL)
+        second = example_engine.execute(self.SPARQL)
+        assert first.metrics.compile_cache_hit is False
+        assert second.metrics.compile_cache_hit is True
+        assert sorted(map(str, first.rows)) == sorted(map(str, second.rows))
+        stats = example_engine.cache_stats()
+        assert stats["query_cache_hits"] == 1
+        assert stats["query_cache_entries"] >= 1
+
+    def test_cached_artifact_sees_fresh_data(self, example_db, example_engine):
+        before = example_engine.execute(self.SPARQL)
+        example_db.execute("INSERT INTO temployee VALUES (9, 'New', 'B9')")
+        after = example_engine.execute(self.SPARQL)
+        assert after.metrics.compile_cache_hit is True
+        assert len(after) == len(before) + 1
+
+    def test_cache_disabled(self, example_db, example_ontology, example_mappings):
+        engine = OBDAEngine(
+            example_db,
+            example_ontology,
+            example_mappings,
+            enable_query_cache=False,
+        )
+        engine.execute(self.SPARQL)
+        second = engine.execute(self.SPARQL)
+        assert second.metrics.compile_cache_hit is False
+        assert engine.cache_stats()["query_cache_hits"] == 0
+
+    def test_set_profile_keeps_results_correct(self, example_db, example_engine):
+        before = example_engine.execute(self.SPARQL)
+        assert example_engine.execute(self.SPARQL).metrics.compile_cache_hit
+        example_db.set_profile(mysql_profile())
+        after = example_engine.execute(self.SPARQL)
+        assert sorted(map(str, before.rows)) == sorted(map(str, after.rows))
+
+    def test_warm_timings_collapse(self, example_engine):
+        cold = example_engine.execute(self.SPARQL)
+        warm = example_engine.execute(self.SPARQL)
+        cold_compile = (
+            cold.timings.rewriting + cold.timings.unfolding + cold.timings.planning
+        )
+        warm_compile = (
+            warm.timings.rewriting + warm.timings.unfolding + warm.timings.planning
+        )
+        assert warm_compile < cold_compile
+
+    def test_mixer_reports_cache_counters(self, example_engine):
+        queries = {"e": self.SPARQL}
+        report = Mixer(OBDASystemAdapter(example_engine), queries).run(runs=2)
+        assert report.cache["query_cache_hits"] >= 2
+        assert report.per_query["e"].quality["compile_cache_hit"] == 1.0
+
+
+class TestDiffcheckWithCaching:
+    """The oracle smoke the ISSUE asks for: the engine matrix must still
+    agree everywhere with the artifact cache on the differential path."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        from repro.diffcheck.oracle import DifferentialOracle
+        from repro.npd import build_benchmark
+        from repro.npd.seed import SeedProfile
+
+        benchmark = build_benchmark(seed=3, profile=SeedProfile().scaled(0.1))
+        return DifferentialOracle(
+            benchmark.database, benchmark.ontology, benchmark.mappings
+        )
+
+    @pytest.mark.parametrize("query_id", ["q1", "q5", "q12"])
+    def test_catalogue_subset_matrix_agrees(self, oracle, query_id, npd_benchmark):
+        sparql = npd_benchmark.queries[query_id].sparql
+        verdicts = oracle.check_matrix(query_id, sparql)
+        for verdict in verdicts:
+            assert verdict.ok, (
+                f"{query_id}/{verdict.config}: {verdict.error or verdict.status}"
+            )
+
+    def test_repeat_run_hits_engine_caches(self, oracle, npd_benchmark):
+        sparql = npd_benchmark.queries["q1"].sparql
+        oracle.check("q1", sparql)
+        oracle.check("q1", sparql)
+        engine = oracle.engine()
+        assert engine.query_cache_hits >= 1
