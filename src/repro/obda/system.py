@@ -203,6 +203,9 @@ class OBDAEngine:
         # the unfolder keeps per-query mutable state, so compilation is
         # serialized; executing cached artifacts stays concurrent
         self._compile_lock = threading.Lock()
+        # guards the cache dict + hit/miss counters only, so cache hits
+        # never wait behind a slow compile holding _compile_lock
+        self._cache_lock = threading.Lock()
         self.query_cache_hits = 0
         self.query_cache_misses = 0
         self.loading_seconds = time.perf_counter() - started
@@ -221,9 +224,10 @@ class OBDAEngine:
             digest.update(axiom.encode("utf-8"))
             digest.update(b"\n")
         for assertion in self.mappings:
-            digest.update(str(assertion.id).encode("utf-8"))
-            digest.update(b"|")
-            digest.update(str(assertion.entity).encode("utf-8"))
+            # the full dataclass repr covers source SQL and term maps, so
+            # two configs whose assertions share ids/entities but differ
+            # in bodies can never collide
+            digest.update(repr(assertion).encode("utf-8"))
             digest.update(b"\n")
         digest.update(
             f"tm={self.enable_tmappings};ex={self.enable_existential};"
@@ -262,18 +266,13 @@ class OBDAEngine:
         """Compile (or fetch) the end-to-end artifact for one query."""
         key = self._cache_key(sparql) if self.enable_query_cache else None
         if key is not None:
-            artifact = self._compiled.get(key)
+            artifact = self._cache_lookup(key)
             if artifact is not None:
-                self.query_cache_hits += 1
-                artifact.hits += 1
-                self._compiled.move_to_end(key)
                 return artifact, True
         with self._compile_lock:
             if key is not None:
-                artifact = self._compiled.get(key)
+                artifact = self._cache_lookup(key)
                 if artifact is not None:
-                    self.query_cache_hits += 1
-                    artifact.hits += 1
                     return artifact, True
             query = parse_query(sparql) if isinstance(sparql, str) else sparql
             unfold_started = time.perf_counter()
@@ -296,27 +295,40 @@ class OBDAEngine:
                 unfolding_seconds=max(0.0, unfold_elapsed - rewriting_seconds),
                 planning_seconds=planning_seconds,
             )
-            self.query_cache_misses += 1
-            if key is not None:
-                self._compiled[key] = artifact
-                while len(self._compiled) > self.QUERY_CACHE_LIMIT:
-                    self._compiled.popitem(last=False)
+            with self._cache_lock:
+                self.query_cache_misses += 1
+                if key is not None:
+                    self._compiled[key] = artifact
+                    while len(self._compiled) > self.QUERY_CACHE_LIMIT:
+                        self._compiled.popitem(last=False)
             return artifact, False
+
+    def _cache_lookup(self, key: Hashable) -> Optional[CompiledQuery]:
+        """Fetch + LRU-touch one artifact under the cache lock."""
+        with self._cache_lock:
+            artifact = self._compiled.get(key)
+            if artifact is None:
+                return None
+            self.query_cache_hits += 1
+            artifact.hits += 1
+            self._compiled.move_to_end(key)
+            return artifact
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss counters of every cache layer, for reports."""
-        stats: Dict[str, int] = {
-            "query_cache_hits": self.query_cache_hits,
-            "query_cache_misses": self.query_cache_misses,
-            "query_cache_entries": len(self._compiled),
-            "rewrite_cache_hits": self.rewriter.cache_hits,
-            "rewrite_cache_misses": self.rewriter.cache_misses,
-        }
+        with self._cache_lock:
+            stats: Dict[str, int] = {
+                "query_cache_hits": self.query_cache_hits,
+                "query_cache_misses": self.query_cache_misses,
+                "query_cache_entries": len(self._compiled),
+            }
+        stats["rewrite_cache_hits"] = self.rewriter.cache_hits
+        stats["rewrite_cache_misses"] = self.rewriter.cache_misses
         stats.update(self.database.plan_cache_stats())
         return stats
 
     def clear_query_cache(self) -> None:
-        with self._compile_lock:
+        with self._cache_lock:
             self._compiled.clear()
 
     # ------------------------------------------------------------------

@@ -228,7 +228,11 @@ class Database:
             )
             if isinstance(sql, str):
                 self._plan_cache.put(sql, plan)
-        with self._lock.read():
+        # exclusive lock: the trace is executor-level mutable state, so a
+        # concurrent execute/explain on another thread would interleave
+        # its operator lines into (or clear) this trace under a shared
+        # read lock.  EXPLAIN is diagnostic, so exclusivity is cheap.
+        with self._lock.write():
             if (
                 plan.generation != self._plan_generation
                 or plan.profile_name != self.profile.name

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import threading
 from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -62,14 +63,28 @@ class SortedIndex:
 
     ``batch_sorts``/``merges`` count those events for
     :class:`~repro.sql.executor.ExecutionStats` micro-assertions.
+
+    The flush is lazy, so it can fire inside SELECTs that hold only the
+    database's *shared* read lock; ``_flush_lock`` serializes it so two
+    concurrent readers cannot both merge the same pending batch (which
+    would leave duplicate (value, row_id) entries and nondeterministic
+    duplicate rows from range scans).
     """
 
-    __slots__ = ("column", "_entries", "_pending", "batch_sorts", "merges")
+    __slots__ = (
+        "column",
+        "_entries",
+        "_pending",
+        "_flush_lock",
+        "batch_sorts",
+        "merges",
+    )
 
     def __init__(self, column: str):
         self.column = column
         self._entries: List[Tuple[Any, int]] = []
         self._pending: List[Tuple[Any, int]] = []
+        self._flush_lock = threading.Lock()
         self.batch_sorts = 0
         self.merges = 0
 
@@ -89,14 +104,22 @@ class SortedIndex:
     def _ensure_sorted(self) -> None:
         if not self._pending:
             return
-        self._pending.sort()
-        self.batch_sorts += 1
-        if not self._entries:
-            self._entries = self._pending
-        else:
-            self._entries = list(heapq.merge(self._entries, self._pending))
-            self.merges += 1
-        self._pending = []
+        with self._flush_lock:
+            pending = self._pending
+            if not pending:
+                return  # another reader flushed while we waited
+            pending.sort()
+            self.batch_sorts += 1
+            if self._entries:
+                merged = list(heapq.merge(self._entries, pending))
+                self.merges += 1
+            else:
+                merged = pending
+            # publish the merged run before clearing the batch: a reader
+            # that skips the lock because _pending looks empty must
+            # already see the merged entries
+            self._entries = merged
+            self._pending = []
 
     def range(
         self,

@@ -161,6 +161,45 @@ class TestSortedIndexBatching:
         got = [db.catalog.table("t").get_row(r)[1] for r in index.range()]
         assert got == sorted(values)
 
+    def test_concurrent_readers_flush_pending_once(self):
+        """Regression: two readers racing through the lazy flush must not
+        merge the pending batch twice (duplicate row ids from range())."""
+        import threading
+
+        from repro.sql.indexes import SortedIndex
+
+        index = SortedIndex("v")
+        inserted = 0
+        for round_number in range(30):
+            batch = [(inserted + offset) for offset in range(50)]
+            for value in batch:
+                index.insert(value, value)
+            inserted += len(batch)
+            barrier = threading.Barrier(4)
+            scans: list = [None] * 4
+            errors: list = []
+
+            def scan(slot: int) -> None:
+                try:
+                    barrier.wait()
+                    scans[slot] = list(index.range())
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=scan, args=(slot,)) for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            for result in scans:
+                assert len(result) == len(set(result)) == inserted, (
+                    f"round {round_number}: duplicate/missing row ids"
+                )
+        assert len(index) == inserted
+
 
 class TestRewriteCache:
     def test_rewrite_cache_hit_on_repeat(self, example_engine):
@@ -193,6 +232,33 @@ class TestRewriteCache:
             enable_existential=False,
         )
         assert default.fingerprint != ablated.fingerprint
+
+    def test_fingerprint_covers_assertion_bodies(
+        self, example_db, example_ontology, example_mappings
+    ):
+        """Same assertion ids/entities but a different source SQL must not
+        collide (the rewriter cache is shared per fingerprint)."""
+        import dataclasses
+
+        from repro.obda.mapping import MappingCollection
+
+        assertions = list(example_mappings)
+        changed = [
+            dataclasses.replace(
+                assertions[0],
+                source_sql=assertions[0].source_sql + " WHERE 1 = 1",
+            )
+        ] + assertions[1:]
+        baseline = OBDAEngine(
+            example_db, example_ontology, example_mappings, enable_tmappings=False
+        )
+        variant = OBDAEngine(
+            example_db,
+            example_ontology,
+            MappingCollection(changed),
+            enable_tmappings=False,
+        )
+        assert baseline.fingerprint != variant.fingerprint
 
 
 class TestEngineArtifactCache:
