@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""obdalint bench: analyzer wall time and what the FactBase buys at runtime.
+
+Measures three things on the NPD benchmark:
+
+* **analyzer cost**: wall-clock seconds of the full three-pass obdalint
+  run (fact derivation + mapping/ontology/query passes);
+* **unfold-size deltas**: for every catalogue query, the generated SQL
+  size (characters and union blocks) with the FactBase attached vs.
+  without, plus the fact-licensed optimization counters (elided
+  IS NOT NULL guards, eliminated FK joins, skipped empty disjuncts);
+* **execute-time deltas**: per-query end-to-end execution time facts-on
+  vs. facts-off (median of ``--runs`` measured runs, after warm-up).
+
+Writes ``BENCH_analysis.json`` and ``BENCH_analysis.txt``.  Exits
+non-zero when any optimized unfolding is *larger* than the baseline or
+any query's result bag changes -- fact-licensed optimization must never
+cost SQL size or correctness.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Any, Dict
+
+from repro.analysis import analyze
+from repro.npd import build_benchmark
+from repro.npd.seed import SeedProfile
+from repro.obda import OBDAEngine
+
+
+def parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="seed-profile scale factor (0.1 = tiny CI instance)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="database seed")
+    parser.add_argument(
+        "--runs", type=int, default=3, help="measured executions per query"
+    )
+    parser.add_argument(
+        "--lint",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="abort (exit 2) when obdalint reports ERROR findings "
+        "before measuring (default on)",
+    )
+    parser.add_argument("--json", default="BENCH_analysis.json")
+    parser.add_argument("--txt", default="BENCH_analysis.txt")
+    return parser.parse_args(argv)
+
+
+def measure_query(engine: OBDAEngine, sparql: str, runs: int) -> Dict[str, Any]:
+    """Warm once, then report the median measured execution profile."""
+    result = engine.execute(sparql)  # warm-up: compile + first execution
+    executions = []
+    for _ in range(runs):
+        result = engine.execute(sparql)
+        executions.append(result.timings.execution + result.timings.translation)
+    metrics = result.metrics
+    return {
+        "rows": len(result.rows),
+        "bag": sorted(str(row) for row in result.rows),
+        "sql_characters": metrics.sql_characters,
+        "sql_union_blocks": metrics.sql_union_blocks,
+        "elided_null_guards": metrics.elided_null_guards,
+        "eliminated_joins": metrics.eliminated_joins,
+        "empty_disjuncts_skipped": metrics.empty_disjuncts_skipped,
+        "facts_fired": len(metrics.facts_fired),
+        "execute_seconds": statistics.median(executions),
+    }
+
+
+def render_txt(report: Dict[str, Any]) -> str:
+    meta = report["meta"]
+    lines = [
+        f"obdalint bench  scale={meta['scale']} seed={meta['seed']} "
+        f"runs={meta['runs']}",
+        "",
+        f"analyzer: {meta['analyzer_seconds']:.3f}s for "
+        f"{meta['findings']} findings over {meta['facts']} facts "
+        f"(passes: {meta['passes']})",
+        "",
+        "per-query deltas, facts on vs off (negative = smaller/faster)",
+        f"{'query':8} {'sql chars':>16} {'exec ms':>16} "
+        f"{'guards':>7} {'joins':>6} {'fired':>6}",
+    ]
+    for query_id, data in report["queries"].items():
+        off, on = data["facts_off"], data["facts_on"]
+        chars = f"{off['sql_characters']}->{on['sql_characters']}"
+        execs = (
+            f"{off['execute_seconds'] * 1e3:.2f}->"
+            f"{on['execute_seconds'] * 1e3:.2f}"
+        )
+        lines.append(
+            f"{query_id:8} {chars:>16} {execs:>16} "
+            f"{on['elided_null_guards']:>7} {on['eliminated_joins']:>6} "
+            f"{on['facts_fired']:>6}"
+        )
+    totals = report["totals"]
+    lines.append("")
+    lines.append(
+        f"total sql characters: {totals['sql_characters_off']} -> "
+        f"{totals['sql_characters_on']} "
+        f"({totals['sql_shrink_percent']:.1f}% smaller)"
+    )
+    lines.append(
+        f"total execute seconds: {totals['execute_seconds_off']:.4f} -> "
+        f"{totals['execute_seconds_on']:.4f}"
+    )
+    lines.append(
+        f"queries with strictly smaller unfolding: "
+        f"{totals['strictly_smaller']}/{totals['queries']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    benchmark = build_benchmark(
+        seed=args.seed, profile=SeedProfile().scaled(args.scale)
+    )
+    database, ontology, mappings = (
+        benchmark.database,
+        benchmark.ontology,
+        benchmark.mappings,
+    )
+    queries = {qid: q.sparql for qid, q in benchmark.queries.items()}
+
+    analyze_started = time.perf_counter()
+    lint = analyze(database, ontology, mappings, queries=queries)
+    analyzer_seconds = time.perf_counter() - analyze_started
+    if args.lint and lint.has_errors:
+        for finding in lint.errors:
+            print(f"lint: {finding.describe()}", file=sys.stderr)
+        print(
+            "obdalint pre-flight failed; not benchmarking broken assets "
+            "(use --no-lint to override)",
+            file=sys.stderr,
+        )
+        return 2
+
+    engine_off = OBDAEngine(database, ontology, mappings)
+    engine_on = OBDAEngine(
+        database, ontology, mappings, factbase=lint.factbase
+    )
+
+    per_query: Dict[str, Any] = {}
+    mismatches = []
+    for query_id, sparql in queries.items():
+        off = measure_query(engine_off, sparql, args.runs)
+        on = measure_query(engine_on, sparql, args.runs)
+        if off.pop("bag") != on.pop("bag"):
+            mismatches.append(query_id)
+        per_query[query_id] = {"facts_off": off, "facts_on": on}
+
+    chars_off = sum(q["facts_off"]["sql_characters"] for q in per_query.values())
+    chars_on = sum(q["facts_on"]["sql_characters"] for q in per_query.values())
+    totals = {
+        "queries": len(per_query),
+        "sql_characters_off": chars_off,
+        "sql_characters_on": chars_on,
+        "sql_shrink_percent": (
+            100.0 * (chars_off - chars_on) / chars_off if chars_off else 0.0
+        ),
+        "execute_seconds_off": sum(
+            q["facts_off"]["execute_seconds"] for q in per_query.values()
+        ),
+        "execute_seconds_on": sum(
+            q["facts_on"]["execute_seconds"] for q in per_query.values()
+        ),
+        "strictly_smaller": sum(
+            1
+            for q in per_query.values()
+            if q["facts_on"]["sql_characters"]
+            < q["facts_off"]["sql_characters"]
+        ),
+        "bag_mismatches": mismatches,
+    }
+    report: Dict[str, Any] = {
+        "meta": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "runs": args.runs,
+            "profile": database.profile.name,
+            "total_rows": database.total_rows(),
+            "analyzer_seconds": analyzer_seconds,
+            "findings": len(lint.findings),
+            "finding_counts": lint.counts(),
+            "facts": len(lint.factbase) if lint.factbase else 0,
+            "fact_counts": lint.factbase.counts() if lint.factbase else {},
+            "passes": ",".join(lint.passes),
+        },
+        "queries": per_query,
+        "totals": totals,
+    }
+
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    text = render_txt(report)
+    with open(args.txt, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(text)
+    print(f"\nwrote {args.json} and {args.txt}")
+
+    grown = [
+        query_id
+        for query_id, data in per_query.items()
+        if data["facts_on"]["sql_characters"]
+        > data["facts_off"]["sql_characters"]
+    ]
+    if grown:
+        print(f"FAIL: optimized unfolding larger for {grown}", file=sys.stderr)
+        return 1
+    if mismatches:
+        print(f"FAIL: result bags differ for {mismatches}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

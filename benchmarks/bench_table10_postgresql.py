@@ -5,13 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import save_report
-from repro.mixer import (
-    MIX_HEADERS,
-    format_table,
-    mix_report_rows,
-    per_query_rows,
-    PER_QUERY_HEADERS,
-)
+from repro.mixer import MIX_HEADERS, format_table, per_query_rows, PER_QUERY_HEADERS
 from repro.sql import postgresql_profile
 
 from bench_table9_mysql import run_ladder

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.bench import query_sql_stats, save_report
 from repro.mixer import format_table
-from repro.owl import ClassConcept
 from repro.sparql import collect_bgps, count_optionals, parse_query, simplify, translate
 from repro.sql import postgresql_profile
 

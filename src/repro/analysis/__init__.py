@@ -1,0 +1,45 @@
+"""``obdalint``: static analysis for OBDA mappings, ontology and queries.
+
+The analyzer cross-checks the three layers of an OBDA specification
+against each other and against the live relational catalog, and derives
+a :class:`FactBase` of *verified* integrity facts (non-null columns,
+unique keys, covering foreign keys, provably-empty entities).  The same
+facts license the engine's constraint-driven unfolding optimizations
+(Hovland et al. style): elided IS NOT NULL guards, eliminated redundant
+self-joins, skipped guaranteed-empty UCQ disjuncts.
+"""
+
+from .analyzer import analyze
+from .facts import (
+    EmptyEntityFact,
+    ExactMappingFact,
+    FactBase,
+    ForeignKeyFact,
+    NotNullFact,
+    UniqueFact,
+    build_factbase,
+)
+from .mapping_pass import run_mapping_pass
+from .model import AnalysisReport, Finding, Severity
+from .mutants import MUTANTS, apply_mutant
+from .ontology_pass import run_ontology_pass
+from .query_pass import run_query_pass
+
+__all__ = [
+    "AnalysisReport",
+    "EmptyEntityFact",
+    "ExactMappingFact",
+    "FactBase",
+    "Finding",
+    "ForeignKeyFact",
+    "MUTANTS",
+    "NotNullFact",
+    "Severity",
+    "UniqueFact",
+    "analyze",
+    "apply_mutant",
+    "build_factbase",
+    "run_mapping_pass",
+    "run_ontology_pass",
+    "run_query_pass",
+]

@@ -1,0 +1,142 @@
+"""``python -m repro.analysis`` -- the obdalint command line.
+
+Runs the three-pass analyzer over the NPD benchmark assets (optionally
+after injecting a seeded mutant), prints the ranked findings and exits
+nonzero when the assets are unhealthy:
+
+* exit 0 -- no ERROR findings (``--strict`` also requires no WARNING);
+* exit 1 -- the analyzer found problems;
+* exit 2 -- bad invocation (unknown mutant ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..diffcheck.fuzzer import QueryFuzzer
+from ..npd import build_benchmark
+from ..npd.seed import SeedProfile
+from .analyzer import analyze
+from .mutants import MUTANTS, apply_mutant
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="obdalint: static analysis of OBDA mappings, ontology and queries",
+    )
+    parser.add_argument(
+        "--db-seed",
+        type=int,
+        default=1,
+        help="seed for the generated NPD database (default 1)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="data scale factor for the generated database (default 0.25)",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also analyze N fuzzer-generated queries (advisory severities)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fuzzer/mutant seed (default 0)"
+    )
+    parser.add_argument(
+        "--mutant",
+        choices=sorted(MUTANTS),
+        help="inject one seeded defect before analyzing (for testing obdalint)",
+    )
+    parser.add_argument(
+        "--list-mutants",
+        action="store_true",
+        help="list the known mutant classes and exit",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on WARNING findings too, not just ERROR",
+    )
+    parser.add_argument(
+        "--no-verify-data",
+        action="store_true",
+        help="skip the data scans (declared constraints only; faster)",
+    )
+    parser.add_argument(
+        "--no-queries",
+        action="store_true",
+        help="skip pass 3 (the 21 catalogue queries)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the full report as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary line, not every finding",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_mutants:
+        for name in sorted(MUTANTS):
+            mutant = MUTANTS[name]
+            print(f"{name:16} {mutant.description} (expects {', '.join(mutant.expect_codes)})")
+        return 0
+    bench = build_benchmark(
+        seed=args.db_seed, profile=SeedProfile().scaled(args.scale)
+    )
+    database, ontology, mappings = bench.database, bench.ontology, bench.mappings
+    if args.mutant:
+        database, ontology, mappings = apply_mutant(
+            args.mutant, database, ontology, mappings, seed=args.seed
+        )
+        print(f"mutant injected: {args.mutant} (seed {args.seed})", file=sys.stderr)
+    queries = (
+        None
+        if args.no_queries
+        else {name: bq.sparql for name, bq in bench.queries.items()}
+    )
+    advisory = None
+    if args.fuzz > 0:
+        fuzzer = QueryFuzzer(ontology, mappings, seed=args.seed)
+        advisory = {fq.id: fq.sparql for fq in fuzzer.generate(args.fuzz)}
+    report = analyze(
+        database,
+        ontology,
+        mappings,
+        queries=queries,
+        advisory_queries=advisory,
+        verify_data=not args.no_verify_data,
+    )
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    if args.quiet:
+        print(report.describe().rsplit("\n", 2)[-2])
+    else:
+        print(report.describe())
+    counts = report.counts()
+    failed = bool(counts.get("ERROR"))
+    if args.strict:
+        failed = failed or bool(counts.get("WARNING"))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

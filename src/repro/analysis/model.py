@@ -1,0 +1,126 @@
+"""Finding / report model for the ``obdalint`` static analyzer.
+
+A :class:`Finding` is one diagnostic pinned to a layer (mapping, ontology,
+query, schema) with a stable machine-readable code, so tests and CI can
+assert on exact finding classes rather than message strings.  An
+:class:`AnalysisReport` bundles the findings of one analyzer run together
+with the :class:`~repro.analysis.facts.FactBase` the run derived, which is
+what the engine consumes for fact-gated optimization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .facts import FactBase
+
+
+class Severity(IntEnum):
+    """Ordered severities; ``--strict`` fails a run on any ERROR."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "ERROR", not "Severity.ERROR"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: stable code, severity, layer, subject and message."""
+
+    code: str
+    severity: Severity
+    layer: str  # "mapping" | "schema" | "ontology" | "query"
+    subject: str  # assertion id, table name, entity IRI, query id ...
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    def describe(self) -> str:
+        return f"{self.severity!s:7} {self.code:24} {self.subject}: {self.message}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "layer": self.layer,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run plus the derived fact base."""
+
+    findings: List[Finding] = field(default_factory=list)
+    factbase: Optional["FactBase"] = None
+    elapsed_seconds: float = 0.0
+    passes: Tuple[str, ...] = ()
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.is_error]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.is_error for f in self.findings)
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.code for f in self.findings}))
+
+    def counts(self) -> Dict[str, int]:
+        result: Dict[str, int] = {}
+        for finding in self.findings:
+            key = str(finding.severity)
+            result[key] = result.get(key, 0) + 1
+        return result
+
+    def describe(self) -> str:
+        lines = []
+        order = {"mapping": 0, "schema": 1, "ontology": 2, "query": 3}
+        ranked = sorted(
+            self.findings,
+            key=lambda f: (-int(f.severity), order.get(f.layer, 9), f.code, f.subject),
+        )
+        for finding in ranked:
+            lines.append(finding.describe())
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts.get(name, 0)} {name.lower()}"
+            for name in ("ERROR", "WARNING", "INFO")
+        )
+        lines.append(
+            f"obdalint: {len(self.findings)} findings ({summary}) "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+        if self.factbase is not None:
+            lines.append("facts: " + self.factbase.describe())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": self.counts(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "passes": list(self.passes),
+            "facts": self.factbase.to_dict() if self.factbase is not None else None,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,288 @@
+"""Seeded asset mutator: inject one realistic defect per mutant class.
+
+Each mutant takes a pristine benchmark (database + ontology + mappings)
+and corrupts exactly one thing a real deployment gets wrong -- a column
+disappears under the mappings, a foreign key dangles, a literal range is
+mistyped, a class loses all its mappings, the TBox contradicts itself.
+``obdalint`` must flag every mutant with the expected finding code while
+the pristine assets stay clean; the test suite and the CLI's
+``--mutant`` flag both drive this module.
+
+The choice of *which* column/row/assertion to corrupt is drawn from a
+seeded RNG over the eligible candidates, so mutants are deterministic
+per seed but still cover different sites across seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..npd.ontology import build_npd_ontology
+from ..obda.mapping import LiteralTermMap, MappingCollection
+from ..owl.model import ClassConcept, DataSomeValues, Ontology, SomeValues, SubClassOf
+from ..owl.reasoner import QLReasoner
+from ..rdf.terms import XSD_DATE, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+from ..sql.catalog import Table
+from ..sql.engine import Database
+from ..sql.types import SqlType
+
+NPDV = "http://sws.ifi.uio.no/vocab/npd-v2#"
+
+Assets = Tuple[Database, Ontology, MappingCollection]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One defect class: how to inject it and what obdalint must say."""
+
+    name: str
+    description: str
+    #: finding codes of which at least one must surface as an ERROR
+    expect_codes: Tuple[str, ...]
+    apply: Callable[[Database, Ontology, MappingCollection, random.Random], Assets]
+
+
+def _mapped_columns_of(table: Table, mappings: MappingCollection) -> List[str]:
+    """Columns of *table* referenced by some mapping source, not key-bearing."""
+    keyish = set(table.primary_key)
+    for fk in table.foreign_keys:
+        keyish.update(fk.columns)
+    referenced = set()
+    for assertion in mappings:
+        if table.name.lower() in assertion.source_sql.lower():
+            referenced.update(assertion.referenced_columns())
+    return sorted(
+        column.lname
+        for column in table.columns
+        if column.lname in referenced and column.lname not in keyish
+    )
+
+
+def _drop_column(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    catalog = database.catalog
+    candidates = []
+    for name in catalog.table_names():
+        table = catalog.table(name)
+        for column in _mapped_columns_of(table, mappings):
+            candidates.append((name, column))
+    if not candidates:  # pragma: no cover - NPD always has candidates
+        raise RuntimeError("no droppable mapped column found")
+    table_name, doomed = rng.choice(candidates)
+    old = catalog.table(table_name)
+    position = old.column_position(doomed)
+    columns = [c for i, c in enumerate(old.columns) if i != position]
+    replacement = Table(
+        old.name,
+        columns,
+        primary_key=old.primary_key,
+        foreign_keys=old.foreign_keys,
+    )
+    for row in old.iter_rows():
+        replacement.insert(row[:position] + row[position + 1 :])
+    catalog.drop_table(table_name)
+    catalog.create_table(replacement)
+    return database, ontology, mappings
+
+
+def _break_fk(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    catalog = database.catalog
+    candidates = []
+    for name in catalog.table_names():
+        table = catalog.table(name)
+        for fk in table.foreign_keys:
+            if table.row_count > 0:
+                candidates.append((name, fk))
+    if not candidates:  # pragma: no cover - NPD always has FKs
+        raise RuntimeError("no breakable foreign key found")
+    table_name, fk = rng.choice(candidates)
+    table = catalog.table(table_name)
+    victim = list(table.iter_rows())[rng.randrange(table.row_count)]
+    row = list(victim)
+    for column in fk.columns:
+        position = table.column_position(column)
+        value = row[position]
+        # a dangling key of the right type: numbers get an out-of-range
+        # value, strings a marker no parent table ever contains
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            row[position] = type(value)(999999999)
+        else:
+            row[position] = "DANGLING-REF"
+    for column in table.primary_key:
+        position = table.column_position(column)
+        value = row[position]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            row[position] = type(value)(888888888)
+        else:
+            row[position] = f"MUTANT-{rng.randrange(10**6)}"
+    table.insert(row)
+    return database, ontology, mappings
+
+
+def _retype_range(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    numeric_sql = {SqlType.INTEGER, SqlType.BIGINT, SqlType.DOUBLE, SqlType.DECIMAL}
+    numeric_xsd = {XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE}
+    catalog = database.catalog
+    candidates = []
+    for assertion in mappings:
+        obj = assertion.object
+        if not isinstance(obj, LiteralTermMap) or obj.datatype not in numeric_xsd:
+            continue
+        # only retype when the backing column is provably numeric, so the
+        # mutated datatype (xsd:date) is a guaranteed clash
+        for name in catalog.table_names():
+            table = catalog.table(name)
+            if (
+                table.has_column(obj.column)
+                and table.column(obj.column).sql_type in numeric_sql
+                and name in assertion.source_sql.lower()
+            ):
+                candidates.append(assertion.id)
+                break
+    if not candidates:  # pragma: no cover - NPD has numeric data properties
+        raise RuntimeError("no numeric literal mapping found to retype")
+    doomed = rng.choice(sorted(candidates))
+    mutated = []
+    for assertion in mappings:
+        if assertion.id == doomed:
+            assertion = dataclasses.replace(
+                assertion,
+                object=dataclasses.replace(assertion.object, datatype=XSD_DATE),
+            )
+        mutated.append(assertion)
+    return database, ontology, MappingCollection(mutated)
+
+
+#: classes a required catalogue-query BGP selects from; orphaning any of
+#: them makes at least one of the 21 queries provably empty
+_ORPHAN_TARGETS = (
+    NPDV + "Field",
+    NPDV + "Discovery",
+    NPDV + "Pipeline",
+)
+
+
+def _orphan_class(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    target = rng.choice(_ORPHAN_TARGETS)
+    reasoner = QLReasoner(ontology)
+    doomed_classes = set()
+    doomed_predicates = set()
+    for concept in reasoner.subconcepts_of(ClassConcept(target)):
+        if isinstance(concept, ClassConcept):
+            doomed_classes.add(concept.iri)
+        elif isinstance(concept, SomeValues):
+            doomed_predicates.add(concept.role.iri)
+        elif isinstance(concept, DataSomeValues):
+            doomed_predicates.add(concept.prop.iri)
+    survivors = [
+        assertion
+        for assertion in mappings
+        if not (
+            (assertion.is_class_assertion and assertion.entity in doomed_classes)
+            or (
+                not assertion.is_class_assertion
+                and assertion.entity in doomed_predicates
+            )
+        )
+    ]
+    return database, ontology, MappingCollection(survivors)
+
+
+def _unsat_class(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    # rebuild the ontology so the pristine object is never mutated
+    mutated = build_npd_ontology()
+    pairs = [
+        axiom
+        for axiom in mutated.axioms
+        if isinstance(axiom, SubClassOf)
+        and isinstance(axiom.sub, ClassConcept)
+        and isinstance(axiom.sup, ClassConcept)
+        and axiom.sub != axiom.sup
+    ]
+    if not pairs:  # pragma: no cover - the NPD TBox is a deep hierarchy
+        raise RuntimeError("no SubClassOf pair found to contradict")
+    axiom = rng.choice(sorted(pairs, key=str))
+    # sub ⊑ sup and now disj(sub, sup): sub becomes unsatisfiable
+    mutated.add_disjoint(axiom.sub, axiom.sup)
+    return database, mutated, mappings
+
+
+MUTANTS: Dict[str, Mutant] = {
+    mutant.name: mutant
+    for mutant in (
+        Mutant(
+            "drop-column",
+            "drop a mapped, non-key column from one table",
+            ("MAP_UNKNOWN_COLUMN",),
+            _drop_column,
+        ),
+        Mutant(
+            "break-fk",
+            "insert a row whose foreign key dangles",
+            ("SCH_FK_VIOLATED",),
+            _break_fk,
+        ),
+        Mutant(
+            "retype-range",
+            "retype a numeric literal mapping to xsd:date",
+            ("MAP_TYPE_CLASH",),
+            _retype_range,
+        ),
+        Mutant(
+            "orphan-class",
+            "delete every mapping that populates a queried class",
+            ("QRY_EMPTY",),
+            _orphan_class,
+        ),
+        Mutant(
+            "unsat-class",
+            "add a disjointness axiom contradicting the class hierarchy",
+            ("ONT_UNSATISFIABLE",),
+            _unsat_class,
+        ),
+    )
+}
+
+
+def apply_mutant(
+    name: str,
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    seed: int = 0,
+) -> Assets:
+    """Inject one named defect; returns the (possibly rebuilt) assets."""
+    try:
+        mutant = MUTANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(MUTANTS))
+        raise KeyError(f"unknown mutant {name!r} (known: {known})") from None
+    rng = random.Random(f"{name}:{seed}")
+    return mutant.apply(database, ontology, mappings, rng)

@@ -1,0 +1,127 @@
+"""Pass 2 -- ontology-level checks against the mappings.
+
+Reports entities no mapping can ever populate (computed over the whole
+subconcept closure, matching :func:`repro.analysis.facts.build_factbase`),
+classes made unsatisfiable by the disjointness axioms, and properties
+whose implied domain or range concept is unsatisfiable -- any instance
+would immediately contradict the TBox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..owl.model import (
+    BasicConcept,
+    ClassConcept,
+    DataPropertyRef,
+    DataSomeValues,
+    Ontology,
+    Role,
+    SomeValues,
+)
+from ..owl.reasoner import QLReasoner
+from .facts import FactBase
+from .model import Finding, Severity
+
+
+def _disjointness_adjacency(
+    pairs: Set[FrozenSet[BasicConcept]],
+) -> Dict[BasicConcept, Set[BasicConcept]]:
+    """Concept -> concepts it is disjoint with (self for disj(A, A))."""
+    adjacency: Dict[BasicConcept, Set[BasicConcept]] = {}
+    for pair in pairs:
+        members = tuple(pair)
+        first, second = (members * 2)[:2]
+        adjacency.setdefault(first, set()).add(second)
+        adjacency.setdefault(second, set()).add(first)
+    return adjacency
+
+
+def _find_clash(
+    superconcepts: Set[BasicConcept],
+    adjacency: Dict[BasicConcept, Set[BasicConcept]],
+) -> Optional[Tuple[BasicConcept, BasicConcept]]:
+    # scan superconcepts (small) against the adjacency map, never the
+    # full quadratic pair set; deterministic pick for stable messages
+    for concept in sorted(superconcepts, key=str):
+        partners = adjacency.get(concept)
+        if not partners:
+            continue
+        hits = superconcepts & partners
+        if hits:
+            return concept, min(hits, key=str)
+    return None
+
+
+def run_ontology_pass(
+    ontology: Ontology,
+    reasoner: QLReasoner,
+    factbase: FactBase,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for fact in factbase.empty_entity_facts:
+        findings.append(
+            Finding(
+                "ONT_EMPTY_ENTITY",
+                Severity.INFO,
+                "ontology",
+                fact.entity,
+                f"no mapping (of it or any sub-entity) populates this "
+                f"{fact.kind}; every query atom over it is empty",
+            )
+        )
+    pairs = reasoner.disjoint_pairs()
+    if not pairs:
+        return findings
+    adjacency = _disjointness_adjacency(pairs)
+    for cls in sorted(ontology.classes):
+        clash = _find_clash(
+            set(reasoner.superconcepts_of(ClassConcept(cls))), adjacency
+        )
+        if clash is not None:
+            findings.append(
+                Finding(
+                    "ONT_UNSATISFIABLE",
+                    Severity.ERROR,
+                    "ontology",
+                    cls,
+                    f"class is unsatisfiable: it is subsumed by both "
+                    f"{clash[0]} and {clash[1]}, which are disjoint",
+                )
+            )
+    for prop in sorted(ontology.object_properties):
+        for concept, side in (
+            (SomeValues(Role(prop)), "domain"),
+            (SomeValues(Role(prop, True)), "range"),
+        ):
+            clash = _find_clash(set(reasoner.superconcepts_of(concept)), adjacency)
+            if clash is not None:
+                findings.append(
+                    Finding(
+                        "ONT_RANGE_CLASH",
+                        Severity.ERROR,
+                        "ontology",
+                        prop,
+                        f"{side} of the property is unsatisfiable "
+                        f"({clash[0]} ⊓ {clash[1]} ⊑ ⊥); any triple would "
+                        "contradict the TBox",
+                    )
+                )
+    for prop in sorted(ontology.data_properties):
+        clash = _find_clash(
+            set(reasoner.superconcepts_of(DataSomeValues(DataPropertyRef(prop)))),
+            adjacency,
+        )
+        if clash is not None:
+            findings.append(
+                Finding(
+                    "ONT_RANGE_CLASH",
+                    Severity.ERROR,
+                    "ontology",
+                    prop,
+                    f"domain of the data property is unsatisfiable "
+                    f"({clash[0]} ⊓ {clash[1]} ⊑ ⊥)",
+                )
+            )
+    return findings

@@ -9,12 +9,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from ..mixer import Mixer, MixReport, OBDASystemAdapter
-from ..npd import Benchmark, build_benchmark, build_query_set
+from ..npd import Benchmark, build_benchmark
 from ..obda import OBDAEngine, materialize
-from ..sql import Database, EngineProfile, mysql_profile, postgresql_profile
+from ..sql import Database, EngineProfile
 from ..sql.ast import Join, SelectStatement, SubquerySource, TableRef
 from ..vig import VIG
 

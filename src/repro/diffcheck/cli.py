@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the report to PATH",
     )
+    parser.add_argument(
+        "--lint",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="obdalint pre-flight: abort (exit 2) on ERROR findings "
+        "before any differential run (default on)",
+    )
     return parser
 
 
@@ -125,6 +132,26 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     benchmark = build_benchmark(
         seed=args.db_seed, profile=SeedProfile().scaled(args.scale)
     )
+    if args.lint:
+        from ..analysis import analyze
+
+        lint = analyze(
+            benchmark.database,
+            benchmark.ontology,
+            benchmark.mappings,
+            queries={name: bq.sparql for name, bq in benchmark.queries.items()}
+            if args.catalogue
+            else None,
+        )
+        if lint.has_errors:
+            for finding in lint.errors:
+                print(f"lint: {finding.describe()}", file=sys.stderr)
+            print(
+                f"obdalint pre-flight failed with {len(lint.errors)} error(s); "
+                "not running the oracle (use --no-lint to override)",
+                file=sys.stderr,
+            )
+            return 2
     oracle = DifferentialOracle(
         benchmark.database, benchmark.ontology, benchmark.mappings
     )

@@ -17,7 +17,7 @@ which keeps the generated joins satisfiable on the virtual instance.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obda.mapping import (
@@ -29,7 +29,6 @@ from ..obda.mapping import (
 from ..owl.model import Ontology
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal, Term, XSD_STRING
-from ..rdf.namespaces import RDF_TYPE
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,7 @@ stamps each :class:`ExecutionRecord` with the oracle verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obda.mapping import MappingCollection
 from ..obda.materializer import materialize
@@ -54,7 +54,7 @@ from ..rdf.graph import Graph
 from ..sparql.evaluator import SparqlEvaluator, SparqlResult
 from ..sparql.parser import parse_query
 from ..sql.engine import Database
-from .normalize import BagComparison, canonical_bag, compare_bags
+from .normalize import canonical_bag, compare_bags
 from .serialize import query_to_sparql
 from .shrinker import shrink_query
 
@@ -90,6 +90,8 @@ class EngineConfig:
     tmappings: bool = True
     existential: bool = True
     sqo: bool = True
+    #: attach an obdalint FactBase so fact-licensed unfolding fires
+    facts: bool = False
 
     def build(
         self,
@@ -97,6 +99,14 @@ class EngineConfig:
         ontology: Ontology,
         mappings: MappingCollection,
     ) -> OBDAEngine:
+        factbase = None
+        if self.facts:
+            # lazy: the oracle must stay importable without the analyzer
+            from ..analysis.facts import build_factbase
+
+            factbase = build_factbase(
+                database=database, ontology=ontology, mappings=mappings
+            )
         return OBDAEngine(
             database,
             ontology,
@@ -104,6 +114,7 @@ class EngineConfig:
             enable_tmappings=self.tmappings,
             enable_existential=self.existential,
             enable_sqo=self.sqo,
+            factbase=factbase,
         )
 
 
@@ -114,6 +125,7 @@ DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
     EngineConfig("no-tmappings", tmappings=False),
     EngineConfig("no-existential", existential=False),
     EngineConfig("no-sqo", sqo=False),
+    EngineConfig("facts", facts=True),
 )
 
 CONFIGS_BY_NAME: Dict[str, EngineConfig] = {
@@ -361,11 +373,9 @@ class DifferentialOracle:
         # comparable when no existential reasoning fired (saturation
         # covers hierarchies but cannot invent anonymous individuals)
         plain: Optional[SparqlResult] = None
-        plain_status = EXISTENTIAL_SKIP
         if not config.existential or tree_witnesses == 0:
             try:
                 plain = self._plain_answer(sparql)
-                plain_status = MATCH
             except Exception as exc:  # noqa: BLE001
                 return QueryVerdict(
                     query_id, config.name, ERROR, error=f"plain: {exc}"

@@ -26,7 +26,6 @@ from ..sparql.ast import (
     PatternTerm,
     SelectQuery,
     TermExpr,
-    TriplePattern,
     UnaryExpr,
     UnionPattern,
     Var,

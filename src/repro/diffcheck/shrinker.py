@@ -22,18 +22,16 @@ not a different crash.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from ..rdf.terms import IRI, Literal
 from ..sparql.ast import (
     BGP,
-    BindPattern,
     GroupPattern,
     OptionalPattern,
     Pattern,
     Projection,
     SelectQuery,
-    TriplePattern,
     UnionPattern,
     Var,
     pattern_variables,

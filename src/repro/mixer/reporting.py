@@ -6,7 +6,7 @@ benchmark harness output can be eyeballed against the publication.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Iterable, List, Sequence
 
 from .runner import MixReport
 

@@ -13,7 +13,7 @@ import statistics
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from .systems import ExecutionRecord, QueryAnsweringSystem
 
@@ -61,6 +61,10 @@ class MixReport:
     think_time: float = 0.0
     #: cache hit/miss counters harvested from the system after the run
     cache: Dict[str, int] = field(default_factory=dict)
+    #: obdalint pre-flight ERROR findings that aborted the run before any
+    #: mix was measured (described, one per line); QMpH is 0 in that case
+    preflight_findings: List[str] = field(default_factory=list)
+    aborted_by_preflight: bool = False
 
     @property
     def aborted_mixes(self) -> int:
@@ -101,6 +105,7 @@ class Mixer:
         clients: int = 1,
         mode: str = "simulated",
         think_time: float = 0.0,
+        preflight=None,
     ):
         """In ``mode="simulated"`` (the legacy default) ``clients``
         interleaves N query streams round-robin within one measured mix
@@ -110,7 +115,11 @@ class Mixer:
         QMpH is wall-clock throughput.  ``think_time`` sleeps that many
         seconds after every query of a measured mix (per client), the way
         benchmark testing platforms pace their clients; compute of one
-        client overlaps think time of the others."""
+        client overlaps think time of the others.  ``preflight`` is an
+        optional zero-argument callable returning obdalint findings (any
+        objects with ``is_error``/``describe()``); when it yields ERROR
+        findings the run aborts before warm-up and the report carries the
+        findings instead of measurements."""
         if clients < 1:
             raise ValueError("clients must be >= 1")
         if mode not in ("simulated", "threads"):
@@ -124,11 +133,41 @@ class Mixer:
         self.clients = clients
         self.mode = mode
         self.think_time = think_time
+        self.preflight = preflight
 
     def run(self, runs: int = 3) -> MixReport:
+        aborted = self._preflight_report(runs)
+        if aborted is not None:
+            return aborted
         if self.mode == "threads":
             return self._run_threads(runs)
         return self._run_simulated(runs)
+
+    def _preflight_report(self, runs: int) -> Optional[MixReport]:
+        """Run the lint pre-flight; a report aborting the run, or None."""
+        if self.preflight is None:
+            return None
+        errors = [
+            finding
+            for finding in self.preflight()
+            if getattr(finding, "is_error", False)
+        ]
+        if not errors:
+            return None
+        return MixReport(
+            system=self.system.name,
+            runs=runs,
+            loading_seconds=self.system.loading_time(),
+            mix_seconds=[],
+            per_query={},
+            errors={
+                "__preflight__": f"{len(errors)} obdalint ERROR finding(s)"
+            },
+            clients=self.clients,
+            mode=self.mode,
+            preflight_findings=[finding.describe() for finding in errors],
+            aborted_by_preflight=True,
+        )
 
     # -- shared pieces ------------------------------------------------------
 

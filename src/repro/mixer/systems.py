@@ -8,9 +8,8 @@ which the adapters surface through :class:`PhaseBreakdown`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, Optional, Protocol
 
 from ..obda.system import OBDAEngine, OBDAResult
 from ..obda.triplestore import RewritingTripleStore, TripleStoreAnswer

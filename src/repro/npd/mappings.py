@@ -19,7 +19,7 @@ optimizations").  This generator rebuilds that profile:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obda.mapping import (
     ConstantTermMap,

@@ -19,7 +19,7 @@ Counts land within a few percent of the paper's (report them with
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 from ..owl.model import Ontology, Role
 from ..rdf.namespaces import NPDV

@@ -16,10 +16,9 @@ the replicas are synthetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..owl.model import Ontology, Role
-from ..owl.reasoner import QLReasoner
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ modifiers, and which entity drives its hierarchy expansion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 PREFIXES = """\
 PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>

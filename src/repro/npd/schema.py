@@ -13,10 +13,9 @@ something real to chew on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..sql.engine import Database
-from ..sql.profiles import EngineProfile
 
 # Column groups replicated across tables, mirroring how the FactPages
 # denormalize "date synced", positioning and name attributes everywhere.

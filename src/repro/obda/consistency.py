@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..owl.model import BasicConcept, ClassConcept
 from ..owl.reasoner import QLReasoner
-from ..rdf.terms import IRI
 from ..sql import ast as sql
 from ..sql.engine import Database
 from .mapping import IriTermMap, MappingAssertion, MappingCollection

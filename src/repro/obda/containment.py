@@ -22,15 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..sql.ast import (
-    ColumnRef,
-    NamedTable,
-    SelectItem,
-    SelectStatement,
-    Star,
-    SubquerySource,
-    split_conjuncts,
-)
+from ..sql.ast import NamedTable, SelectStatement, Star, SubquerySource, split_conjuncts
 from ..sql.parser import parse_select
 
 

@@ -9,17 +9,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
 
-from ..rdf.terms import IRI, Literal, Term
-from ..owl.model import (
-    BasicConcept,
-    ClassConcept,
-    DataPropertyRef,
-    DataSomeValues,
-    Role,
-    SomeValues,
-)
+from ..rdf.terms import IRI, Literal
+from ..owl.model import BasicConcept, ClassConcept, DataSomeValues, Role, SomeValues
 from ..sparql.ast import TriplePattern, Var
 
 CqTerm = Union[Var, IRI, Literal]

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional
 
 from ..rdf.graph import Graph, Triple
-from ..rdf.namespaces import RDF_TYPE
-from ..rdf.terms import IRI, Term
+from ..rdf.terms import IRI
 from ..sql.engine import Database
 from .mapping import MappingAssertion, MappingCollection
 

@@ -26,7 +26,7 @@ object is an IRI template, a ``{column}`` literal with an optional
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..rdf.terms import IRI, XSD_STRING
 from .mapping import (

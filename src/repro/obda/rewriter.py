@@ -30,8 +30,8 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..owl.model import (
     BasicConcept,
@@ -67,6 +67,11 @@ class RewritingResult:
     truncated: bool = False
     #: served from the rewrite cache (elapsed_seconds is the lookup time)
     cached: bool = False
+    #: disjuncts dropped because a FactBase proves one of their atoms can
+    #: never produce an answer (empty-entity facts)
+    empty_disjuncts_skipped: int = 0
+    #: the empty entities that licensed those skips (deduped, sorted)
+    skipped_entities: Tuple[str, ...] = ()
 
     @property
     def ucq_size(self) -> int:
@@ -97,6 +102,13 @@ class TreeWitnessRewriter:
         into every cache key so two engines sharing a rewriter -- or the
         diffcheck matrix rebuilding engines with different configs --
         can never serve each other's rewritings.
+    factbase:
+        optional :class:`repro.analysis.facts.FactBase`.  A produced CQ
+        containing an atom over a provably-empty entity is excluded from
+        the result UCQ (it can contribute no answers over the asserted
+        data) but *stays on the frontier*: tree-witness folding may
+        replace the empty atom with a non-empty generator, so successors
+        of a skipped CQ can still be answerable.
     """
 
     #: bound on the per-rewriter result cache (a mix has 21 queries, so
@@ -110,14 +122,17 @@ class TreeWitnessRewriter:
         enable_existential: bool = True,
         max_ucq: int = 2048,
         fingerprint: str = "",
+        factbase=None,
     ):
         self.reasoner = reasoner
         self.expand_hierarchy = expand_hierarchy
         self.enable_existential = enable_existential
         self.max_ucq = max_ucq
         self.fingerprint = fingerprint
+        self.factbase = factbase
+        self._fb_digest = factbase.fingerprint() if factbase is not None else ""
         self._fresh_counter = itertools.count()
-        self._cache: Dict[Tuple[ConjunctiveQuery, bool, bool, int, str], RewritingResult] = {}
+        self._cache: Dict[Tuple[ConjunctiveQuery, bool, bool, int, str, str], RewritingResult] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -125,13 +140,14 @@ class TreeWitnessRewriter:
 
     def _cache_key(
         self, query: ConjunctiveQuery
-    ) -> Tuple[ConjunctiveQuery, bool, bool, int, str]:
+    ) -> Tuple[ConjunctiveQuery, bool, bool, int, str, str]:
         return (
             query.canonical(),
             self.expand_hierarchy,
             self.enable_existential,
             self.max_ucq,
             self.fingerprint,
+            self._fb_digest,
         )
 
     def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
@@ -159,7 +175,13 @@ class TreeWitnessRewriter:
         seen: Dict[ConjunctiveQuery, None] = {}
         frontier = [query]
         seen[query.canonical()] = None
-        results: List[ConjunctiveQuery] = [query]
+        results: List[ConjunctiveQuery] = []
+        skipped = 0
+        skipped_entities: Set[str] = set()
+        if self._admit(query, skipped_entities):
+            results.append(query)
+        else:
+            skipped += 1
         while frontier and len(results) < self.max_ucq:
             current = frontier.pop()
             for successor in self._successors(current):
@@ -167,8 +189,14 @@ class TreeWitnessRewriter:
                 if canonical in seen:
                     continue
                 seen[canonical] = None
-                results.append(successor)
                 frontier.append(successor)
+                if self._admit(successor, skipped_entities):
+                    results.append(successor)
+                else:
+                    # an empty-entity disjunct contributes no answers, but
+                    # its successors (after folding the empty atom away)
+                    # still can -- keep it on the frontier only
+                    skipped += 1
                 if len(results) >= self.max_ucq:
                     break
         elapsed = time.perf_counter() - started
@@ -178,7 +206,21 @@ class TreeWitnessRewriter:
             elapsed,
             self.expand_hierarchy,
             truncated=bool(frontier),
+            empty_disjuncts_skipped=skipped,
+            skipped_entities=tuple(sorted(skipped_entities)),
         )
+
+    def _admit(self, cq: ConjunctiveQuery, skipped_entities: Set[str]) -> bool:
+        """False when a FactBase proves some atom of *cq* is always empty."""
+        if self.factbase is None:
+            return True
+        empty = False
+        for atom in cq.atoms:
+            entity = _atom_entity_iri(atom)
+            if entity is not None and self.factbase.empty_entity(entity):
+                skipped_entities.add(entity)
+                empty = True
+        return not empty
 
     # ------------------------------------------------------------------
     # successor generation
@@ -341,6 +383,16 @@ class TreeWitnessRewriter:
             reduced = cq.substitute(unifier)
             if len(reduced.atoms) < len(cq.atoms):
                 yield reduced
+
+
+def _atom_entity_iri(atom: Atom) -> Optional[str]:
+    if isinstance(atom, ClassAtom):
+        return atom.cls
+    if isinstance(atom, RoleAtom):
+        return atom.role
+    if isinstance(atom, DataAtom):
+        return atom.prop
+    return None
 
 
 def _unify(

@@ -21,7 +21,7 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..owl.model import Ontology
@@ -93,6 +93,11 @@ class QualityMetrics:
     merged_self_joins: int = 0
     #: the whole SPARQL->SQL artifact came from the engine's query cache
     compile_cache_hit: bool = False
+    #: fact-licensed optimizations (zero unless a FactBase is attached)
+    elided_null_guards: int = 0
+    eliminated_joins: int = 0
+    empty_disjuncts_skipped: int = 0
+    facts_fired: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -163,6 +168,8 @@ class OBDAEngine:
         distinct_unions: bool = True,
         max_ucq: int = 2048,
         enable_query_cache: bool = True,
+        factbase=None,
+        validate_on_load: bool = False,
     ):
         started = time.perf_counter()
         self.database = database
@@ -172,6 +179,14 @@ class OBDAEngine:
         self.enable_existential = enable_existential
         self.enable_sqo = enable_sqo
         self.enable_query_cache = enable_query_cache
+        #: optional :class:`repro.analysis.facts.FactBase` licensing the
+        #: constraint-driven unfolding optimizations (duck-typed; the obda
+        #: package never imports repro.analysis at runtime)
+        self.factbase = factbase
+        #: findings of the validate-on-load pre-flight (empty when skipped)
+        self.load_findings: List[Any] = []
+        if validate_on_load:
+            self.load_findings = self._validate_mappings()
         self.reasoner = QLReasoner(ontology)
         self.tmapping_result: Optional[TMappingResult] = None
         if enable_tmappings:
@@ -190,6 +205,7 @@ class OBDAEngine:
             enable_existential=enable_existential,
             max_ucq=max_ucq,
             fingerprint=self.fingerprint,
+            factbase=factbase,
         )
         self.unfolder = Unfolder(
             active_mappings,
@@ -198,6 +214,7 @@ class OBDAEngine:
             catalog=database.catalog,
             enable_sqo=enable_sqo,
             distinct_unions=distinct_unions,
+            facts=factbase,
         )
         self._compiled: "OrderedDict[Hashable, CompiledQuery]" = OrderedDict()
         # the unfolder keeps per-query mutable state, so compilation is
@@ -229,11 +246,34 @@ class OBDAEngine:
             # in bodies can never collide
             digest.update(repr(assertion).encode("utf-8"))
             digest.update(b"\n")
+        fb = self.factbase.fingerprint() if self.factbase is not None else "none"
         digest.update(
             f"tm={self.enable_tmappings};ex={self.enable_existential};"
-            f"sqo={self.enable_sqo};ucq={max_ucq};du={distinct_unions}".encode("utf-8")
+            f"sqo={self.enable_sqo};ucq={max_ucq};du={distinct_unions};"
+            f"fb={fb}".encode("utf-8")
         )
         return digest.hexdigest()[:16]
+
+    def _validate_mappings(self) -> List[Any]:
+        """obdalint pre-flight: run the mapping pass at engine start.
+
+        Imported lazily so the obda package stays importable without the
+        analysis subsystem; raises :class:`MappingError` when any finding
+        is an error (unknown table/column, type clash, broken FK...).
+        """
+        from ..analysis.mapping_pass import run_mapping_pass
+        from .mapping import MappingError
+
+        findings = run_mapping_pass(self.database.catalog, self.raw_mappings)
+        errors = [f for f in findings if f.is_error]
+        if errors:
+            head = "; ".join(f.describe() for f in errors[:3])
+            more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+            raise MappingError(
+                f"validate-on-load found {len(errors)} mapping error(s): "
+                f"{head}{more}"
+            )
+        return findings
 
     # ------------------------------------------------------------------
 
@@ -364,6 +404,10 @@ class OBDAEngine:
             rewriting_truncated=unfolded.rewriting_truncated,
             merged_self_joins=unfolded.merged_self_joins,
             compile_cache_hit=cache_hit,
+            elided_null_guards=unfolded.elided_null_guards,
+            eliminated_joins=unfolded.eliminated_joins,
+            empty_disjuncts_skipped=unfolded.empty_disjuncts_skipped,
+            facts_fired=unfolded.fired_facts,
         )
         if artifact.plan is None:
             return OBDAResult(unfolded.columns, [], timings, metrics, unfolded.sql_text)
@@ -383,6 +427,42 @@ class OBDAEngine:
 
     # -- introspection ----------------------------------------------------------
 
+    def explain(self, sparql: str | SelectQuery) -> List[str]:
+        """Human-readable compile trace: phases, fired facts, SQL plan."""
+        artifact, cache_hit = self._compile_query(sparql)
+        unfolded = artifact.unfolded
+        lines = [
+            f"compile: {'cached' if cache_hit else 'fresh'}"
+            f" (fingerprint {self.fingerprint})",
+        ]
+        if unfolded.rewriting is not None:
+            lines.append(
+                f"rewriting: ucq_size={unfolded.rewriting.ucq_size}"
+                f" tree_witnesses={unfolded.rewriting.tree_witnesses}"
+                f" truncated={unfolded.rewriting_truncated}"
+            )
+        lines.append(
+            f"unfolding: union_blocks={unfolded.union_blocks}"
+            f" sql_characters={len(unfolded.sql_text)}"
+            f" pruned={unfolded.pruned_combinations}"
+            f" merged_self_joins={unfolded.merged_self_joins}"
+        )
+        lines.append(
+            f"facts: elided_null_guards={unfolded.elided_null_guards}"
+            f" eliminated_joins={unfolded.eliminated_joins}"
+            f" empty_disjuncts_skipped={unfolded.empty_disjuncts_skipped}"
+        )
+        for label in unfolded.fired_facts:
+            lines.append(f"fact fired: {label}")
+        if unfolded.statement is not None:
+            lines.append("plan:")
+            lines.extend(
+                f"  {line}" for line in self.database.explain(unfolded.statement)
+            )
+        else:
+            lines.append("plan: <empty result, no SQL executed>")
+        return lines
+
     def describe(self) -> Dict[str, Any]:
         return {
             "mappings": len(self.mappings),
@@ -394,6 +474,7 @@ class OBDAEngine:
             "loading_seconds": self.loading_seconds,
             "query_cache": self.enable_query_cache,
             "fingerprint": self.fingerprint,
+            "facts": len(self.factbase) if self.factbase is not None else 0,
         }
 
 

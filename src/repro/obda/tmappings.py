@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..owl.model import (
     ClassConcept,
@@ -27,7 +27,6 @@ from ..owl.reasoner import QLReasoner
 from ..rdf.terms import IRI
 from .mapping import (
     ConstantTermMap,
-    IriTermMap,
     LiteralTermMap,
     MappingAssertion,
     MappingCollection,

@@ -36,7 +36,7 @@ from ..owl.model import (
     SomeValues,
 )
 from ..owl.reasoner import QLReasoner
-from ..rdf.graph import Graph, Triple
+from ..rdf.graph import Graph
 from ..rdf.namespaces import RDF_TYPE
 from ..rdf.terms import IRI, Term
 from ..sparql.algebra import AlgBGP, AlgebraNode
@@ -49,15 +49,7 @@ from ..sparql.evaluator import (
     _selectivity,
 )
 from ..sparql.parser import parse_query
-from .cq import (
-    Atom,
-    ClassAtom,
-    ConjunctiveQuery,
-    DataAtom,
-    RoleAtom,
-    Vocabulary,
-    bgp_to_cq,
-)
+from .cq import ClassAtom, ConjunctiveQuery, DataAtom, RoleAtom, Vocabulary, bgp_to_cq
 from .rewriter import RewritingResult, TreeWitnessRewriter
 
 
@@ -273,7 +265,6 @@ def _needed_variables(query: SelectQuery) -> set:
     """
     from collections import Counter
 
-    from ..sparql.algebra import collect_bgps, simplify, translate
     from ..sparql.ast import (
         BindPattern,
         GroupPattern,

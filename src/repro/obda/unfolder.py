@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..owl.model import Ontology
-from ..rdf.terms import IRI, Literal, Term, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER, XSD_STRING
+from ..rdf.terms import IRI, Literal, Term, XSD_DECIMAL, XSD_INTEGER, XSD_STRING
 from ..sparql import ast as sp
 from ..sparql.algebra import (
     AlgBGP,
@@ -44,10 +44,9 @@ from ..sparql.algebra import (
 )
 from ..sql import ast as sql
 from ..sql.catalog import Catalog
-from ..sql.parser import parse_select
+from .containment import union_branches, unwrap
 from .cq import (
     Atom,
-    CQError,
     ClassAtom,
     ConjunctiveQuery,
     CqTerm,
@@ -62,7 +61,6 @@ from .mapping import (
     LiteralTermMap,
     MappingAssertion,
     MappingCollection,
-    Template,
     TermMap,
 )
 from .rewriter import RewritingResult, TreeWitnessRewriter
@@ -129,6 +127,16 @@ class UnfoldResult:
     #: some BGP's rewriting hit the UCQ cap -- the SQL answers a sound
     #: but possibly incomplete UCQ prefix
     rewriting_truncated: bool = False
+    #: IS NOT NULL guards dropped because a FactBase proves the column
+    #: can never be NULL (beyond what the declared schema already shows)
+    elided_null_guards: int = 0
+    #: parent table scans dropped because a verified FK + uniqueness fact
+    #: proves the join is a no-op semijoin
+    eliminated_joins: int = 0
+    #: UCQ disjuncts skipped because they mention provably-empty entities
+    empty_disjuncts_skipped: int = 0
+    #: labels of the facts that licensed the above, in firing order
+    fired_facts: Tuple[str, ...] = ()
 
     @property
     def sql_text(self) -> str:
@@ -149,6 +157,7 @@ class Unfolder:
         catalog: Optional[Catalog] = None,
         enable_sqo: bool = True,
         distinct_unions: bool = True,
+        facts=None,
     ):
         self.mappings = mappings
         self.vocabulary = Vocabulary.from_ontology(ontology)
@@ -156,12 +165,28 @@ class Unfolder:
         self.catalog = catalog
         self.enable_sqo = enable_sqo
         self.distinct_unions = distinct_unions
+        #: optional repro.analysis.facts.FactBase; every fact-licensed
+        #: optimization records the licensing fact's label in fired_facts
+        self.facts = facts
         self._alias_counter = itertools.count()
         self._pruned = 0
         self._merged = 0
         self._union_blocks = 0
         self._any_truncated = False
-        self._nullable_cache: Dict[str, Tuple[str, ...]] = {}
+        self._elided_guards = 0
+        self._eliminated_joins = 0
+        self._empty_skipped = 0
+        self._fired_facts: Dict[str, None] = {}
+        # per assertion id: (guarded columns, fact-elided (column, label)s)
+        self._nullable_cache: Dict[
+            str, Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...]]
+        ] = {}
+        # per assertion id: unique-subject info (key columns, fact label)
+        self._unique_cache: Dict[
+            str, Optional[Tuple[Tuple[str, ...], Optional[str]]]
+        ] = {}
+        # per assertion id: FK-elimination parent info, see _parent_key_info
+        self._parent_cache: Dict[str, Optional[Tuple[str, Tuple[str, ...], str]]] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -172,6 +197,10 @@ class Unfolder:
         self._union_blocks = 0
         self._last_rewriting: Optional[RewritingResult] = None
         self._any_truncated = False
+        self._elided_guards = 0
+        self._eliminated_joins = 0
+        self._empty_skipped = 0
+        self._fired_facts = {}
         algebra = simplify(translate(query.where))
         needed = self._query_level_variables(query, algebra)
         fragment = self._unfold_node(algebra, needed)
@@ -187,7 +216,14 @@ class Unfolder:
             pruned_combinations=self._pruned,
             merged_self_joins=self._merged,
             rewriting_truncated=self._any_truncated,
+            elided_null_guards=self._elided_guards,
+            eliminated_joins=self._eliminated_joins,
+            empty_disjuncts_skipped=self._empty_skipped,
+            fired_facts=tuple(self._fired_facts),
         )
+
+    def _record_fact(self, label: str) -> None:
+        self._fired_facts.setdefault(label)
 
     # -- algebra lowering ------------------------------------------------------
 
@@ -303,6 +339,9 @@ class Unfolder:
             rewriting = self.rewriter.rewrite(cq)
             self._last_rewriting = rewriting
             self._any_truncated = self._any_truncated or rewriting.truncated
+            self._empty_skipped += rewriting.empty_disjuncts_skipped
+            for entity in rewriting.skipped_entities:
+                self._record_fact(f"empty:{entity}")
             cqs = rewriting.cqs
         else:
             cqs = [cq]
@@ -365,6 +404,9 @@ class Unfolder:
             if merge_key is not None and merge_key in alias_by_merge_key:
                 atom_alias.append(alias_by_merge_key[merge_key])
                 self._merged += 1
+                unique_info = self._unique_subject_info(assertion)
+                if unique_info is not None and unique_info[1] is not None:
+                    self._record_fact(unique_info[1])
                 continue
             alias = f"m{next(self._alias_counter)}"
             aliases.append((alias, assertion))
@@ -395,6 +437,19 @@ class Unfolder:
                     return None
                 if not bind(obj, assertion.object, alias):
                     return None
+        # FK join elimination: drop parent class-atom scans proven no-op
+        # by verified FK + uniqueness facts (Hovland et al.-style)
+        dropped: Set[str] = set()
+        if self.enable_sqo and self.facts is not None:
+            dropped = self._eliminate_fk_joins(
+                cq, combination, atom_alias, bindings
+            )
+            if dropped:
+                aliases = [
+                    (alias, assertion)
+                    for alias, assertion in aliases
+                    if alias not in dropped
+                ]
         # join constraints between occurrences of the same variable
         join_constraints: List[sql.Expr] = []
         for var, occurrences in bindings.items():
@@ -410,15 +465,25 @@ class Unfolder:
         # exist, so the row must not match the atom (shared aliases from
         # self-join merging would otherwise leak NULLs of sibling columns)
         null_guard_keys: set = set()
+        elided_keys: set = set()
         null_guards: List[sql.Expr] = []
         for assertion, alias in zip(combination, atom_alias):
-            for column in self._nullable_referenced_columns(assertion):
+            if alias in dropped:
+                continue
+            guarded, fact_elided = self._null_guard_info(assertion)
+            for column in guarded:
                 key = (alias, column)
                 if key not in null_guard_keys:
                     null_guard_keys.add(key)
                     null_guards.append(
                         sql.IsNull(sql.ColumnRef(column, alias), negated=True)
                     )
+            for column, label in fact_elided:
+                key = (alias, column)
+                if key not in elided_keys:
+                    elided_keys.add(key)
+                    self._elided_guards += 1
+                    self._record_fact(label)
         # assemble FROM
         source: Optional[sql.TableRef] = None
         for alias, assertion in aliases:
@@ -461,8 +526,7 @@ class Unfolder:
             return None
         if not isinstance(assertion.subject, IriTermMap):
             return None
-        key_columns = self._unique_subject_columns(assertion)
-        if key_columns is None:
+        if self._unique_subject_info(assertion) is None:
             return None
         return (
             subject,
@@ -470,8 +534,35 @@ class Unfolder:
             assertion.subject.template.pattern,
         )
 
-    def _nullable_referenced_columns(
+    def _null_guard_info(
         self, assertion: MappingAssertion
+    ) -> Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...]]:
+        """(columns still needing an IS NOT NULL guard, fact-elided ones).
+
+        The first tuple are term-map columns that may be NULL; the second
+        holds ``(column, fact label)`` pairs for guards the legacy
+        (declared-schema) path would have emitted but a FactBase fact
+        proved unnecessary -- including over UNION sources, which the
+        declared path cannot see through.
+        """
+        cached = self._nullable_cache.get(assertion.id)
+        if cached is not None:
+            return cached
+        columns = assertion.referenced_columns()
+        legacy = self._declared_nullable(assertion, columns)
+        result = legacy
+        elided: Tuple[Tuple[str, str], ...] = ()
+        if self.facts is not None and legacy:
+            still_nullable, labels = self._facts_nullable(assertion, legacy)
+            result = tuple(c for c in legacy if c in still_nullable)
+            elided = tuple(
+                (c, labels[c]) for c in legacy if c not in still_nullable
+            )
+        self._nullable_cache[assertion.id] = (result, elided)
+        return result, elided
+
+    def _declared_nullable(
+        self, assertion: MappingAssertion, columns: Tuple[str, ...]
     ) -> Tuple[str, ...]:
         """Term-map columns that may be NULL in the assertion's source.
 
@@ -479,10 +570,6 @@ class Unfolder:
         part of the primary key) in the catalog are dropped; everything
         else conservatively gets an ``IS NOT NULL`` guard.
         """
-        cached = self._nullable_cache.get(assertion.id)
-        if cached is not None:
-            return cached
-        columns = assertion.referenced_columns()
         result: Tuple[str, ...] = columns
         if columns and self.catalog is not None:
             try:
@@ -515,14 +602,89 @@ class Unfolder:
                     for column in columns
                     if base.get(column, "\0") not in not_null
                 )
-        self._nullable_cache[assertion.id] = result
         return result
 
-    def _unique_subject_columns(
+    @staticmethod
+    def _branch_base_map(
+        branch: sql.SelectStatement,
+    ) -> Optional[Tuple[str, Dict[str, str], bool]]:
+        """(table, output->base column, has star) of a single-table branch."""
+        if not isinstance(branch.source, sql.NamedTable):
+            return None
+        table = branch.source.name.lower()
+        base: Dict[str, str] = {}
+        star = False
+        for item in branch.items:
+            if isinstance(item.expr, sql.Star):
+                if (
+                    item.expr.qualifier is not None
+                    and item.expr.qualifier.lower() != branch.source.binding
+                ):
+                    return None
+                star = True
+            elif isinstance(item.expr, sql.ColumnRef):
+                base[item.output_name.lower()] = item.expr.name.lower()
+        return table, base, star
+
+    def _facts_nullable(
+        self, assertion: MappingAssertion, columns: Tuple[str, ...]
+    ) -> Tuple[Set[str], Dict[str, str]]:
+        """Split *columns* into still-nullable vs fact-proven-not-null.
+
+        A column is proven NOT NULL only when in *every* union branch it
+        resolves to a base column carrying a NotNullFact.
+        """
+        try:
+            statement = assertion.parsed_source()
+        except Exception:  # noqa: BLE001 - malformed sources opt out
+            return set(columns), {}
+        branch_maps = []
+        for branch in union_branches(statement):
+            info = self._branch_base_map(branch)
+            if info is None:
+                return set(columns), {}
+            branch_maps.append(info)
+        still: Set[str] = set()
+        labels: Dict[str, str] = {}
+        for column in columns:
+            fact_labels: List[str] = []
+            for table, base, star in branch_maps:
+                base_column = base.get(column) or (column if star else None)
+                fact = (
+                    self.facts.not_null(table, base_column)
+                    if base_column is not None
+                    else None
+                )
+                if fact is None:
+                    break
+                fact_labels.append(fact.label())
+            else:
+                labels[column] = ";".join(dict.fromkeys(fact_labels))
+                continue
+            still.add(column)
+        return still, labels
+
+    def _unique_subject_info(
         self, assertion: MappingAssertion
-    ) -> Optional[Tuple[str, ...]]:
-        """Subject template columns if they cover the source table's PK."""
-        if self.catalog is None:
+    ) -> Optional[Tuple[Tuple[str, ...], Optional[str]]]:
+        """(key columns, licensing fact label) when the subject template
+        columns contain a key of the (single-table) source.
+
+        The label is None when the declared PK already licenses the merge
+        (the seed behaviour); a data-derived UniqueFact extends coverage
+        and is reported as a fired fact.
+        """
+        cached = self._unique_cache.get(assertion.id, "missing")
+        if cached != "missing":
+            return cached  # type: ignore[return-value]
+        result = self._compute_unique_subject_info(assertion)
+        self._unique_cache[assertion.id] = result
+        return result
+
+    def _compute_unique_subject_info(
+        self, assertion: MappingAssertion
+    ) -> Optional[Tuple[Tuple[str, ...], Optional[str]]]:
+        if self.catalog is None and self.facts is None:
             return None
         try:
             statement = assertion.parsed_source()
@@ -532,15 +694,184 @@ class Unfolder:
             return None
         if not isinstance(statement.source, sql.NamedTable):
             return None
-        if not self.catalog.has_table(statement.source.name):
-            return None
-        table = self.catalog.table(statement.source.name)
-        if not table.primary_key:
-            return None
         subject_columns = set(assertion.subject.columns)
-        if set(table.primary_key) <= subject_columns:
-            return tuple(table.primary_key)
+        if self.catalog is not None and self.catalog.has_table(
+            statement.source.name
+        ):
+            table = self.catalog.table(statement.source.name)
+            if table.primary_key and set(table.primary_key) <= subject_columns:
+                return tuple(table.primary_key), None
+        if self.facts is not None:
+            info = self._branch_base_map(statement)
+            if info is not None:
+                table_name, base, star = info
+                base_columns = {
+                    base.get(c) or (c if star else "\0")
+                    for c in subject_columns
+                }
+                fact = self.facts.unique_key_within(table_name, base_columns)
+                if fact is not None:
+                    return fact.columns, fact.label()
         return None
+
+    # -- FK join elimination -------------------------------------------------
+
+    def _parent_key_info(
+        self, assertion: MappingAssertion
+    ) -> Optional[Tuple[str, Tuple[str, ...], str]]:
+        """(table, subject base columns in template order, unique label)
+        when *assertion* is an unfiltered bare scan whose subject template
+        columns contain a verified unique key -- the shape whose join can
+        be eliminated when a verified FK guarantees the lookup succeeds.
+        """
+        cached = self._parent_cache.get(assertion.id, "missing")
+        if cached != "missing":
+            return cached  # type: ignore[return-value]
+        result = self._compute_parent_key_info(assertion)
+        self._parent_cache[assertion.id] = result
+        return result
+
+    def _compute_parent_key_info(
+        self, assertion: MappingAssertion
+    ) -> Optional[Tuple[str, Tuple[str, ...], str]]:
+        if self.facts is None or not isinstance(assertion.subject, IriTermMap):
+            return None
+        try:
+            statement = unwrap(assertion.parsed_source())
+        except Exception:  # noqa: BLE001 - malformed sources just opt out
+            return None
+        if (
+            statement.union is not None
+            or statement.where is not None
+            or statement.group_by
+            or statement.having is not None
+            or statement.distinct
+            or statement.limit is not None
+        ):
+            return None
+        info = self._branch_base_map(statement)
+        if info is None:
+            return None
+        table, base, star = info
+        key: List[str] = []
+        for column in assertion.subject.template.columns:
+            base_column = base.get(column) or (column if star else None)
+            if base_column is None:
+                return None
+            key.append(base_column)
+        unique = self.facts.unique_key_within(table, key)
+        if unique is None:
+            return None
+        return table, tuple(key), unique.label()
+
+    def _child_fk_labels(
+        self,
+        assertion: MappingAssertion,
+        template_columns: Tuple[str, ...],
+        parent_table: str,
+        parent_key: Tuple[str, ...],
+    ) -> Optional[List[str]]:
+        """Verified-FK labels proving every child row joins the parent.
+
+        Requires a verified ForeignKeyFact aligned positionally with the
+        template columns in *every* union branch of the child source.
+        """
+        try:
+            statement = assertion.parsed_source()
+        except Exception:  # noqa: BLE001 - malformed sources just opt out
+            return None
+        labels: List[str] = []
+        for branch in union_branches(statement):
+            info = self._branch_base_map(branch)
+            if info is None:
+                return None
+            table, base, star = info
+            child_columns: List[str] = []
+            for column in template_columns:
+                base_column = base.get(column) or (column if star else None)
+                if base_column is None:
+                    return None
+                child_columns.append(base_column)
+            fact = self.facts.covering_fk(
+                table, child_columns, parent_table, parent_key
+            )
+            if fact is None:
+                return None
+            labels.append(fact.label())
+        return list(dict.fromkeys(labels))
+
+    def _eliminate_fk_joins(
+        self,
+        cq: ConjunctiveQuery,
+        combination: Sequence[MappingAssertion],
+        atom_alias: List[str],
+        bindings: Dict[sp.Var, List[Tuple[TermMap, str]]],
+    ) -> Set[str]:
+        """Drop class-atom parent scans proven redundant by FK facts.
+
+        A scan ``C(x)`` over an unfiltered table whose subject key columns
+        are a verified unique key is a no-op when another atom binds ``x``
+        through an identical IRI template over columns carrying a verified
+        FK to that key: every child row finds exactly one parent row, so
+        the join neither filters nor duplicates.  The parent alias is
+        removed from *bindings* (its FROM entry and guards are skipped by
+        the caller); the licensing facts are recorded once the branch is
+        actually emitted.
+        """
+        counts: Dict[str, int] = {}
+        for alias in atom_alias:
+            counts[alias] = counts.get(alias, 0) + 1
+        assertion_by_alias: Dict[str, MappingAssertion] = dict(
+            zip(atom_alias, combination)
+        )
+        dropped: Set[str] = set()
+        for atom, assertion, alias in zip(cq.atoms, combination, atom_alias):
+            if alias in dropped or not isinstance(atom, ClassAtom):
+                continue
+            term = atom.term
+            if not isinstance(term, sp.Var) or counts[alias] != 1:
+                continue
+            parent = self._parent_key_info(assertion)
+            if parent is None:
+                continue
+            parent_table, parent_key, unique_label = parent
+            assert isinstance(assertion.subject, IriTermMap)
+            parent_template = assertion.subject.template
+            occurrences = bindings.get(term, [])
+            if len(occurrences) < 2:
+                continue
+            fk_labels: Optional[List[str]] = None
+            for term_map, other_alias in occurrences:
+                if other_alias == alias or other_alias in dropped:
+                    continue
+                if not isinstance(term_map, IriTermMap):
+                    continue
+                if not term_map.template.compatible_with(parent_template):
+                    continue
+                supporter = assertion_by_alias.get(other_alias)
+                if supporter is None:
+                    continue
+                fk_labels = self._child_fk_labels(
+                    supporter,
+                    term_map.template.columns,
+                    parent_table,
+                    parent_key,
+                )
+                if fk_labels is not None:
+                    break
+            if fk_labels is None:
+                continue
+            dropped.add(alias)
+            bindings[term] = [
+                (term_map, other_alias)
+                for term_map, other_alias in occurrences
+                if other_alias != alias
+            ]
+            self._eliminated_joins += 1
+            self._record_fact(unique_label)
+            for label in fk_labels:
+                self._record_fact(label)
+        return dropped
 
     def _source_ref(self, assertion: MappingAssertion, alias: str) -> sql.TableRef:
         statement = assertion.parsed_source()

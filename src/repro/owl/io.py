@@ -20,10 +20,9 @@ existentials omit the filler.
 from __future__ import annotations
 
 import re
-from typing import IO, Iterator, List, Optional, Union
+from typing import IO, List, Optional, Union
 
 from .model import (
-    BasicConcept,
     ClassConcept,
     Concept,
     DataPropertyRef,

@@ -19,8 +19,8 @@ Classes here are pure data; all inference lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Union
 
 from ..rdf.terms import IRI
 

@@ -19,21 +19,17 @@ on the ``subconcepts_of`` / ``subroles_of`` closures computed here.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from .model import (
     BasicConcept,
     ClassConcept,
     DataPropertyRef,
     DataSomeValues,
-    DisjointClasses,
     Ontology,
     QualifiedSome,
     Role,
     SomeValues,
-    SubClassOf,
-    SubDataPropertyOf,
-    SubObjectPropertyOf,
 )
 
 

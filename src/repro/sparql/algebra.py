@@ -21,7 +21,6 @@ from .ast import (
     TriplePattern,
     UnionPattern,
     Var,
-    pattern_variables,
 )
 from .errors import SparqlError
 

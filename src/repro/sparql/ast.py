@@ -7,8 +7,8 @@ translation in :mod:`repro.sparql.algebra` lowers it to evaluable operators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..rdf.terms import IRI, BNode, Literal, Term
 

@@ -8,7 +8,7 @@ dictionaries mapping :class:`~repro.sparql.ast.Var` to RDF terms.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.terms import Literal, Term
@@ -408,8 +408,6 @@ class SparqlEvaluator:
         variables: List[str],
         rows: List[Tuple[Optional[Term], ...]],
     ) -> List[Tuple[Optional[Term], ...]]:
-        positions = {name: index for index, name in enumerate(variables)}
-
         def key_function(row: Tuple[Optional[Term], ...]):
             keys = []
             for condition in query.order_by:

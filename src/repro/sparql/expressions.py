@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from ..rdf.terms import (
     IRI,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional, Tuple
 
-from ..rdf.terms import IRI, BNode, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+from ..rdf.terms import IRI, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
 from .ast import (
     AggregateExpr,
     BGP,

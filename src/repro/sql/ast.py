@@ -7,7 +7,7 @@ Expression nodes double as the exchange format between the OBDA unfolder
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .types import SqlType, format_value

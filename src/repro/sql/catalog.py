@@ -9,8 +9,8 @@ helpers used by both the executor and VIG's analysis phase.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .ast import CreateTableStatement
 from .errors import CatalogError, IntegrityError
@@ -250,6 +250,40 @@ class Table:
         for row in self.iter_rows():
             yield row[position]
 
+    # -- introspection (static analysis) -------------------------------------
+
+    def null_free_columns(self) -> Tuple[str, ...]:
+        """Columns holding no NULL in any live row (a data-level fact:
+        stronger than the declared NOT NULL flags, which it subsumes)."""
+        candidates = list(self.column_names)
+        result = []
+        for name in candidates:
+            position = self._column_index[name]
+            if all(row[position] is not None for row in self.iter_rows()):
+                result.append(name)
+        return tuple(result)
+
+    def data_unique_columns(self) -> Tuple[str, ...]:
+        """Single columns that are null-free with pairwise-distinct values.
+
+        Such a column behaves as a key for the *current* data, which is all
+        the unfolder needs to merge self-joins over one immutable benchmark
+        instance.
+        """
+        result = []
+        for position, column in enumerate(self.columns):
+            seen: Set[Any] = set()
+            unique = True
+            for row in self.iter_rows():
+                value = row[position]
+                if value is None or value in seen:
+                    unique = False
+                    break
+                seen.add(value)
+            if unique and self._live_count > 0:
+                result.append(column.lname)
+        return tuple(result)
+
 
 class Catalog:
     """All tables of one database plus foreign-key graph helpers."""
@@ -369,6 +403,38 @@ class Catalog:
                             f"{fk.ref_table}{fk.ref_columns}"
                         )
         return violations
+
+    def foreign_key_status(self) -> List[Tuple[str, ForeignKey, str, int]]:
+        """Row-level verification verdict for every declared FK.
+
+        Yields ``(table_name, fk, status, violation_count)`` where status is
+        ``"ok"`` (every non-NULL key resolves), ``"violated"`` (some rows
+        dangle) or ``"missing_table"`` (the referenced table is gone).  NULL
+        keys are skipped, matching SQL FK semantics.
+        """
+        verdicts: List[Tuple[str, ForeignKey, str, int]] = []
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                if fk.ref_table not in self._tables:
+                    verdicts.append((table.name, fk, "missing_table", 0))
+                    continue
+                target = self._tables[fk.ref_table]
+                if not all(target.has_column(c) for c in fk.ref_columns):
+                    verdicts.append((table.name, fk, "missing_table", 0))
+                    continue
+                target_index = target.create_hash_index(fk.ref_columns)
+                positions = [table.column_position(c) for c in fk.columns]
+                dangling = 0
+                for row in table.iter_rows():
+                    key = tuple(row[p] for p in positions)
+                    if any(part is None for part in key):
+                        continue
+                    if not target_index.contains_key(key):
+                        dangling += 1
+                verdicts.append(
+                    (table.name, fk, "violated" if dangling else "ok", dangling)
+                )
+        return verdicts
 
     def total_rows(self) -> int:
         return sum(table.row_count for table in self._tables.values())

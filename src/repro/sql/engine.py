@@ -7,8 +7,7 @@ OBDA system executes its unfolded SQL against, and the store VIG populates.
 
 from __future__ import annotations
 
-import copy
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..concurrency import ReadWriteLock
 from .ast import (
@@ -16,13 +15,12 @@ from .ast import (
     CreateTableStatement,
     DeleteStatement,
     InsertStatement,
-    LiteralValue,
     SelectStatement,
     Statement,
     UpdateStatement,
 )
-from .catalog import Catalog, Column, ForeignKey, Table
-from .errors import ExecutionError, IntegrityError, SqlError
+from .catalog import Catalog, Table
+from .errors import ExecutionError, IntegrityError
 from .executor import ExecutionStats, Executor, QueryResult
 from .expressions import ExpressionCompiler, RowSchema
 from .parser import parse_script, parse_statement

@@ -11,7 +11,7 @@ import bisect
 import heapq
 import threading
 from collections import defaultdict
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 Key = Tuple[Any, ...]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Optional, Tuple
 
 from .errors import TypeMismatchError
 

@@ -18,10 +18,10 @@ generation phase needs:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..sql.catalog import ForeignKey, Table
+from ..sql.catalog import Table
 from ..sql.engine import Database
 from ..sql.types import Geometry, SqlType
 

@@ -14,9 +14,8 @@ from __future__ import annotations
 import random
 import string
 import time
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..sql.catalog import Table
 from ..sql.engine import Database
 from ..sql.types import Geometry, SqlType
 from .analysis import DatabaseProfile, analyze

@@ -17,13 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..obda.mapping import (
-    ConstantTermMap,
-    IriTermMap,
-    LiteralTermMap,
-    MappingAssertion,
-    MappingCollection,
-)
+from ..obda.mapping import LiteralTermMap, MappingAssertion, MappingCollection
 from ..obda.materializer import virtual_extension_sizes
 from ..sql.engine import Database
 from .analysis import DatabaseProfile, analyze

@@ -11,7 +11,7 @@ import pytest
 
 from repro.npd import Benchmark, build_benchmark
 from repro.obda import OBDAEngine, parse_obda
-from repro.owl import Ontology, QLReasoner, Role
+from repro.owl import Ontology, QLReasoner
 from repro.sql import Database
 
 EX = "http://ex.org/"

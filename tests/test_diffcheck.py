@@ -296,7 +296,7 @@ class TestOracleCatchesBugs:
         assert not verdict.ok
         # the shrinker must deliver a smaller, still-failing witness
         assert verdict.shrunk_sparql is not None
-        shrunk = parse_query(verdict.shrunk_sparql)
+        parse_query(verdict.shrunk_sparql)  # still parseable
         assert len(verdict.shrunk_sparql) < len(sparql)
         still = oracle.check("bug1", verdict.shrunk_sparql, shrink=False)
         assert not still.ok

@@ -1,15 +1,8 @@
 """Tests for the NPD benchmark assets: schema, ontology, mappings, queries,
 seed data.  Structural checks compare against the paper's headline numbers."""
 
-import pytest
 
-from repro.npd import (
-    build_npd_mappings,
-    build_npd_ontology,
-    build_query_set,
-    schema_statistics,
-    table_definitions,
-)
+from repro.npd import build_npd_mappings, schema_statistics, table_definitions
 from repro.owl import compute_stats
 from repro.sql import Database
 from repro.sql.parser import parse_select
@@ -83,7 +76,7 @@ class TestOntology:
     def test_no_orphan_axiom_entities(self, npd_benchmark):
         onto = npd_benchmark.ontology
         # every axiom entity is declared
-        from repro.owl import ClassConcept, SomeValues, SubClassOf
+        from repro.owl import ClassConcept
 
         for axiom in onto.subclass_axioms():
             for concept in (axiom.sub, axiom.sup):

@@ -116,7 +116,6 @@ class TestFullDistribution:
 
 class TestCli:
     def test_main_exports(self, tmp_path, capsys):
-        from repro.npd import SeedProfile
 
         out = str(tmp_path / "dist")
         # CLI builds its own benchmark; keep it quick with the default seed

@@ -10,7 +10,7 @@ import pytest
 
 from repro.mixer import Mixer, OBDASystemAdapter
 from repro.obda import OBDAEngine, RewritingTripleStore, materialize
-from repro.sql import mysql_profile, postgresql_profile
+from repro.sql import mysql_profile
 from repro.vig import VIG
 
 

@@ -14,7 +14,7 @@ from repro.obda import (
     parse_obda,
     serialize_obda,
 )
-from repro.rdf import IRI, Literal, XSD_INTEGER, XSD_STRING
+from repro.rdf import IRI, Literal, XSD_INTEGER
 
 
 class TestTemplate:

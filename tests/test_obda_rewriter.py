@@ -16,7 +16,6 @@ from repro.obda import (
 from repro.owl import Ontology, QLReasoner, Role
 from repro.rdf import IRI, Literal
 from repro.sparql import TriplePattern, Var
-from repro.sparql.parser import parse_query
 
 EX = "http://ex.org/"
 

@@ -1,6 +1,5 @@
 """End-to-end tests for the OBDA engine on the paper's Example 4.1."""
 
-import pytest
 
 from repro.obda import OBDAEngine, materialize, virtual_extension_sizes
 from repro.rdf import IRI, Literal

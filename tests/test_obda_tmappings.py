@@ -5,7 +5,6 @@ import pytest
 from repro.obda import (
     ConstantTermMap,
     IriTermMap,
-    LiteralTermMap,
     MappingAssertion,
     MappingCollection,
     RDF_TYPE_IRI,
@@ -13,7 +12,7 @@ from repro.obda import (
     compile_tmappings,
 )
 from repro.obda.containment import source_contains, union_branches, unwrap
-from repro.owl import Ontology, QLReasoner, Role
+from repro.owl import Ontology, QLReasoner
 from repro.rdf import IRI
 from repro.sql.parser import parse_select
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.obda import RewritingTripleStore, cq_to_triples
 from repro.obda.cq import ClassAtom, ConjunctiveQuery, DataAtom, RoleAtom
-from repro.owl import Ontology, Role
+from repro.owl import Ontology
 from repro.rdf import Graph, IRI, Literal, RDF_TYPE, XSD_INTEGER
 from repro.sparql import Var
 

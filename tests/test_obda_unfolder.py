@@ -3,17 +3,11 @@ expression translation and variable metadata."""
 
 import pytest
 
-from repro.obda import (
-    OBDAEngine,
-    Unfolder,
-    UnfoldingError,
-    VarMeta,
-    translate_expression,
-)
+from repro.obda import OBDAEngine, UnfoldingError, VarMeta, translate_expression
 from repro.obda.unfolder import var_column
 from repro.rdf import IRI, Literal, XSD_INTEGER
-from repro.sparql import BinaryExpr, CallExpr, TermExpr, Var, VarExpr, parse_query
-from repro.sql import ColumnRef, FunctionCall, IsNull, LiteralValue
+from repro.sparql import BinaryExpr, CallExpr, TermExpr, Var, VarExpr
+from repro.sql import ColumnRef, IsNull
 
 EX = "http://ex.org/"
 PRE = f"PREFIX : <{EX}>\n"

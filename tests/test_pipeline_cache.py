@@ -12,7 +12,7 @@ import pytest
 
 from repro.mixer import Mixer, OBDASystemAdapter
 from repro.obda import OBDAEngine
-from repro.sql import Database, mysql_profile, postgresql_profile
+from repro.sql import Database, mysql_profile
 from repro.sql.plan import PlanCache, compile_select
 from repro.sql.parser import parse_select
 

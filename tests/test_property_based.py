@@ -2,12 +2,11 @@
 
 import string
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.obda import Template, cq_homomorphism, prune_redundant_cqs
-from repro.obda.cq import ClassAtom, ConjunctiveQuery, RoleAtom
+from repro.obda.cq import ConjunctiveQuery, RoleAtom
 from repro.rdf import Graph, IRI, Literal, XSD_INTEGER
 from repro.rdf.ntriples import parse_line, serialize_triple
 from repro.sparql import Var

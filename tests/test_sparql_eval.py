@@ -6,10 +6,8 @@ from repro.rdf import Graph, IRI, Literal, RDF_TYPE, XSD_INTEGER
 from repro.sparql import (
     AlgBGP,
     AlgFilter,
-    AlgJoin,
     AlgLeftJoin,
     AlgUnion,
-    SparqlEvaluator,
     count_optionals,
     parse_query,
     query_graph,

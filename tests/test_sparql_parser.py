@@ -5,15 +5,11 @@ import pytest
 from repro.rdf import IRI, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
 from repro.sparql import (
     AggregateExpr,
-    BGP,
     BindPattern,
     BinaryExpr,
     CallExpr,
-    GroupPattern,
     OptionalPattern,
     SparqlParseError,
-    TermExpr,
-    TriplePattern,
     UnionPattern,
     Var,
     VarExpr,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sql import Database, IntegrityError, mysql_profile, postgresql_profile
+from repro.sql import mysql_profile, postgresql_profile
 
 
 @pytest.fixture(params=["mysql", "postgresql"])

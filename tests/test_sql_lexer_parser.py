@@ -18,14 +18,11 @@ from repro.sql import (
     IsNull,
     Join,
     LexError,
-    LiteralValue,
     NamedTable,
     ParseError,
-    SelectStatement,
     SqlType,
     Star,
     SubquerySource,
-    Token,
     TokenType,
     UnaryOp,
     UpdateStatement,

@@ -149,11 +149,6 @@ class TestGeneration:
 
     def test_cycle_columns_duplicate_or_null(self, small_db):
         profile = analyze(small_db)
-        original = {
-            v
-            for v in small_db.catalog.table("parent").column_values("loop_ref")
-            if v is not None
-        }
         VIG(small_db, seed=1, profile=profile).grow(3.0)
         grown = {
             v

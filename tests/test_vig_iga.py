@@ -14,7 +14,6 @@ from repro.rdf import IRI
 from repro.sql import Database
 from repro.vig import (
     VIG,
-    RandomGenerator,
     average_drift,
     iga_duplication,
     iga_pairs,
