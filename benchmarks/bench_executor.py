@@ -1,0 +1,345 @@
+#!/usr/bin/env python
+"""Executor perf harness: cost-based optimizer vs. the naive executor.
+
+Measures what the PR 4 physical-optimization layer buys on the NPD
+catalogue, execution time only (the compile pipeline is warmed first so
+PR 2's caches take it out of the picture):
+
+* **naive vs optimized**: every catalogue query runs under
+  ``naive_settings()`` (the pre-optimizer executor: left-to-right join
+  order, no scan sharing) and under the default cost-based settings
+  after ``ANALYZE``; identical answer bags are asserted query by query.
+* **scan sharing**: per-query shared-scan reuse counters; the gate
+  requires the cross-disjunct cache to fire on >= 5 of the 21 queries.
+* **parallel q6**: the heaviest UCQ re-runs with a 4-worker disjunct
+  pool; the gate requires >= 1.3x over the naive baseline.
+* **differential oracle** (``--oracle``): the whole catalogue is
+  cross-checked across the 5-config engine matrix with the optimizer ON,
+  so the speedup numbers are backed by three-way answer agreement.
+
+Writes ``BENCH_executor.json`` and ``BENCH_executor.txt``.  Exits
+non-zero when optimized execution is slower than naive, bags differ,
+a coverage gate fails, or the oracle reports a mismatch -- the CI
+bench-executor job uses that as its regression gate.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py --scale 0.25 --oracle
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import Counter
+from typing import Any, Dict
+
+from repro.npd import build_benchmark
+from repro.npd.seed import SeedProfile
+from repro.obda import OBDAEngine
+from repro.sql.optimizer import OptimizerSettings, naive_settings
+
+PARALLEL_QUERY = "q6"
+
+
+def parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="seed-profile scale factor (default 0.25, the acceptance scale)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="database seed")
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        help="timed repetitions per query per mode (min is reported)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="disjunct worker-pool size for the parallel probe",
+    )
+    parser.add_argument(
+        "--min-reduction",
+        type=float,
+        default=0.0,
+        help="required fractional reduction of total execution time "
+        "(0.25 = optimized must be >= 25%% faster; default 0 = never slower)",
+    )
+    parser.add_argument(
+        "--min-sharing-queries",
+        type=int,
+        default=5,
+        help="queries on which scan sharing must fire (default 5)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=1.3,
+        help=f"required {PARALLEL_QUERY} speedup of the parallel mode over "
+        "the naive baseline (default 1.3)",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="store_true",
+        help="also cross-check the catalogue across the 5-config "
+        "differential-oracle matrix (slow; used for the committed report)",
+    )
+    parser.add_argument("--json", default="BENCH_executor.json")
+    parser.add_argument("--txt", default="BENCH_executor.txt")
+    return parser.parse_args(argv)
+
+
+def _timed_runs(engine: OBDAEngine, sparql: str, runs: int):
+    """(best execution seconds, bag of answer rows) over *runs* repeats."""
+    best = None
+    bag: Counter = Counter()
+    for attempt in range(runs):
+        result = engine.execute(sparql)
+        elapsed = result.timings.execution
+        if best is None or elapsed < best:
+            best = elapsed
+        if attempt == 0:
+            bag = Counter(result.to_python_rows())
+    return best, bag
+
+
+def measure_modes(
+    engine: OBDAEngine, queries: Dict[str, str], runs: int
+) -> Dict[str, Any]:
+    database = engine.database
+    # warm the compile pipeline so only execution is on the clock
+    for sparql in queries.values():
+        engine.execute(sparql)
+
+    per_query: Dict[str, Any] = {}
+    database.set_optimizer(naive_settings())
+    naive_bags: Dict[str, Counter] = {}
+    for query_id, sparql in queries.items():
+        seconds, bag = _timed_runs(engine, sparql, runs)
+        naive_bags[query_id] = bag
+        per_query[query_id] = {"naive_seconds": seconds, "rows": sum(bag.values())}
+
+    database.analyze()
+    database.set_optimizer(OptimizerSettings())
+    sharing_queries = 0
+    bags_identical = True
+    for query_id, sparql in queries.items():
+        hits_before = database.stats.shared_scan_hits
+        seconds, bag = _timed_runs(engine, sparql, runs)
+        entry = per_query[query_id]
+        entry["optimized_seconds"] = seconds
+        entry["speedup"] = (
+            entry["naive_seconds"] / seconds if seconds > 0 else None
+        )
+        entry["shared_scan_hits"] = database.stats.shared_scan_hits - hits_before
+        entry["bag_identical"] = bag == naive_bags[query_id]
+        if entry["shared_scan_hits"] > 0:
+            sharing_queries += 1
+        if not entry["bag_identical"]:
+            bags_identical = False
+
+    naive_total = sum(q["naive_seconds"] for q in per_query.values())
+    optimized_total = sum(q["optimized_seconds"] for q in per_query.values())
+    return {
+        "per_query": per_query,
+        "naive_total_seconds": naive_total,
+        "optimized_total_seconds": optimized_total,
+        "reduction_fraction": (
+            1.0 - optimized_total / naive_total if naive_total > 0 else None
+        ),
+        "speedup_total": (
+            naive_total / optimized_total if optimized_total > 0 else None
+        ),
+        "sharing_queries": sharing_queries,
+        "bags_identical": bags_identical,
+        "queries": len(per_query),
+    }
+
+
+def measure_parallel(
+    engine: OBDAEngine,
+    sparql: str,
+    naive_seconds: float,
+    runs: int,
+    workers: int,
+) -> Dict[str, Any]:
+    database = engine.database
+    database.set_optimizer(
+        OptimizerSettings(parallel_workers=workers, parallel_threshold=workers)
+    )
+    parallel_seconds, _ = _timed_runs(engine, sparql, runs)
+    database.set_optimizer(OptimizerSettings())
+    return {
+        "query": PARALLEL_QUERY,
+        "workers": workers,
+        "naive_seconds": naive_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": (
+            naive_seconds / parallel_seconds if parallel_seconds > 0 else None
+        ),
+        "parallel_batches": database.stats.parallel_batches,
+    }
+
+
+def run_oracle_matrix(benchmark) -> Dict[str, Any]:
+    """All 21 queries x the 5-config engine matrix, optimizer ON."""
+    from repro.diffcheck import DEFAULT_MATRIX, DifferentialOracle
+
+    oracle = DifferentialOracle(
+        benchmark.database, benchmark.ontology, benchmark.mappings
+    )
+    statuses: Counter = Counter()
+    failures = []
+    for query_id in sorted(benchmark.queries, key=lambda q: int(q[1:])):
+        verdicts = oracle.check_matrix(
+            query_id, benchmark.queries[query_id].sparql, shrink=False
+        )
+        for verdict in verdicts:
+            statuses[verdict.status] += 1
+            if not verdict.ok:
+                failures.append(f"{query_id}@{verdict.config}")
+    return {
+        "configs": len(DEFAULT_MATRIX),
+        "verdicts": dict(statuses),
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def render_txt(report: Dict[str, Any]) -> str:
+    meta = report["meta"]
+    lines = [
+        f"Executor bench  scale={meta['scale']} seed={meta['seed']} "
+        f"runs={meta['runs']} profile={meta['profile']}",
+        "",
+        "naive vs optimized execution (seconds, best of runs)",
+        f"{'query':8} {'naive':>10} {'optimized':>10} {'speedup':>8} "
+        f"{'shared':>7} {'bag':>5}",
+    ]
+    modes = report["modes"]
+    for query_id, data in sorted(
+        modes["per_query"].items(), key=lambda item: int(item[0][1:])
+    ):
+        lines.append(
+            f"{query_id:8} {data['naive_seconds']:>10.6f} "
+            f"{data['optimized_seconds']:>10.6f} {data['speedup']:>7.2f}x "
+            f"{data['shared_scan_hits']:>7} "
+            f"{'ok' if data['bag_identical'] else 'DIFF':>5}"
+        )
+    lines.append(
+        f"{'TOTAL':8} {modes['naive_total_seconds']:>10.6f} "
+        f"{modes['optimized_total_seconds']:>10.6f} "
+        f"{modes['speedup_total']:>7.2f}x"
+    )
+    lines.append(
+        f"reduction: {modes['reduction_fraction']:.1%} of total execution time; "
+        f"scan sharing fired on {modes['sharing_queries']}/{modes['queries']} "
+        "queries"
+    )
+    parallel = report["parallel"]
+    lines.append("")
+    lines.append(
+        f"parallel {parallel['query']} ({parallel['workers']} workers): "
+        f"naive {parallel['naive_seconds']:.6f}s -> "
+        f"{parallel['parallel_seconds']:.6f}s = {parallel['speedup']:.2f}x"
+    )
+    oracle = report.get("oracle")
+    lines.append("")
+    if oracle is None:
+        lines.append("oracle matrix: skipped (run with --oracle)")
+    else:
+        lines.append(
+            f"oracle matrix: {oracle['configs']} configs, verdicts "
+            + json.dumps(oracle["verdicts"], sort_keys=True)
+            + (" -- ALL MATCH" if oracle["ok"] else " -- FAILURES: "
+               + ", ".join(oracle["failures"]))
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    build_started = time.perf_counter()
+    benchmark = build_benchmark(
+        seed=args.seed, profile=SeedProfile().scaled(args.scale)
+    )
+    engine = OBDAEngine(benchmark.database, benchmark.ontology, benchmark.mappings)
+    build_seconds = time.perf_counter() - build_started
+
+    queries = {qid: q.sparql for qid, q in benchmark.queries.items()}
+    modes = measure_modes(engine, queries, args.runs)
+    parallel = measure_parallel(
+        engine,
+        queries[PARALLEL_QUERY],
+        modes["per_query"][PARALLEL_QUERY]["naive_seconds"],
+        args.runs,
+        args.workers,
+    )
+    oracle = run_oracle_matrix(benchmark) if args.oracle else None
+
+    report: Dict[str, Any] = {
+        "meta": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "runs": args.runs,
+            "workers": args.workers,
+            "profile": benchmark.database.profile.name,
+            "build_seconds": build_seconds,
+            "total_rows": benchmark.database.total_rows(),
+            "statistics": benchmark.database.statistics.summary(),
+        },
+        "modes": modes,
+        "parallel": parallel,
+        "oracle": oracle,
+    }
+
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    text = render_txt(report)
+    with open(args.txt, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(text)
+    print(f"\nwrote {args.json} and {args.txt}")
+
+    failed = False
+    if not modes["bags_identical"]:
+        print("FAIL: optimized/naive answer bags differ", file=sys.stderr)
+        failed = True
+    reduction = modes["reduction_fraction"] or 0.0
+    if reduction < args.min_reduction:
+        print(
+            f"FAIL: reduction {reduction:.1%} < required "
+            f"{args.min_reduction:.1%}",
+            file=sys.stderr,
+        )
+        failed = True
+    if modes["sharing_queries"] < args.min_sharing_queries:
+        print(
+            f"FAIL: scan sharing fired on {modes['sharing_queries']} queries "
+            f"< required {args.min_sharing_queries}",
+            file=sys.stderr,
+        )
+        failed = True
+    if (parallel["speedup"] or 0.0) < args.min_parallel_speedup:
+        print(
+            f"FAIL: parallel {PARALLEL_QUERY} speedup {parallel['speedup']:.2f}x "
+            f"< required {args.min_parallel_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if oracle is not None and not oracle["ok"]:
+        print("FAIL: differential-oracle mismatches", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

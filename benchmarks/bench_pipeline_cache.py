@@ -110,6 +110,79 @@ def measure_cold_warm(engine: OBDAEngine, queries: Dict[str, str]) -> Dict[str, 
     }
 
 
+def _counter_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {key: after.get(key, 0) - before.get(key, 0) for key in after}
+
+
+def _hit_rate(hits: int, misses: int):
+    total = hits + misses
+    return hits / total if total else None
+
+
+def measure_cache_layers(engine: OBDAEngine, queries: Dict[str, str]) -> Dict[str, Any]:
+    """Per-layer hit rates, exercising each cache layer explicitly.
+
+    The layers nest: a query-cache (artifact) hit short-circuits the
+    rewrite and plan caches entirely, which is why the aggregate counters
+    in BENCH_pipeline.txt used to show plan_cache hits/entries stuck at 0
+    on a warm engine.  So each layer gets its own pass:
+
+    * **query layer** -- re-run the warm mix; every query should collapse
+      into one artifact-cache lookup;
+    * **rewrite layer** -- drop the artifact cache and re-run; the whole
+      compile pipeline runs again but the rewriter memo still holds every
+      rewriting;
+    * **plan layer** -- compile each query's unfolded SQL *text* against
+      the database twice; the second compile must come from the per-text
+      plan cache.
+    """
+    sql_texts: Dict[str, str] = {}
+    before = engine.cache_stats()
+    for query_id, sparql in queries.items():
+        sql_texts[query_id] = engine.execute(sparql).sql_text
+    query_delta = _counter_delta(before, engine.cache_stats())
+
+    engine.clear_query_cache()
+    before = engine.cache_stats()
+    for sparql in queries.values():
+        engine.execute(sparql)
+    rewrite_delta = _counter_delta(before, engine.cache_stats())
+
+    before = engine.cache_stats()
+    for text in sql_texts.values():
+        if text:
+            engine.database.compile(text)
+            engine.database.compile(text)
+    plan_delta = _counter_delta(before, engine.cache_stats())
+
+    return {
+        "query_layer": {
+            "hits": query_delta["query_cache_hits"],
+            "misses": query_delta["query_cache_misses"],
+            "hit_rate": _hit_rate(
+                query_delta["query_cache_hits"], query_delta["query_cache_misses"]
+            ),
+        },
+        "rewrite_layer": {
+            "hits": rewrite_delta["rewrite_cache_hits"],
+            "misses": rewrite_delta["rewrite_cache_misses"],
+            "hit_rate": _hit_rate(
+                rewrite_delta["rewrite_cache_hits"],
+                rewrite_delta["rewrite_cache_misses"],
+            ),
+            "query_layer_misses": rewrite_delta["query_cache_misses"],
+        },
+        "plan_layer": {
+            "hits": plan_delta["plan_cache_hits"],
+            "misses": plan_delta["plan_cache_misses"],
+            "hit_rate": _hit_rate(
+                plan_delta["plan_cache_hits"], plan_delta["plan_cache_misses"]
+            ),
+            "entries": engine.cache_stats().get("plan_cache_entries", 0),
+        },
+    }
+
+
 def measure_qmph(
     engine: OBDAEngine,
     queries: Dict[str, str],
@@ -177,6 +250,17 @@ def render_txt(report: Dict[str, Any]) -> str:
     if scaling is not None:
         lines.append(f"scaling QMpH({meta['max_clients']})/QMpH(1) = {scaling:.2f}x")
     lines.append("")
+    lines.append("per-layer cache hit rates (each layer exercised explicitly)")
+    lines.append(f"{'layer':10} {'hits':>6} {'misses':>7} {'rate':>7}")
+    for layer in ("query_layer", "rewrite_layer", "plan_layer"):
+        data = report["cache_layers"][layer]
+        rate = data["hit_rate"]
+        rate_text = f"{rate:>6.0%}" if rate is not None else f"{'-':>7}"
+        lines.append(
+            f"{layer.split('_')[0]:10} {data['hits']:>6} {data['misses']:>7} "
+            f"{rate_text}"
+        )
+    lines.append("")
     lines.append("cache counters: " + json.dumps(report["cache"], sort_keys=True))
     return "\n".join(lines)
 
@@ -193,6 +277,7 @@ def main(argv=None) -> int:
 
     all_queries = {qid: q.sparql for qid, q in benchmark.queries.items()}
     cold_warm = measure_cold_warm(engine, all_queries)
+    cache_layers = measure_cache_layers(engine, all_queries)
 
     mix_queries = {
         qid: benchmark.queries[qid].sparql for qid in tractable_queries()
@@ -220,6 +305,7 @@ def main(argv=None) -> int:
             "max_clients": client_counts[-1] if client_counts else 1,
         },
         "cold_warm": cold_warm,
+        "cache_layers": cache_layers,
         "qmph": qmph,
         "qmph_scaling": scaling,
         "cache": engine.cache_stats(),
@@ -243,6 +329,11 @@ def main(argv=None) -> int:
     ):
         print("FAIL: warm compile path not faster than cold", file=sys.stderr)
         return 1
+    for layer in ("query_layer", "rewrite_layer", "plan_layer"):
+        data = cache_layers[layer]
+        if data["hits"] == 0 and (data["hits"] + data["misses"]) > 0:
+            print(f"FAIL: {layer} never hit when exercised", file=sys.stderr)
+            return 1
     return 0
 
 

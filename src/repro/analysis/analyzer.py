@@ -27,6 +27,7 @@ from .facts import build_factbase
 from .mapping_pass import run_mapping_pass
 from .model import AnalysisReport
 from .ontology_pass import run_ontology_pass
+from .perf_pass import DEFAULT_CARDINALITY_THRESHOLD, run_perf_pass
 from .query_pass import run_query_pass
 
 QueryMap = Dict[str, Union[str, SelectQuery]]
@@ -39,6 +40,8 @@ def analyze(
     queries: Optional[QueryMap] = None,
     advisory_queries: Optional[QueryMap] = None,
     verify_data: bool = True,
+    perf: bool = True,
+    perf_threshold: float = DEFAULT_CARDINALITY_THRESHOLD,
 ) -> AnalysisReport:
     """Run obdalint end to end and return the report (with FactBase)."""
     started = time.perf_counter()
@@ -65,6 +68,18 @@ def analyze(
                 queries or {},
                 advisory_queries,
                 reasoner=reasoner,
+            )
+        )
+    if perf and queries:
+        passes.append("perf")
+        report.extend(
+            run_perf_pass(
+                database,
+                ontology,
+                mappings,
+                factbase,
+                queries,
+                threshold=perf_threshold,
             )
         )
     report.passes = tuple(passes)

@@ -75,6 +75,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip pass 3 (the 21 catalogue queries)",
     )
     parser.add_argument(
+        "--no-perf",
+        action="store_true",
+        help="skip pass 4 (PERF_NO_ACCESS_PATH cardinality lint)",
+    )
+    parser.add_argument(
+        "--perf-threshold",
+        type=float,
+        default=None,
+        metavar="ROWS",
+        help="estimated-cardinality threshold for PERF_NO_ACCESS_PATH "
+        "(default 100000)",
+    )
+    parser.add_argument(
+        "--analyze-stats",
+        action="store_true",
+        help="run the SQL engine's ANALYZE first so pass 4 estimates use "
+        "n_distinct statistics instead of raw row counts",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="also write the full report as JSON ('-' for stdout)",
@@ -112,6 +131,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.fuzz > 0:
         fuzzer = QueryFuzzer(ontology, mappings, seed=args.seed)
         advisory = {fq.id: fq.sparql for fq in fuzzer.generate(args.fuzz)}
+    if args.analyze_stats:
+        database.analyze()
+    perf_kwargs = {}
+    if args.perf_threshold is not None:
+        perf_kwargs["perf_threshold"] = args.perf_threshold
     report = analyze(
         database,
         ontology,
@@ -119,6 +143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         queries=queries,
         advisory_queries=advisory,
         verify_data=not args.no_verify_data,
+        perf=not args.no_perf,
+        **perf_kwargs,
     )
     if args.json:
         payload = report.to_json()

@@ -427,8 +427,24 @@ class OBDAEngine:
 
     # -- introspection ----------------------------------------------------------
 
-    def explain(self, sparql: str | SelectQuery) -> List[str]:
-        """Human-readable compile trace: phases, fired facts, SQL plan."""
+    def analyze_database(self) -> Dict[str, Any]:
+        """Run the SQL engine's ANALYZE pass (statistics for the cost model).
+
+        Call after data loading: the statistics stay fresh until the next
+        mutation, and the executor's cost-based join ordering uses them
+        for its cardinality estimates.  Returns the ANALYZE summary.
+        """
+        return self.database.analyze()
+
+    def explain(
+        self, sparql: str | SelectQuery, analyze: bool = False
+    ) -> List[str]:
+        """Human-readable compile trace: phases, fired facts, SQL plan.
+
+        With ``analyze=True`` the SQL plan section is an EXPLAIN ANALYZE:
+        per-join actual (and, with fresh statistics, estimated) row
+        counts plus per-disjunct row counts and timings.
+        """
         artifact, cache_hit = self._compile_query(sparql)
         unfolded = artifact.unfolded
         lines = [
@@ -457,7 +473,10 @@ class OBDAEngine:
         if unfolded.statement is not None:
             lines.append("plan:")
             lines.extend(
-                f"  {line}" for line in self.database.explain(unfolded.statement)
+                f"  {line}"
+                for line in self.database.explain(
+                    unfolded.statement, analyze=analyze
+                )
             )
         else:
             lines.append("plan: <empty result, no SQL executed>")

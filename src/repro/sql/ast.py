@@ -8,6 +8,7 @@ Expression nodes double as the exchange format between the OBDA unfolder
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .types import SqlType, format_value
@@ -39,8 +40,11 @@ class ColumnRef(Expr):
             return f"{self.qualifier}.{self.name}"
         return self.name
 
-    @property
+    @cached_property
     def key(self) -> Tuple[Optional[str], str]:
+        # cached_property writes to __dict__ directly, sidestepping the
+        # frozen-dataclass __setattr__; the node is immutable so the
+        # normalized key never changes
         return (
             self.qualifier.lower() if self.qualifier else None,
             self.name.lower(),

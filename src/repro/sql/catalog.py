@@ -290,6 +290,10 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        # ANALYZE artifact (repro.sql.stats.CatalogStatistics); owned by
+        # the Database facade, read by the executor's cost model.  Kept
+        # untyped to avoid a catalog -> stats -> catalog import cycle.
+        self.statistics = None
 
     def create_table(self, table: Table) -> Table:
         lname = table.name.lower()

@@ -23,9 +23,11 @@ from .catalog import Catalog, Table
 from .errors import ExecutionError, IntegrityError
 from .executor import ExecutionStats, Executor, QueryResult
 from .expressions import ExpressionCompiler, RowSchema
+from .optimizer import OptimizerSettings
 from .parser import parse_script, parse_statement
 from .plan import CompiledPlan, PlanCache, compile_select, refresh_plan
 from .profiles import EngineProfile, postgresql_profile
+from .stats import CatalogStatistics, collect_statistics
 
 
 class Database:
@@ -44,11 +46,15 @@ class Database:
         self,
         profile: Optional[EngineProfile] = None,
         enforce_foreign_keys: bool = True,
+        optimizer: Optional[OptimizerSettings] = None,
     ):
         self.catalog = Catalog()
         self.profile = profile or postgresql_profile()
         self.enforce_foreign_keys = enforce_foreign_keys
-        self._executor = Executor(self.catalog, self.profile)
+        self.optimizer_settings = optimizer or OptimizerSettings()
+        self._executor = Executor(
+            self.catalog, self.profile, settings=self.optimizer_settings
+        )
         self._plan_cache = PlanCache()
         self._plan_generation = 0
         self._lock = ReadWriteLock()
@@ -63,8 +69,43 @@ class Database:
         """
         with self._lock.write():
             self.profile = profile
-            self._executor = Executor(self.catalog, profile)
+            self._executor = Executor(
+                self.catalog, profile, settings=self.optimizer_settings
+            )
             self._invalidate_plans("set_profile")
+
+    # -- physical optimizer -------------------------------------------------
+
+    def set_optimizer(self, settings: OptimizerSettings) -> None:
+        """Swap the physical-optimizer switches (cost/sharing/parallel).
+
+        The settings only affect physical execution decisions, never
+        answers, so cached logical plans stay valid.
+        """
+        with self._lock.write():
+            self.optimizer_settings = settings
+            self._executor.settings = settings
+
+    def analyze(self) -> Dict[str, Any]:
+        """ANALYZE: collect per-table/per-column statistics in the catalog.
+
+        The statistics are stamped with the current plan generation and
+        marked stale by the next mutation event, exactly like cached
+        plans.  Returns a summary dict (tables/columns/rows analyzed).
+        """
+        with self._lock.write():
+            statistics = collect_statistics(self.catalog, self._plan_generation)
+            self.catalog.statistics = statistics
+            return statistics.summary()
+
+    @property
+    def statistics(self) -> Optional[CatalogStatistics]:
+        return self.catalog.statistics
+
+    @property
+    def statistics_fresh(self) -> bool:
+        statistics = self.catalog.statistics
+        return statistics is not None and statistics.fresh
 
     @property
     def stats(self) -> ExecutionStats:
@@ -193,6 +234,10 @@ class Database:
         """Flush cached plans and bump the generation (caller holds write)."""
         self._plan_generation += 1
         self._plan_cache.invalidate(reason)
+        # ANALYZE statistics follow the same invalidation discipline; the
+        # cost model ignores stale statistics (falls back to live sizes)
+        if self.catalog.statistics is not None:
+            self.catalog.statistics.stale = True
 
     def execute_script(self, sql: str) -> List[QueryResult]:
         return [self.execute(statement) for statement in parse_script(sql)]
@@ -202,7 +247,9 @@ class Database:
         result = self.execute(sql)
         return result
 
-    def explain(self, sql: Union[str, SelectStatement]) -> List[str]:
+    def explain(
+        self, sql: Union[str, SelectStatement], analyze: bool = False
+    ) -> List[str]:
         """Run a SELECT with plan tracing and return the operator trace.
 
         Unlike a cost-only EXPLAIN, this executes the query (the planner
@@ -211,6 +258,12 @@ class Database:
         first two lines report whether the logical plan was served from
         the plan cache (``plan: cached``) or freshly compiled
         (``plan: compiled``), plus the cache-key summary.
+
+        ``analyze=True`` (EXPLAIN ANALYZE) additionally annotates every
+        join with its actual output row count -- and, when ANALYZE
+        statistics are fresh, the estimated-vs-actual cardinality -- and
+        reports per-disjunct row counts and timings for UNION queries,
+        plus optimizer/statistics header lines.
         """
         plan: Optional[CompiledPlan] = None
         cached = False
@@ -238,16 +291,32 @@ class Database:
                 refresh_plan(plan, self.profile.name, self._plan_generation)
                 self._executor.stats.plan_recompiles += 1
             self._executor.trace = []
+            self._executor.analyze = analyze
             try:
                 result = self._executor.execute_plan(plan)
             finally:
                 trace = self._executor.trace or []
                 self._executor.trace = None
+                self._executor.analyze = False
         trace.append(f"Result: {len(result.rows)} rows")
         header = [
             f"plan: {'cached' if cached else 'compiled'}",
             f"plan-key: {plan.describe_key()}",
         ]
+        if analyze:
+            statistics = self.catalog.statistics
+            if statistics is None:
+                statistics_line = "statistics: none (run analyze())"
+            elif statistics.stale:
+                statistics_line = "statistics: stale (re-run analyze())"
+            else:
+                summary = statistics.summary()
+                statistics_line = (
+                    f"statistics: fresh (generation {summary['generation']}, "
+                    f"{summary['tables']} tables, {summary['rows']} rows)"
+                )
+            header.insert(1, f"optimizer: {self.optimizer_settings.describe()}")
+            header.insert(2, statistics_line)
         return header + trace
 
     # -- programmatic data loading ------------------------------------------------

@@ -21,8 +21,12 @@ much easier to reason about than a streaming Volcano design.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import math
+import operator
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -56,6 +60,12 @@ from .ast import (
 from .catalog import Catalog, Table
 from .errors import ExecutionError
 from .expressions import ExpressionCompiler, RowSchema, sql_compare
+from .optimizer import (
+    CostModel,
+    OptimizerSettings,
+    SharedScanContext,
+    scan_key,
+)
 from .plan import CompiledPlan, PlannedBlock, compile_select
 from .profiles import EngineProfile, postgresql_profile
 
@@ -79,6 +89,14 @@ class ExecutionStats:
     # sorted-index maintenance counters (aggregated from the catalog)
     index_batch_sorts: int = 0
     index_merges: int = 0
+    # cross-disjunct scan sharing (see repro.sql.optimizer)
+    shared_scan_hits: int = 0
+    shared_scan_misses: int = 0
+    shared_build_hits: int = 0
+    # cost-based physical optimization
+    build_side_swaps: int = 0
+    # parallel-UCQ batches (one per fanned-out UNION execution)
+    parallel_batches: int = 0
 
     def reset(self) -> None:
         self.rows_scanned = 0
@@ -92,6 +110,25 @@ class ExecutionStats:
         self.plan_recompiles = 0
         self.index_batch_sorts = 0
         self.index_merges = 0
+        self.shared_scan_hits = 0
+        self.shared_scan_misses = 0
+        self.shared_build_hits = 0
+        self.build_side_swaps = 0
+        self.parallel_batches = 0
+
+    def merge_worker(self, other: "ExecutionStats") -> None:
+        """Fold a parallel worker's counters into this (main) instance.
+
+        Only the counters the worker itself increments are merged; the
+        cache/index aggregates are owned by the Database facade and the
+        shared-scan context, and would double-count.
+        """
+        self.rows_scanned += other.rows_scanned
+        self.index_lookups += other.index_lookups
+        self.hash_joins += other.hash_joins
+        self.nested_loop_joins += other.nested_loop_joins
+        self.index_nl_joins += other.index_nl_joins
+        self.build_side_swaps += other.build_side_swaps
 
 
 @dataclass
@@ -167,13 +204,38 @@ def _hashable(value: Any) -> Any:
 class Executor:
     """Evaluates statements against a catalog under an engine profile."""
 
-    def __init__(self, catalog: Catalog, profile: Optional[EngineProfile] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        profile: Optional[EngineProfile] = None,
+        settings: Optional[OptimizerSettings] = None,
+    ):
         self.catalog = catalog
         self.profile = profile or postgresql_profile()
+        self.settings = settings or OptimizerSettings()
         self.stats = ExecutionStats()
         # when not None, physical-operator decisions are appended here
         # (the Database.explain facility)
         self.trace: Optional[List[str]] = None
+        # EXPLAIN ANALYZE mode: trace lines carry actual row counts,
+        # estimated-vs-actual cardinality and per-disjunct timings
+        self.analyze: bool = False
+        # active per-query shared-scan context (multi-disjunct UNIONs only)
+        self._shared: Optional[SharedScanContext] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
+        # compiled-cache layer (settings.compiled_cache): memoized scan
+        # schemas, schema concatenations and compiled expressions, keyed
+        # by object identity with the originals pinned in each entry so
+        # no id can be recycled while its entry lives
+        self._scan_schemas: Dict[Tuple[str, str], Tuple[Table, RowSchema]] = {}
+        self._concat_cache: Dict[
+            Tuple[int, int], Tuple[RowSchema, RowSchema, RowSchema]
+        ] = {}
+        self._compiled_exprs: Dict[
+            Tuple[int, int], Tuple[RowSchema, Expr, Callable[[RowT], Any]]
+        ] = {}
+        self._subquery_plans: Dict[int, Tuple[SelectStatement, CompiledPlan]] = {}
 
     def _trace(self, message: str) -> None:
         if self.trace is not None:
@@ -189,30 +251,148 @@ class Executor:
     def execute_plan(self, plan: CompiledPlan) -> QueryResult:
         """Execute a pre-compiled logical plan (see :mod:`repro.sql.plan`)."""
         blocks = plan.blocks
-        first_columns, rows = self._execute_block(blocks[0].statement, blocks[0])
-        if len(blocks) > 1:
-            self.stats.union_branches += len(blocks)
-            width = len(first_columns)
-            for block in blocks[1:]:
-                columns, branch_rows = self._execute_block(block.statement, block)
-                if len(columns) != width:
-                    raise ExecutionError(
-                        "UNION branches have different column counts: "
-                        f"{width} vs {len(columns)}"
+        if len(blocks) == 1:
+            columns, rows = self._execute_block(blocks[0].statement, blocks[0])
+            return QueryResult(columns, rows)
+        return self._execute_union(plan)
+
+    def _execute_union(self, plan: CompiledPlan) -> QueryResult:
+        """Multi-disjunct UNION: shared scans, optional parallel fan-out."""
+        blocks = plan.blocks
+        self.stats.union_branches += len(blocks)
+        owns_shared = self.settings.scan_sharing and self._shared is None
+        if owns_shared:
+            self._shared = SharedScanContext()
+        try:
+            if (
+                self.settings.parallel_enabled
+                and len(blocks) >= self.settings.parallel_threshold
+                and self.trace is None
+            ):
+                branch_results = self._execute_blocks_parallel(blocks)
+            else:
+                branch_results = []
+                for position, block in enumerate(blocks):
+                    started = time.perf_counter()
+                    columns, branch_rows = self._execute_block(
+                        block.statement, block
                     )
-                rows.extend(branch_rows)
-            if plan.dedup_needed:
-                rows = self._deduplicate(rows)
-            # ORDER BY / LIMIT of the first branch apply to the whole union
-            head = blocks[0].statement
-            if head.order_by:
-                schema = RowSchema([(None, c) for c in first_columns])
-                order_by = _resolve_ordinals(head.order_by, first_columns)
-                rows = self._order_rows(rows, order_by, schema)
-            rows = _apply_limit(rows, head.limit, head.offset)
+                    if self.analyze:
+                        elapsed_ms = (time.perf_counter() - started) * 1000.0
+                        self._trace(
+                            f"Disjunct {position + 1}/{len(blocks)}: "
+                            f"{len(branch_rows)} rows in {elapsed_ms:.2f} ms"
+                        )
+                    branch_results.append((columns, branch_rows))
+        finally:
+            if owns_shared:
+                context = self._shared
+                self._shared = None
+                if context is not None:
+                    self.stats.shared_scan_hits += context.hits
+                    self.stats.shared_scan_misses += context.misses
+                    self.stats.shared_build_hits += context.build_hits
+        first_columns = branch_results[0][0]
+        width = len(first_columns)
+        rows: List[RowT] = []
+        for columns, branch_rows in branch_results:
+            if len(columns) != width:
+                raise ExecutionError(
+                    "UNION branches have different column counts: "
+                    f"{width} vs {len(columns)}"
+                )
+            rows.extend(branch_rows)
+        if plan.dedup_needed:
+            rows = self._deduplicate(rows)
+        # ORDER BY / LIMIT of the first branch apply to the whole union
+        head = blocks[0].statement
+        if head.order_by:
+            schema = RowSchema([(None, c) for c in first_columns])
+            order_by = _resolve_ordinals(head.order_by, first_columns)
+            rows = self._order_rows(rows, order_by, schema)
+        rows = _apply_limit(rows, head.limit, head.offset)
         return QueryResult(first_columns, rows)
 
+    def _ensure_pool(self, workers: int) -> ThreadPoolExecutor:
+        if self._pool is None or self._pool_size < workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="sql-ucq"
+            )
+            self._pool_size = workers
+        return self._pool
+
+    def _execute_blocks_parallel(
+        self, blocks: Sequence[PlannedBlock]
+    ) -> List[Tuple[List[str], List[RowT]]]:
+        """Fan independent UNION disjuncts across the worker pool.
+
+        Blocks are split into one contiguous batch per worker, so each
+        worker is a single private Executor (own stats, parallelism off)
+        sharing the catalog, profile, compiled caches and the per-query
+        scan context.  Batches are concatenated strictly in block order,
+        so the output is identical to serial execution.
+        """
+        workers = min(self.settings.parallel_workers, len(blocks))
+        pool = self._ensure_pool(workers)
+        self.stats.parallel_batches += 1
+        worker_settings = dataclasses.replace(self.settings, parallel_workers=0)
+        shared = self._shared
+
+        def run_batch(
+            batch: Sequence[PlannedBlock],
+        ) -> Tuple[List[Tuple[List[str], List[RowT]]], ExecutionStats]:
+            worker = Executor(self.catalog, self.profile, settings=worker_settings)
+            worker._shared = shared
+            # compiled-cache entries are pure (schema, AST) artifacts, so
+            # sharing the dicts across workers is race-benign: a lost
+            # update just means one redundant compile
+            worker._scan_schemas = self._scan_schemas
+            worker._concat_cache = self._concat_cache
+            worker._compiled_exprs = self._compiled_exprs
+            worker._subquery_plans = self._subquery_plans
+            return [
+                worker._execute_block(block.statement, block) for block in batch
+            ], worker.stats
+
+        base, extra = divmod(len(blocks), workers)
+        batches: List[Sequence[PlannedBlock]] = []
+        start = 0
+        for worker_index in range(workers):
+            end = start + base + (1 if worker_index < extra else 0)
+            batches.append(blocks[start:end])
+            start = end
+        futures = [pool.submit(run_batch, batch) for batch in batches if batch]
+        results: List[Tuple[List[str], List[RowT]]] = []
+        first_error: Optional[Exception] = None
+        for future in futures:
+            try:
+                batch_results, worker_stats = future.result()
+            except Exception as exc:  # drain remaining futures first
+                if first_error is None:
+                    first_error = exc
+                continue
+            self.stats.merge_worker(worker_stats)
+            results.extend(batch_results)
+        if first_error is not None:
+            raise first_error
+        return results
+
     def run_subquery(self, statement: SelectStatement) -> List[RowT]:
+        # plans are pure AST artifacts, so memoizing them is safe even
+        # though subquery *results* must be recomputed every execution
+        if self.settings.compiled_cache:
+            key = id(statement)
+            entry = self._subquery_plans.get(key)
+            if entry is not None and entry[0] is statement:
+                plan = entry[1]
+            else:
+                plan = compile_select(statement)
+                if len(self._subquery_plans) >= self._COMPILE_CACHE_LIMIT:
+                    self._subquery_plans.clear()
+                self._subquery_plans[key] = (statement, plan)
+            return self.execute_plan(plan).rows
         return self.execute_select(statement).rows
 
     # ------------------------------------------------------------------
@@ -239,14 +419,7 @@ class Executor:
         # apply any conjunct not consumed by pushdown/joins
         remaining = [c for i, c in enumerate(where_conjuncts) if i not in consumed]
         if remaining:
-            predicate = conjunction(remaining)
-            assert predicate is not None
-            compiler = self._compiler(relation.schema)
-            compiled = compiler.compile(predicate)
-            relation = Relation(
-                relation.schema,
-                [row for row in relation.rows if compiled(row) is True],
-            )
+            relation = self._filter_compiled(relation, remaining)
         has_aggregates = (
             planned.has_aggregates
             if planned is not None
@@ -284,6 +457,104 @@ class Executor:
     def _compiler(self, schema: RowSchema) -> ExpressionCompiler:
         return ExpressionCompiler(schema, subquery_executor=self.run_subquery)
 
+    #: bound on each compiled-cache dict; overflow clears the whole dict
+    #: (cheap, and correct because entries are pure schema+AST artifacts)
+    _COMPILE_CACHE_LIMIT = 8192
+
+    def _compile_cached(
+        self, schema: RowSchema, expr: Expr
+    ) -> Callable[[RowT], Any]:
+        """Compile *expr* against *schema*, memoized across executions.
+
+        Cached plans re-execute the same AST objects against the same
+        (scan-schema-cached) schema objects, so identity keying turns the
+        per-disjunct expression compilation of a UCQ into dict lookups.
+        Subquery expressions are never cached: their closures embed this
+        executor's subquery runner and, transitively, data-dependent
+        state.
+        """
+        if not self.settings.compiled_cache:
+            return self._compiler(schema).compile(expr)
+        key = (id(schema), id(expr))
+        entry = self._compiled_exprs.get(key)
+        if entry is not None and entry[0] is schema and entry[1] is expr:
+            return entry[2]
+        compiled = self._compiler(schema).compile(expr)
+        if not any(
+            isinstance(node, (InSubquery, ExistsSubquery))
+            for node in _walk_expr(expr)
+        ):
+            if len(self._compiled_exprs) >= self._COMPILE_CACHE_LIMIT:
+                self._compiled_exprs.clear()
+            self._compiled_exprs[key] = (schema, expr, compiled)
+        return compiled
+
+    def _scan_schema(self, table: Table, binding: str) -> RowSchema:
+        """The (cached) row schema of one base-table scan.
+
+        DROP TABLE + CREATE TABLE under the same name produces a new
+        Table object, so the pinned-table identity check makes stale
+        entries unreachable without any invalidation hook.
+        """
+        if not self.settings.compiled_cache:
+            return RowSchema([(binding, c) for c in table.column_names])
+        key = (table.name, binding)
+        entry = self._scan_schemas.get(key)
+        if entry is not None and entry[0] is table:
+            return entry[1]
+        schema = RowSchema([(binding, c) for c in table.column_names])
+        self._scan_schemas[key] = (table, schema)
+        return schema
+
+    def _concat_schema(self, left: RowSchema, right: RowSchema) -> RowSchema:
+        """Cached schema concatenation for join outputs."""
+        if not self.settings.compiled_cache:
+            return left.concat(right)
+        key = (id(left), id(right))
+        entry = self._concat_cache.get(key)
+        if entry is not None and entry[0] is left and entry[1] is right:
+            return entry[2]
+        schema = left.concat(right)
+        if len(self._concat_cache) >= self._COMPILE_CACHE_LIMIT:
+            self._concat_cache.clear()
+        self._concat_cache[key] = (left, right, schema)
+        return schema
+
+    def _filter_compiled(
+        self, relation: Relation, conjuncts: Sequence[Expr]
+    ) -> Relation:
+        """Apply residual conjuncts through the compiled-expression cache."""
+        predicates = [
+            self._compile_cached(relation.schema, conjunct)
+            for conjunct in conjuncts
+        ]
+        return Relation(
+            relation.schema,
+            [
+                row
+                for row in relation.rows
+                if all(predicate(row) is True for predicate in predicates)
+            ],
+        )
+
+    def _combine_compiled(
+        self, schema: RowSchema, conjuncts: Sequence[Expr]
+    ) -> Optional[Callable[[RowT], Any]]:
+        """One cached predicate per conjunct, folded into a single test.
+
+        Per-conjunct AND with ``is True`` matches SQL three-valued logic:
+        a row passes a conjunction iff every conjunct is exactly TRUE.
+        """
+        if not conjuncts:
+            return None
+        predicates = [
+            self._compile_cached(schema, conjunct) for conjunct in conjuncts
+        ]
+        if len(predicates) == 1:
+            only = predicates[0]
+            return lambda row: only(row) is True
+        return lambda row: all(predicate(row) is True for predicate in predicates)
+
     # ------------------------------------------------------------------
     # FROM planning
     # ------------------------------------------------------------------
@@ -295,22 +566,30 @@ class Executor:
         consumed: Set[int],
     ) -> Relation:
         relations, join_conjuncts, left_joins = self._flatten(source)
-        if not left_joins:
-            # pushdown: WHERE conjuncts that touch exactly one relation
-            for index, conjunct in enumerate(where_conjuncts):
-                target = self._single_relation_target(conjunct, relations)
-                if target is not None:
-                    consumed.add(index)
-                    self._apply_local_predicate(target, conjunct)
-                    continue
-                # multi-relation conjuncts participate in join planning
-                if self._resolvable_in(conjunct, relations):
-                    consumed.add(index)
-                    join_conjuncts.append(conjunct)
-            relation = self._join_relations(relations, join_conjuncts)
-            return relation
-        # LEFT JOIN present: evaluate the tree structurally (no reordering)
-        return self._plan_tree(source)
+        if left_joins:
+            # LEFT JOIN present: evaluate the tree structurally (no reordering)
+            return self._plan_tree(source)
+        # pushdown: WHERE conjuncts that touch exactly one relation are
+        # grouped per relation first, so the filtered scan can be looked
+        # up in (or stored into) the shared-scan cache as one unit and the
+        # cost model can order the predicates before application
+        local: Dict[int, List[Expr]] = {}
+        for index, conjunct in enumerate(where_conjuncts):
+            target = self._single_relation_target(conjunct, relations)
+            if target is not None:
+                consumed.add(index)
+                for position, relation in enumerate(relations):
+                    if relation is target:
+                        local.setdefault(position, []).append(conjunct)
+                        break
+                continue
+            # multi-relation conjuncts participate in join planning
+            if self._resolvable_in(conjunct, relations):
+                consumed.add(index)
+                join_conjuncts.append(conjunct)
+        for position, relation in enumerate(relations):
+            self._filter_relation(relation, local.get(position, []))
+        return self._join_relations(relations, join_conjuncts)
 
     def _flatten(
         self, source: TableRef
@@ -365,9 +644,22 @@ class Executor:
         if isinstance(node, NamedTable):
             table = self.catalog.table(node.name)
             binding = (node.alias or node.name).lower()
-            schema = RowSchema([(binding, c) for c in table.column_names])
-            rows = list(table.iter_rows())
-            self.stats.rows_scanned += len(rows)
+            schema = self._scan_schema(table, binding)
+            shared_key = (
+                (table.name.lower(), frozenset())
+                if self._shared is not None
+                else None
+            )
+            rows = (
+                self._shared.lookup_scan(shared_key)
+                if shared_key is not None and self._shared is not None
+                else None
+            )
+            if rows is None:
+                rows = list(table.iter_rows())
+                self.stats.rows_scanned += len(rows)
+                if shared_key is not None and self._shared is not None:
+                    self._shared.store_scan(shared_key, rows)
             self._trace(f"SeqScan {table.name} as {binding} ({len(rows)} rows)")
             return Relation(schema, rows, binding, table)
         if isinstance(node, SubquerySource):
@@ -414,14 +706,86 @@ class Executor:
                 return None
         return target
 
+    def _filter_relation(self, relation: Relation, conjuncts: List[Expr]) -> None:
+        """Apply a relation's pushed-down conjuncts, sharing when possible.
+
+        With an active :class:`SharedScanContext`, the (table, canonical
+        predicate set) key is probed first: another UNION disjunct that
+        already produced this exact filtered scan donates its row list.
+        On a miss the predicates are applied (cost-ordered when enabled)
+        and the result is stored for the remaining disjuncts.
+        """
+        if not conjuncts:
+            return
+        shared_key = None
+        if self._shared is not None and relation.base_table is not None:
+            shared_key = scan_key(relation.base_table.name, conjuncts)
+            if shared_key is not None:
+                rows = self._shared.lookup_scan(shared_key)
+                if rows is not None:
+                    self._trace(
+                        f"SharedScan {relation.base_table.name} "
+                        f"({len(rows)} rows reused)"
+                    )
+                    relation.rows = rows
+                    return
+        for conjunct in self._order_local_predicates(relation, conjuncts):
+            self._apply_local_predicate(relation, conjunct)
+        if shared_key is not None and self._shared is not None:
+            # _apply_local_predicate always rebinds relation.rows to a
+            # fresh list, so this never aliases the unfiltered scan
+            self._shared.store_scan(shared_key, relation.rows)
+
+    def _order_local_predicates(
+        self, relation: Relation, conjuncts: List[Expr]
+    ) -> List[Expr]:
+        """Cost-based application order for pushed-down predicates.
+
+        Index-eligible predicates go first (only the first filter of a
+        relation can use an index -- afterwards the row ids are stale),
+        ranked by estimated selectivity; the rest follow most-selective
+        first so later passes touch fewer rows.
+        """
+        if not self.settings.cost_based or len(conjuncts) < 2:
+            return conjuncts
+        cost = CostModel(getattr(self.catalog, "statistics", None))
+        ranked = []
+        for position, conjunct in enumerate(conjuncts):
+            indexable = self._index_candidate(relation, conjunct)
+            selectivity = cost.predicate_selectivity(relation, conjunct)
+            ranked.append((not indexable, selectivity, position, conjunct))
+        ranked.sort(key=lambda item: item[:3])
+        return [item[3] for item in ranked]
+
+    def _index_candidate(self, relation: Relation, conjunct: Expr) -> bool:
+        """Whether an index access path exists for ``col OP literal``."""
+        table = relation.base_table
+        if table is None or not isinstance(conjunct, BinaryOp):
+            return False
+        left, right = conjunct.left, conjunct.right
+        if isinstance(right, ColumnRef) and isinstance(left, LiteralValue):
+            left, right = right, left
+            op = _mirror_op(conjunct.op)
+        else:
+            op = conjunct.op
+        if not (isinstance(left, ColumnRef) and isinstance(right, LiteralValue)):
+            return False
+        if relation.schema.try_resolve(left) is None:
+            return False
+        column = left.name.lower()
+        if op == "=":
+            return table.hash_index_for((column,)) is not None
+        if op in ("<", "<=", ">", ">="):
+            return table.sorted_index_for(column) is not None
+        return False
+
     def _apply_local_predicate(self, relation: Relation, conjunct: Expr) -> None:
         """Filter a relation in place, via an index when possible."""
         index_rows = self._try_index_scan(relation, conjunct)
         if index_rows is not None:
             relation.rows = index_rows
             return
-        compiler = self._compiler(relation.schema)
-        compiled = compiler.compile(conjunct)
+        compiled = self._compile_cached(relation.schema, conjunct)
         relation.rows = [row for row in relation.rows if compiled(row) is True]
 
     def _try_index_scan(
@@ -475,6 +839,8 @@ class Executor:
     ) -> Relation:
         if not relations:
             return Relation(RowSchema([]), [()])
+        if self.settings.cost_based and len(relations) > 1:
+            return self._join_relations_cost_based(relations, conjuncts)
         pending = list(relations)
         pending_conjuncts = list(conjuncts)
         # greedy: start from the smallest relation
@@ -504,6 +870,108 @@ class Executor:
                 [row for row in current.rows if compiled(row) is True],
             )
         return current
+
+    def _join_relations_cost_based(
+        self, relations: List[Relation], conjuncts: List[Expr]
+    ) -> Relation:
+        """Greedy System-R ordering over a precomputed equi-join graph.
+
+        The conjunct->relation incidence is resolved once up front (no
+        per-candidate schema concatenation), then each round scores only
+        the connected candidates with the cost model's join estimate.
+        Intermediates are materialized, so the *actual* cardinality feeds
+        the next round (adaptive execution -- misestimates cannot
+        compound).  Conjuncts that reference one relation, nothing, or an
+        ambiguous name are applied as a residual filter at the end,
+        matching the naive path.
+        """
+        cost = CostModel(getattr(self.catalog, "statistics", None))
+        edges: List[Tuple[Expr, frozenset]] = []
+        residual: List[Expr] = []
+        for conjunct in conjuncts:
+            owners = self._conjunct_owners(conjunct, relations)
+            if owners is not None and len(owners) >= 2:
+                edges.append((conjunct, owners))
+            else:
+                residual.append(conjunct)
+        order = sorted(range(len(relations)), key=lambda i: len(relations[i].rows))
+        start = order[0]
+        current = relations[start]
+        joined = {start}
+        pending = set(order[1:])
+        while pending:
+            best: Optional[Tuple[float, int, List[Expr]]] = None
+            for index in pending:
+                connecting = [
+                    conjunct
+                    for conjunct, owners in edges
+                    if index in owners
+                    and owners & joined
+                    and owners <= joined | {index}
+                ]
+                if not connecting:
+                    continue
+                candidate = relations[index]
+                left_keys, right_keys, _, _ = self._equi_keys(
+                    current, candidate, connecting
+                )
+                estimate = cost.join_estimate(
+                    current, candidate, left_keys, right_keys
+                )
+                if best is None or estimate < best[0]:
+                    best = (estimate, index, connecting)
+            if best is None:
+                # cross-join fallback: smallest candidate first
+                index = min(pending, key=lambda i: len(relations[i].rows))
+                candidate = relations[index]
+                estimate = float(len(current.rows)) * float(len(candidate.rows))
+                connecting = []
+            else:
+                estimate, index, connecting = best
+                candidate = relations[index]
+            pending.discard(index)
+            joined.add(index)
+            if connecting:
+                edges = [
+                    (conjunct, owners)
+                    for conjunct, owners in edges
+                    if not any(conjunct is used for used in connecting)
+                ]
+            current = self._inner_join(
+                current, candidate, connecting, estimate=estimate
+            )
+        # every >=2-owner edge is consumed the round its last owner joins;
+        # `edges` can only hold leftovers if a cross join raced one in
+        residual.extend(conjunct for conjunct, _ in edges)
+        if residual:
+            current = self._filter_compiled(current, residual)
+        return current
+
+    @staticmethod
+    def _conjunct_owners(
+        conjunct: Expr, relations: List[Relation]
+    ) -> Optional[frozenset]:
+        """Indices of the relations a conjunct references.
+
+        None when the conjunct references no columns, an unresolvable
+        column, or a name that is ambiguous across the FROM items -- all
+        cases the join search must leave to the residual filter.
+        """
+        refs = expr_columns(conjunct)
+        if not refs:
+            return None
+        owners = set()
+        for ref in refs:
+            owner = None
+            for index, relation in enumerate(relations):
+                if relation.schema.try_resolve(ref) is not None:
+                    if owner is not None:
+                        return None
+                    owner = index
+            if owner is None:
+                return None
+            owners.add(owner)
+        return frozenset(owners)
 
     def _connecting_conjuncts(
         self, left: Relation, right: Relation, conjuncts: List[Expr]
@@ -556,38 +1024,197 @@ class Executor:
             residual.append(conjunct)
         return left_keys, right_keys, equi, residual
 
-    def _inner_join(
-        self, left: Relation, right: Relation, conjuncts: Sequence[Expr]
+    def _trace_join(
+        self, message: str, estimate: Optional[float], actual: int
+    ) -> None:
+        """Join trace line; EXPLAIN ANALYZE adds est-vs-actual counts."""
+        if self.trace is None:
+            return
+        if self.analyze:
+            if estimate is not None:
+                message += f" est={estimate:.0f} actual={actual}"
+            else:
+                message += f" actual={actual}"
+        self.trace.append(message)
+
+    def _hash_build(
+        self, build: Relation, build_keys: Sequence[int]
+    ) -> Dict[Tuple[Any, ...], List[RowT]]:
+        """Build (or reuse) the hash-join bucket table for one side.
+
+        With an active shared-scan context the buckets are keyed by the
+        identity of the (shared) row list and the key positions, so
+        disjuncts hashing the same scan on the same columns build once.
+        """
+        key_positions = tuple(build_keys)
+        if self._shared is not None:
+            cached = self._shared.lookup_build(build.rows, key_positions)
+            if cached is not None:
+                return cached
+        buckets: Dict[Any, List[RowT]] = {}
+        if self.settings.compiled_cache and len(key_positions) == 1:
+            # single-key joins (the OBDA common case) bucket on the bare
+            # value; the probe side uses the same scalar keys
+            position = key_positions[0]
+            for row in build.rows:
+                value = row[position]
+                if value is None:
+                    continue
+                if isinstance(value, list):
+                    value = tuple(value)
+                buckets.setdefault(value, []).append(row)
+        else:
+            for row in build.rows:
+                key = tuple(_hashable(row[p]) for p in build_keys)
+                if any(part is None for part in key):
+                    continue
+                buckets.setdefault(key, []).append(row)
+        if self._shared is not None:
+            self._shared.store_build(build.rows, key_positions, buckets)
+        return buckets
+
+    def _index_nl_join(
+        self,
+        left: Relation,
+        right: Relation,
+        left_keys: Sequence[int],
+        index: Any,
+        schema: RowSchema,
+        compiled_residual: Optional[Callable[[RowT], Any]],
+        estimate: Optional[float],
     ) -> Relation:
-        schema = left.schema.concat(right.schema)
-        left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
-        residual_predicate = conjunction(residual)
-        compiled_residual = (
-            self._compiler(schema).compile(residual_predicate)
-            if residual_predicate is not None
-            else None
+        self.stats.index_nl_joins += 1
+        table = right.base_table
+        assert table is not None
+        output: List[RowT] = []
+        rows = table.rows
+        if self.settings.compiled_cache and len(left_keys) == 1:
+            position = left_keys[0]
+            for left_row in left.rows:
+                value = left_row[position]
+                if value is None:
+                    continue
+                if isinstance(value, list):
+                    value = tuple(value)
+                for row_id in sorted(index.lookup((value,))):
+                    right_row = rows[row_id]
+                    if right_row is None:
+                        continue
+                    combined = left_row + right_row
+                    if (
+                        compiled_residual is None
+                        or compiled_residual(combined) is True
+                    ):
+                        output.append(combined)
+        else:
+            for left_row in left.rows:
+                key = tuple(_hashable(left_row[p]) for p in left_keys)
+                if any(part is None for part in key):
+                    continue
+                for row_id in sorted(index.lookup(key)):
+                    right_row = rows[row_id]
+                    if right_row is None:
+                        continue
+                    combined = left_row + right_row
+                    if (
+                        compiled_residual is None
+                        or compiled_residual(combined) is True
+                    ):
+                        output.append(combined)
+        self._trace_join(
+            f"IndexNLJoin outer={len(left.rows)} inner={table.name}",
+            estimate,
+            len(output),
         )
+        return Relation(schema, output)
+
+    def _inner_join(
+        self,
+        left: Relation,
+        right: Relation,
+        conjuncts: Sequence[Expr],
+        estimate: Optional[float] = None,
+    ) -> Relation:
+        schema = self._concat_schema(left.schema, right.schema)
+        left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
+        compiled_residual = self._combine_compiled(schema, residual)
         output: List[RowT] = []
         if left_keys:
             if self.profile.hash_join:
+                # index-aware access path: a small probe side against an
+                # already-indexed full base table beats building a new
+                # hash table over it
+                if (
+                    self.settings.cost_based
+                    and right.base_table is not None
+                    and len(right.rows) == right.base_table.row_count
+                    and len(left.rows) * 4 <= len(right.rows)
+                ):
+                    columns = [right.schema.fields[p][1] for p in right_keys]
+                    index = right.base_table.hash_index_for(columns)
+                    if index is not None:
+                        return self._index_nl_join(
+                            left,
+                            right,
+                            left_keys,
+                            index,
+                            schema,
+                            compiled_residual,
+                            estimate,
+                        )
                 self.stats.hash_joins += 1
-                self._trace(
-                    f"HashJoin build={len(right.rows)} probe={len(left.rows)}"
+                # build-side selection: hash the smaller input
+                swap = self.settings.cost_based and len(left.rows) < len(right.rows)
+                if swap:
+                    self.stats.build_side_swaps += 1
+                build, probe = (left, right) if swap else (right, left)
+                build_keys, probe_keys = (
+                    (left_keys, right_keys) if swap else (right_keys, left_keys)
                 )
-                buckets: Dict[Tuple[Any, ...], List[RowT]] = {}
-                for row in right.rows:
-                    key = tuple(_hashable(row[p]) for p in right_keys)
-                    if any(part is None for part in key):
-                        continue
-                    buckets.setdefault(key, []).append(row)
-                for left_row in left.rows:
-                    key = tuple(_hashable(left_row[p]) for p in left_keys)
-                    if any(part is None for part in key):
-                        continue
-                    for right_row in buckets.get(key, ()):
-                        combined = left_row + right_row
-                        if compiled_residual is None or compiled_residual(combined) is True:
-                            output.append(combined)
+                buckets = self._hash_build(build, build_keys)
+                if self.settings.compiled_cache and len(probe_keys) == 1:
+                    # scalar probe keys, matching _hash_build's buckets
+                    position = probe_keys[0]
+                    empty: Tuple[RowT, ...] = ()
+                    for probe_row in probe.rows:
+                        value = probe_row[position]
+                        if value is None:
+                            continue
+                        if isinstance(value, list):
+                            value = tuple(value)
+                        for build_row in buckets.get(value, empty):
+                            combined = (
+                                build_row + probe_row
+                                if swap
+                                else probe_row + build_row
+                            )
+                            if (
+                                compiled_residual is None
+                                or compiled_residual(combined) is True
+                            ):
+                                output.append(combined)
+                else:
+                    for probe_row in probe.rows:
+                        key = tuple(_hashable(probe_row[p]) for p in probe_keys)
+                        if any(part is None for part in key):
+                            continue
+                        for build_row in buckets.get(key, ()):
+                            combined = (
+                                build_row + probe_row
+                                if swap
+                                else probe_row + build_row
+                            )
+                            if (
+                                compiled_residual is None
+                                or compiled_residual(combined) is True
+                            ):
+                                output.append(combined)
+                self._trace_join(
+                    f"HashJoin build={len(build.rows)} probe={len(probe.rows)}"
+                    + (" (swapped)" if swap else ""),
+                    estimate,
+                    len(output),
+                )
                 return Relation(schema, output)
             # index nested loop: probe right base-table index if available
             index = None
@@ -597,75 +1224,71 @@ class Executor:
                 if index is None and right.base_table.row_count > 64:
                     index = right.base_table.create_hash_index(columns)
             if index is not None:
-                self.stats.index_nl_joins += 1
-                table = right.base_table
-                assert table is not None
-                self._trace(
-                    f"IndexNLJoin outer={len(left.rows)} inner={table.name}"
+                return self._index_nl_join(
+                    left, right, left_keys, index, schema, compiled_residual, estimate
                 )
-                for left_row in left.rows:
-                    key = tuple(_hashable(left_row[p]) for p in left_keys)
-                    if any(part is None for part in key):
-                        continue
-                    for row_id in sorted(index.lookup(key)):
-                        right_row = table.rows[row_id]
-                        if right_row is None:
-                            continue
-                        combined = left_row + right_row
-                        if compiled_residual is None or compiled_residual(combined) is True:
-                            output.append(combined)
-                return Relation(schema, output)
             # derived-table auto-keying (MySQL 5.6+): equi-joins against a
             # materialized subquery get a transient hash key, counted as an
             # index NL join rather than a hash join
             self.stats.index_nl_joins += 1
-            self._trace(
+            buckets = self._hash_build(right, right_keys)
+            if self.settings.compiled_cache and len(left_keys) == 1:
+                position = left_keys[0]
+                empty = ()
+                for left_row in left.rows:
+                    value = left_row[position]
+                    if value is None:
+                        continue
+                    if isinstance(value, list):
+                        value = tuple(value)
+                    for right_row in buckets.get(value, empty):
+                        combined = left_row + right_row
+                        if (
+                            compiled_residual is None
+                            or compiled_residual(combined) is True
+                        ):
+                            output.append(combined)
+            else:
+                for left_row in left.rows:
+                    key = tuple(_hashable(left_row[p]) for p in left_keys)
+                    if any(part is None for part in key):
+                        continue
+                    for right_row in buckets.get(key, ()):
+                        combined = left_row + right_row
+                        if (
+                            compiled_residual is None
+                            or compiled_residual(combined) is True
+                        ):
+                            output.append(combined)
+            self._trace_join(
                 f"AutoKeyJoin (derived) build={len(right.rows)} "
-                f"probe={len(left.rows)}"
+                f"probe={len(left.rows)}",
+                estimate,
+                len(output),
             )
-            buckets = {}
-            for row in right.rows:
-                key = tuple(_hashable(row[p]) for p in right_keys)
-                if any(part is None for part in key):
-                    continue
-                buckets.setdefault(key, []).append(row)
-            for left_row in left.rows:
-                key = tuple(_hashable(left_row[p]) for p in left_keys)
-                if any(part is None for part in key):
-                    continue
-                for right_row in buckets.get(key, ()):
-                    combined = left_row + right_row
-                    if compiled_residual is None or compiled_residual(combined) is True:
-                        output.append(combined)
             return Relation(schema, output)
         # block nested loop fallback
         self.stats.nested_loop_joins += 1
-        self._trace(
-            f"BlockNLJoin outer={len(left.rows)} inner={len(right.rows)}"
-        )
-        predicate = conjunction(list(conjuncts))
-        compiled = (
-            self._compiler(schema).compile(predicate) if predicate is not None else None
-        )
+        compiled = self._combine_compiled(schema, list(conjuncts))
         for left_row in left.rows:
             for right_row in right.rows:
                 combined = left_row + right_row
                 if compiled is None or compiled(combined) is True:
                     output.append(combined)
+        self._trace_join(
+            f"BlockNLJoin outer={len(left.rows)} inner={len(right.rows)}",
+            estimate,
+            len(output),
+        )
         return Relation(schema, output)
 
     def _left_join(
         self, left: Relation, right: Relation, condition: Optional[Expr]
     ) -> Relation:
-        schema = left.schema.concat(right.schema)
+        schema = self._concat_schema(left.schema, right.schema)
         conjuncts = split_conjuncts(condition)
         left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
-        residual_predicate = conjunction(residual)
-        compiled_residual = (
-            self._compiler(schema).compile(residual_predicate)
-            if residual_predicate is not None
-            else None
-        )
+        compiled_residual = self._combine_compiled(schema, residual)
         null_pad = (None,) * len(right.schema)
         output: List[RowT] = []
         if left_keys and (self.profile.hash_join or len(right.rows) > 64):
@@ -689,10 +1312,7 @@ class Executor:
                     output.append(left_row + null_pad)
             return Relation(schema, output)
         self.stats.nested_loop_joins += 1
-        predicate = conjunction(conjuncts)
-        compiled = (
-            self._compiler(schema).compile(predicate) if predicate is not None else None
-        )
+        compiled = self._combine_compiled(schema, conjuncts)
         for left_row in left.rows:
             matched = False
             for right_row in right.rows:
@@ -762,9 +1382,29 @@ class Executor:
         self, statement: SelectStatement, relation: Relation
     ) -> Tuple[List[str], List[RowT]]:
         items = self._expand_items(statement.items, relation.schema)
-        compiler = self._compiler(relation.schema)
-        compiled = [compiler.compile(item.expr) for item in items]
         columns = [item.output_name for item in items]
+        if self.settings.compiled_cache and all(
+            isinstance(item.expr, ColumnRef) for item in items
+        ):
+            # pure column projection (the OBDA-unfolding common case):
+            # one itemgetter per row instead of one closure call per cell
+            positions = [relation.schema.resolve(item.expr) for item in items]
+            if len(positions) == 1:
+                position = positions[0]
+                rows = [(row[position],) for row in relation.rows]
+            else:
+                getter = operator.itemgetter(*positions)
+                rows = [getter(row) for row in relation.rows]
+            return columns, rows
+        if any(isinstance(item.expr, Star) for item in statement.items):
+            # star expansion mints fresh ColumnRefs per execution; caching
+            # them would pin transient objects for no reuse
+            compiler = self._compiler(relation.schema)
+            compiled = [compiler.compile(item.expr) for item in items]
+        else:
+            compiled = [
+                self._compile_cached(relation.schema, item.expr) for item in items
+            ]
         rows = [tuple(fn(row) for fn in compiled) for row in relation.rows]
         return columns, rows
 
@@ -863,6 +1503,21 @@ class Executor:
         if self.profile.hash_distinct:
             seen: Set[Tuple[Any, ...]] = set()
             output: List[RowT] = []
+            if self.settings.compiled_cache:
+                # rows are almost always tuples of hashable scalars, so
+                # hash the row itself; _hashable only rewrites lists, and
+                # a list in the row raises TypeError into the fallback
+                for row in rows:
+                    try:
+                        if row not in seen:
+                            seen.add(row)
+                            output.append(row)
+                    except TypeError:
+                        key = tuple(_hashable(value) for value in row)
+                        if key not in seen:
+                            seen.add(key)
+                            output.append(row)
+                return output
             for row in rows:
                 key = tuple(_hashable(value) for value in row)
                 if key not in seen:

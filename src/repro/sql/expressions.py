@@ -40,7 +40,7 @@ class RowSchema:
     unambiguous across the schema.
     """
 
-    __slots__ = ("fields", "_by_key", "_by_name")
+    __slots__ = ("fields", "_by_key", "_by_name", "_memo")
 
     def __init__(self, fields: Sequence[Tuple[Optional[str], str]]):
         self.fields: Tuple[Tuple[Optional[str], str], ...] = tuple(
@@ -53,35 +53,40 @@ class RowSchema:
             if qualifier is not None:
                 self._by_key[(qualifier, name)] = position
             self._by_name.setdefault(name, []).append(position)
+        # lookup memo, including misses; fields are immutable so entries
+        # never go stale.  Join ordering resolves the same refs against
+        # the same schemas on every execution of a cached plan.
+        self._memo: Dict[Tuple[Optional[str], str], Optional[int]] = {}
 
     def __len__(self) -> int:
         return len(self.fields)
 
     def resolve(self, ref: ColumnRef) -> int:
-        qualifier, name = ref.key
+        position = self.try_resolve(ref)
+        if position is None:
+            qualifier, name = ref.key
+            label = f"{qualifier}.{name}" if qualifier is not None else name
+            raise ExecutionError(
+                f"unknown column {label} (have {self.fields})"
+            )
+        return position
+
+    def try_resolve(self, ref: ColumnRef) -> Optional[int]:
+        key = ref.key
+        memo = self._memo
+        if key in memo:
+            return memo[key]
+        qualifier, name = key
         if qualifier is not None:
-            try:
-                return self._by_key[(qualifier, name)]
-            except KeyError as exc:
-                raise ExecutionError(
-                    f"unknown column {qualifier}.{name} "
-                    f"(have {self.fields})"
-                ) from exc
-        positions = self._by_name.get(name, [])
-        if not positions:
-            raise ExecutionError(f"unknown column {name} (have {self.fields})")
-        if len(positions) > 1:
+            position = self._by_key.get((qualifier, name))
+        else:
             # Ambiguity is tolerated when all candidate positions are join-
             # equal duplicates of the same column name (NATURAL JOIN output);
             # we pick the first, matching common engine behaviour.
-            pass
-        return positions[0]
-
-    def try_resolve(self, ref: ColumnRef) -> Optional[int]:
-        try:
-            return self.resolve(ref)
-        except ExecutionError:
-            return None
+            positions = self._by_name.get(name)
+            position = positions[0] if positions else None
+        memo[key] = position
+        return position
 
     def concat(self, other: "RowSchema") -> "RowSchema":
         return RowSchema(self.fields + other.fields)

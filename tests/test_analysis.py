@@ -72,7 +72,7 @@ class TestPristine:
         assert worst <= Severity.INFO, pristine_report.describe()
 
     def test_all_passes_ran(self, pristine_report):
-        assert pristine_report.passes == ("mapping", "ontology", "query")
+        assert pristine_report.passes == ("mapping", "ontology", "query", "perf")
 
     def test_factbase_attached(self, pristine_report):
         assert pristine_report.factbase is not None
