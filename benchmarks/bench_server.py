@@ -1,0 +1,368 @@
+#!/usr/bin/env python
+"""Serving-path perf harness: HTTP endpoint vs in-process engine.
+
+Measures what the SPARQL 1.1 Protocol layer costs (and buys) on the NPD
+mix, the way the paper's platform drives remote endpoints:
+
+* **parity gate**: every catalogue query is executed over HTTP and
+  in-process; the answer *bags* must be identical (the serving layer may
+  never change results, only deliver them).
+* **throughput series**: the tractable mix runs in the Mixer's
+  ``threads`` mode with 1/4/8 concurrent clients against (a) the HTTP
+  endpoint via :class:`SparqlEndpointAdapter` and (b) the in-process
+  engine via :class:`OBDASystemAdapter`, reporting wall-clock QMpH and
+  per-request p50/p95/p99 latency for both sides.
+* **cancellation gate**: a burst of four-way cross-product queries with
+  a short deadline; every admitted request must come back 408 within
+  one row batch of its deadline, and the bounded queue must shed the
+  overflow as 503.
+
+Writes ``BENCH_server.json`` and ``BENCH_server.txt``.  Exits non-zero
+when parity, cancellation or throughput gates fail -- the CI
+server-smoke job uses that as its regression gate.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List
+
+from repro.diffcheck.normalize import canonical_bag, compare_bags
+from repro.mixer import (
+    Mixer,
+    OBDASystemAdapter,
+    ProbedSystemAdapter,
+    SparqlEndpointAdapter,
+)
+from repro.npd import build_benchmark, tractable_queries
+from repro.npd.seed import SeedProfile
+from repro.obda import OBDAEngine
+from repro.server import ServerConfig, SparqlServer, parse_json_results
+from repro.server.metrics import percentile
+
+PREFIX = "PREFIX npdv: <http://sws.ifi.uio.no/vocab/npd-v2#>\n"
+# execution-bound: compiles to a single UCQ disjunct in milliseconds but
+# produces |wellbore_exploration_all|^4 combined rows -- it can only end
+# by cooperative cancellation
+SLOW_QUERY = PREFIX + (
+    "SELECT ?a ?b ?c ?d WHERE { "
+    "?a a npdv:ExplorationWellbore . ?b a npdv:ExplorationWellbore . "
+    "?c a npdv:ExplorationWellbore . ?d a npdv:ExplorationWellbore }"
+)
+
+
+def parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--clients", default="1,4,8", help="comma-separated client counts"
+    )
+    parser.add_argument("--runs", type=int, default=2, help="mixes per client")
+    parser.add_argument(
+        "--slow-timeout",
+        type=float,
+        default=0.3,
+        help="deadline for the cancellation gate's cross-product query",
+    )
+    parser.add_argument(
+        "--cancel-slack",
+        type=float,
+        default=1.5,
+        help="max seconds past the deadline a cancellation may take "
+        "(one row-batch of cooperative polling plus scheduling)",
+    )
+    parser.add_argument("--burst", type=int, default=6)
+    parser.add_argument("--json", default="BENCH_server.json")
+    parser.add_argument("--txt", default="BENCH_server.txt")
+    return parser.parse_args(argv)
+
+
+def http_get(url: str, timeout: float = 120.0):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def query_url(base: str, sparql: str, **params) -> str:
+    params["query"] = sparql
+    return base + "/sparql?" + urllib.parse.urlencode(params)
+
+
+def check_parity(address: str, engine: OBDAEngine, queries) -> Dict[str, Any]:
+    """All catalogue queries: HTTP JSON results vs in-process bags."""
+    mismatches: List[str] = []
+    for query_id, sparql in sorted(queries.items()):
+        status, _, body = http_get(query_url(address, sparql))
+        if status != 200:
+            mismatches.append(f"{query_id}: HTTP {status}")
+            continue
+        variables, rows = parse_json_results(body)
+        expected = engine.execute(sparql)
+        outcome = compare_bags(
+            canonical_bag(variables, rows),
+            canonical_bag(expected.variables, expected.rows),
+        )
+        if not outcome.equal:
+            mismatches.append(
+                f"{query_id}: bags differ "
+                f"(missing={len(outcome.missing)} unexpected={len(outcome.unexpected)})"
+            )
+    return {"queries": len(queries), "mismatches": mismatches}
+
+
+def measure_side(system_factory, queries, client_counts, runs) -> Dict[str, Any]:
+    """QMpH + latency percentiles per client count for one side."""
+    series: Dict[str, Any] = {}
+    for clients in client_counts:
+        latencies: List[float] = []
+        latency_lock = threading.Lock()
+
+        def probe(query_id, sparql, record):
+            # HTTP side stamps true wall time (incl. transport); the
+            # in-process side's overall phase sum is its wall equivalent
+            wall = record.quality.get("wall_seconds", record.phases.overall)
+            with latency_lock:
+                latencies.append(wall)
+
+        report = Mixer(
+            ProbedSystemAdapter(system_factory(), probe),
+            queries,
+            warmup_runs=1,
+            clients=clients,
+            mode="threads",
+        ).run(runs=runs)
+        series[str(clients)] = {
+            "qmph": report.qmph,
+            "wall_seconds": report.wall_seconds,
+            "completed_mixes": len(report.mix_seconds),
+            "errors": report.errors,
+            "requests": len(latencies),
+            "p50_ms": percentile(latencies, 0.50) * 1000 if latencies else None,
+            "p95_ms": percentile(latencies, 0.95) * 1000 if latencies else None,
+            "p99_ms": percentile(latencies, 0.99) * 1000 if latencies else None,
+        }
+    return series
+
+
+def check_cancellation(address: str, timeout: float, slack: float, burst: int):
+    """Concurrent slow queries: deadlines hold, the queue sheds load."""
+    outcomes: List[Dict[str, Any]] = []
+    lock = threading.Lock()
+
+    def fire():
+        started = time.perf_counter()
+        status, headers, _ = http_get(
+            query_url(address, SLOW_QUERY, timeout=f"{timeout}")
+        )
+        with lock:
+            outcomes.append(
+                {
+                    "status": status,
+                    "elapsed": time.perf_counter() - started,
+                    "retry_after": headers.get("Retry-After"),
+                }
+            )
+
+    threads = [threading.Thread(target=fire) for _ in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    statuses = sorted(outcome["status"] for outcome in outcomes)
+    admitted = [o for o in outcomes if o["status"] == 408]
+    worst_lag = max((o["elapsed"] - timeout for o in admitted), default=None)
+    problems: List[str] = []
+    if not admitted:
+        problems.append("no request was admitted and cancelled (expected 408s)")
+    if any(status not in (408, 503) for status in statuses):
+        problems.append(f"unexpected statuses in burst: {statuses}")
+    # queue wait counts against the deadline, so even queued-then-started
+    # requests come back within deadline + one batch
+    if worst_lag is not None and worst_lag > slack:
+        problems.append(
+            f"cancellation lag {worst_lag:.2f}s exceeds the {slack:.2f}s bound"
+        )
+    return {
+        "deadline_seconds": timeout,
+        "burst": burst,
+        "statuses": statuses,
+        "rejected_503": statuses.count(503),
+        "cancelled_408": statuses.count(408),
+        "worst_lag_seconds": worst_lag,
+        "problems": problems,
+    }
+
+
+def render_txt(report: Dict[str, Any]) -> str:
+    meta = report["meta"]
+    lines = [
+        f"Serving-path bench  scale={meta['scale']} seed={meta['seed']} "
+        f"runs={meta['runs']} workers={meta['workers']}",
+        "",
+        f"parity: {report['parity']['queries']} catalogue queries, "
+        f"{len(report['parity']['mismatches'])} mismatches",
+    ]
+    for mismatch in report["parity"]["mismatches"]:
+        lines.append(f"  ! {mismatch}")
+    lines.append("")
+    lines.append("wall-clock QMpH and per-request latency (tractable mix, threads mode)")
+    lines.append(
+        f"{'side':10} {'clients':>7} {'QMpH':>9} {'p50 ms':>9} {'p95 ms':>9} "
+        f"{'p99 ms':>9} {'requests':>9}"
+    )
+    for side in ("http", "inprocess"):
+        for clients, data in report[side].items():
+            lines.append(
+                f"{side:10} {clients:>7} {data['qmph']:>9.1f} "
+                f"{data['p50_ms']:>9.2f} {data['p95_ms']:>9.2f} "
+                f"{data['p99_ms']:>9.2f} {data['requests']:>9}"
+            )
+    lines.append("")
+    overhead = report.get("http_overhead")
+    if overhead:
+        lines.append(
+            "HTTP tax (QMpH ratio http/inprocess): "
+            + "  ".join(
+                f"{clients} clients = {ratio:.2f}" for clients, ratio in overhead.items()
+            )
+        )
+    cancel = report["cancellation"]
+    lines.append("")
+    lines.append(
+        f"cancellation gate: burst={cancel['burst']} deadline={cancel['deadline_seconds']}s "
+        f"-> {cancel['cancelled_408']}x408 {cancel['rejected_503']}x503, "
+        f"worst lag {cancel['worst_lag_seconds']:.3f}s"
+        if cancel["worst_lag_seconds"] is not None
+        else "cancellation gate: no admitted request (see problems)"
+    )
+    for problem in cancel["problems"]:
+        lines.append(f"  ! {problem}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    client_counts = [int(part) for part in args.clients.split(",") if part.strip()]
+
+    build_started = time.perf_counter()
+    benchmark = build_benchmark(
+        seed=args.seed, profile=SeedProfile().scaled(args.scale)
+    )
+    engine = OBDAEngine(benchmark.database, benchmark.ontology, benchmark.mappings)
+    engine.analyze_database()
+    build_seconds = time.perf_counter() - build_started
+
+    workers = max(4, max(client_counts))
+    config = ServerConfig(
+        port=0,
+        workers=workers,
+        queue_depth=2 * workers,
+        default_timeout=120.0,
+        max_timeout=300.0,
+    )
+    server = SparqlServer(engine, config)
+    server.start()
+    print(f"endpoint listening on {server.address}", flush=True)
+
+    try:
+        all_queries = {qid: q.sparql for qid, q in benchmark.queries.items()}
+        parity = check_parity(server.address, engine, all_queries)
+
+        mix_queries = {
+            qid: benchmark.queries[qid].sparql for qid in tractable_queries()
+        }
+        address = server.address
+        http_series = measure_side(
+            lambda: SparqlEndpointAdapter(address),
+            mix_queries,
+            client_counts,
+            args.runs,
+        )
+        inprocess_series = measure_side(
+            lambda: OBDASystemAdapter(engine), mix_queries, client_counts, args.runs
+        )
+
+        # the burst gate needs a saturable pool: a second tiny server over
+        # the same (thread-safe) engine, one worker and a one-slot queue
+        tiny = SparqlServer(
+            engine, ServerConfig(port=0, workers=1, queue_depth=1)
+        )
+        tiny.start()
+        try:
+            cancellation = check_cancellation(
+                tiny.address, args.slow_timeout, args.cancel_slack, args.burst
+            )
+        finally:
+            tiny.stop()
+    finally:
+        drained_clean = server.stop()
+
+    overhead = {}
+    for clients in client_counts:
+        http_qmph = http_series[str(clients)]["qmph"]
+        base_qmph = inprocess_series[str(clients)]["qmph"]
+        if base_qmph > 0:
+            overhead[str(clients)] = http_qmph / base_qmph
+
+    report: Dict[str, Any] = {
+        "meta": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "runs": args.runs,
+            "clients": client_counts,
+            "workers": workers,
+            "build_seconds": build_seconds,
+            "loading_seconds": engine.loading_seconds,
+            "total_rows": benchmark.database.total_rows(),
+            "drained_clean": drained_clean,
+        },
+        "parity": parity,
+        "http": http_series,
+        "inprocess": inprocess_series,
+        "http_overhead": overhead,
+        "cancellation": cancellation,
+    }
+
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    text = render_txt(report)
+    with open(args.txt, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(text)
+    print(f"\nwrote {args.json} and {args.txt}")
+
+    failed = False
+    if parity["mismatches"]:
+        print("FAIL: HTTP results differ from in-process", file=sys.stderr)
+        failed = True
+    if cancellation["problems"]:
+        print("FAIL: cancellation gate", file=sys.stderr)
+        failed = True
+    for side, series in (("http", http_series), ("inprocess", inprocess_series)):
+        for clients, data in series.items():
+            if data["errors"]:
+                print(f"FAIL: {side}@{clients} errors: {data['errors']}", file=sys.stderr)
+                failed = True
+            if not data["qmph"] > 0:
+                print(f"FAIL: {side}@{clients} produced no throughput", file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``python -m repro.server`` as a subprocess.
+
+The pytest suite exercises the serving layer in-process; this harness is
+the black-box counterpart the CI ``server-smoke`` job runs: it launches
+the real CLI, talks to it over real sockets, and checks the operational
+contract end to end:
+
+1. ``/health`` reports ok and the engine's loading time;
+2. three catalogue queries answer 200 across the whole content-
+   negotiation matrix (JSON, XML, CSV, TSV) with sane row counts;
+3. a four-way cross-product query with ``timeout=0.3`` comes back 408
+   within the deadline plus one row batch;
+4. a concurrent burst of those queries overflows the bounded queue and
+   is shed with 503 + Retry-After;
+5. SIGTERM triggers a graceful drain and the process exits 0.
+
+Exits non-zero on the first violated expectation.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/server_smoke.py --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+PREFIX = "PREFIX npdv: <http://sws.ifi.uio.no/vocab/npd-v2#>\n"
+SMOKE_QUERIES = {
+    "fields": PREFIX + "SELECT ?f WHERE { ?f a npdv:Field }",
+    "wellbores": PREFIX + "SELECT ?w WHERE { ?w a npdv:Wellbore } LIMIT 50",
+    "licences": PREFIX + "SELECT ?l WHERE { ?l a npdv:ProductionLicence }",
+}
+SLOW_QUERY = PREFIX + (
+    "SELECT ?a ?b ?c ?d WHERE { "
+    "?a a npdv:ExplorationWellbore . ?b a npdv:ExplorationWellbore . "
+    "?c a npdv:ExplorationWellbore . ?d a npdv:ExplorationWellbore }"
+)
+ACCEPT_MATRIX = {
+    "application/sparql-results+json": "application/sparql-results+json",
+    "application/sparql-results+xml": "application/sparql-results+xml",
+    "text/csv": "text/csv",
+    "text/tab-separated-values": "text/tab-separated-values",
+}
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--startup-timeout", type=float, default=300.0,
+        help="seconds to wait for the listening line",
+    )
+    parser.add_argument("--burst", type=int, default=6)
+    return parser.parse_args(argv)
+
+
+def http_get(url, headers=None, timeout=60.0):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def query_url(base, sparql, **params):
+    params["query"] = sparql
+    return base + "/sparql?" + urllib.parse.urlencode(params)
+
+
+class Check:
+    def __init__(self):
+        self.failures = []
+
+    def expect(self, condition, label):
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {label}", flush=True)
+        if not condition:
+            self.failures.append(label)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    command = [
+        sys.executable, "-m", "repro.server",
+        "--port", "0",
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--workers", "1",
+        "--queue-depth", "1",
+        "--quiet",
+    ]
+    print(f"starting: {' '.join(command)}", flush=True)
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True
+    )
+    check = Check()
+    base = None
+    try:
+        # the CLI prints one "listening on http://..." line once the
+        # benchmark is built and the socket is bound
+        deadline = time.monotonic() + args.startup_timeout
+        line = ""
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if "listening on" in line or not line:
+                break
+        match = re.search(r"listening on (http://\S+)", line)
+        if not match:
+            print(f"server never announced its address (last line: {line!r})")
+            return 1
+        base = match.group(1)
+        print(f"server up at {base}", flush=True)
+
+        status, _, body = http_get(base + "/health")
+        payload = json.loads(body)
+        check.expect(status == 200, "health answers 200")
+        check.expect(payload.get("status") == "ok", "health status is ok")
+        check.expect(
+            payload.get("loading_seconds", -1) >= 0, "health reports loading time"
+        )
+
+        for query_id, sparql in SMOKE_QUERIES.items():
+            for accept, expected_mime in ACCEPT_MATRIX.items():
+                status, headers, body = http_get(
+                    query_url(base, sparql), headers={"Accept": accept}
+                )
+                content_type = headers.get("Content-Type", "")
+                check.expect(
+                    status == 200 and content_type.startswith(expected_mime),
+                    f"{query_id} as {expected_mime}: {status}",
+                )
+                check.expect(
+                    int(headers.get("X-Row-Count", "-1")) >= 0,
+                    f"{query_id} as {expected_mime}: row count header",
+                )
+
+        started = time.perf_counter()
+        status, _, body = http_get(query_url(base, SLOW_QUERY, timeout="0.3"))
+        elapsed = time.perf_counter() - started
+        check.expect(status == 408, f"slow query times out with 408 (got {status})")
+        check.expect(
+            elapsed < 0.3 + 2.0, f"cancellation within deadline ({elapsed:.2f}s)"
+        )
+        check.expect(
+            json.loads(body).get("error") == "timeout", "408 body is structured"
+        )
+
+        statuses = []
+        lock = threading.Lock()
+
+        def fire():
+            status, headers, _ = http_get(query_url(base, SLOW_QUERY, timeout="0.3"))
+            with lock:
+                statuses.append((status, headers.get("Retry-After")))
+
+        threads = [threading.Thread(target=fire) for _ in range(args.burst)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        codes = sorted(code for code, _ in statuses)
+        check.expect(
+            503 in codes, f"burst of {args.burst} overflows the queue ({codes})"
+        )
+        check.expect(
+            all(code in (408, 503) for code in codes),
+            f"burst answers only 408/503 ({codes})",
+        )
+        check.expect(
+            all(retry for code, retry in statuses if code == 503),
+            "503 responses carry Retry-After",
+        )
+
+        status, _, _ = http_get(query_url(base, SMOKE_QUERIES["fields"]))
+        check.expect(status == 200, "pool recovered after the burst")
+
+        process.send_signal(signal.SIGTERM)
+        exit_code = process.wait(timeout=30)
+        check.expect(exit_code == 0, f"graceful drain exits 0 (got {exit_code})")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    if check.failures:
+        print(f"\nFAIL: {len(check.failures)} smoke check(s) failed")
+        return 1
+    print("\nserver smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,81 @@ profile swaps are rare exclusive events.  A readers-writer lock matches
 that profile -- N Mixer client threads execute SELECTs concurrently, and
 any mutation (INSERT/DELETE/UPDATE, CREATE INDEX, ``set_profile``) drains
 the readers first and runs alone.
+
+The module also hosts the **cooperative cancellation** protocol: a
+:class:`CancellationToken` carries an optional deadline plus an explicit
+cancel flag, and the SQL executor polls it at operator and row-batch
+boundaries.  A tripped token raises :class:`QueryCancelled` out of the
+executing thread, freeing the worker -- the mechanism the SPARQL endpoint
+uses to enforce per-request deadlines and the Mixer uses to abort
+queries exceeding ``query_timeout``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from typing import Optional
+
+
+class QueryCancelled(Exception):
+    """A query was aborted by its cancellation token.
+
+    ``reason`` is ``"cancelled"`` (explicit :meth:`CancellationToken.cancel`)
+    or ``"deadline"`` (the token's deadline passed).
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CancellationToken:
+    """A cancel flag plus optional absolute deadline (monotonic seconds).
+
+    Thread-safe by construction: the flag is a :class:`threading.Event`
+    and the deadline is immutable, so any number of executor threads can
+    poll :meth:`check` while another thread calls :meth:`cancel`.
+    Checking is cooperative -- code that never polls is never interrupted.
+    """
+
+    __slots__ = ("deadline", "_event")
+
+    def __init__(self, deadline: Optional[float] = None):
+        self.deadline = deadline
+        self._event = threading.Event()
+
+    @classmethod
+    def with_timeout(cls, seconds: Optional[float]) -> "CancellationToken":
+        """A token expiring ``seconds`` from now (no deadline when None)."""
+        if seconds is None:
+            return cls()
+        return cls(time.monotonic() + seconds)
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None when there is no deadline)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelled` if cancelled or past deadline."""
+        if self._event.is_set():
+            raise QueryCancelled("cancelled")
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise QueryCancelled("deadline")
 
 
 class ReadWriteLock:

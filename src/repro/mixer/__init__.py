@@ -15,6 +15,7 @@ from .systems import (
     ProbedSystemAdapter,
     QualityProbe,
     QueryAnsweringSystem,
+    SparqlEndpointAdapter,
     TripleStoreAdapter,
 )
 
@@ -27,6 +28,7 @@ __all__ = [
     "OBDASystemAdapter",
     "ProbedSystemAdapter",
     "QualityProbe",
+    "SparqlEndpointAdapter",
     "TripleStoreAdapter",
     "ExecutionRecord",
     "PhaseBreakdown",

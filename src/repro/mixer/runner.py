@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from ..concurrency import CancellationToken, QueryCancelled
 from .systems import ExecutionRecord, QueryAnsweringSystem
 
 
@@ -134,6 +135,18 @@ class Mixer:
         self.mode = mode
         self.think_time = think_time
         self.preflight = preflight
+        #: cancellable systems get ``query_timeout`` enforced by a
+        #: CancellationToken (the query is *aborted* mid-flight and the
+        #: client freed); others keep the legacy post-hoc detection
+        self._cancellable = bool(getattr(system, "supports_cancellation", False))
+
+    def _issue(self, query_id: str, sparql: str) -> ExecutionRecord:
+        """Run one query, enforcing ``query_timeout`` by cancellation
+        when the system supports it."""
+        if self._cancellable and self.query_timeout is not None:
+            token = CancellationToken.with_timeout(self.query_timeout)
+            return self.system.run_query(query_id, sparql, token=token)
+        return self.system.run_query(query_id, sparql)
 
     def run(self, runs: int = 3) -> MixReport:
         aborted = self._preflight_report(runs)
@@ -187,15 +200,21 @@ class Mixer:
                     continue
                 try:
                     started = time.perf_counter()
-                    self.system.run_query(query_id, sparql)
+                    self._issue(query_id, sparql)
                     elapsed = time.perf_counter() - started
                     if (
                         self.query_timeout is not None
                         and elapsed > self.query_timeout
                     ):
+                        # post-hoc path: the query *finished* but overran
+                        # (non-cancellable systems can only detect this)
                         errors[query_id] = (
                             f"timeout: {elapsed:.1f}s > {self.query_timeout:.1f}s"
                         )
+                except QueryCancelled:
+                    errors[query_id] = (
+                        f"timeout: aborted at {self.query_timeout:.1f}s"
+                    )
                 except Exception as exc:  # noqa: BLE001 - record and skip
                     errors[query_id] = f"{type(exc).__name__}: {exc}"
         return errors
@@ -250,7 +269,14 @@ class Mixer:
                 # interleave the simulated clients' streams round-robin
                 for _client in range(self.clients):
                     try:
-                        record = self.system.run_query(query_id, sparql)
+                        record = self._issue(query_id, sparql)
+                    except QueryCancelled:
+                        errors[query_id] = (
+                            f"timeout: aborted at {self.query_timeout:.1f}s"
+                        )
+                        records.pop(query_id, None)
+                        aborted = True
+                        break
                     except Exception as exc:  # noqa: BLE001
                         errors[query_id] = f"{type(exc).__name__}: {exc}"
                         records.pop(query_id, None)
@@ -311,7 +337,16 @@ class Mixer:
                     if query_id in errors:  # atomic read under the GIL
                         continue
                     try:
-                        record = self.system.run_query(query_id, sparql)
+                        record = self._issue(query_id, sparql)
+                    except QueryCancelled:
+                        with errors_lock:
+                            errors.setdefault(
+                                query_id,
+                                f"timeout: aborted at {self.query_timeout:.1f}s",
+                            )
+                        local_records.pop(query_id, None)
+                        aborted = True
+                        break
                     except Exception as exc:  # noqa: BLE001
                         with errors_lock:
                             errors.setdefault(

@@ -373,7 +373,16 @@ class OBDAEngine:
 
     # ------------------------------------------------------------------
 
-    def execute(self, sparql: str | SelectQuery) -> OBDAResult:
+    def execute(self, sparql: str | SelectQuery, token=None) -> OBDAResult:
+        """Run a SPARQL query end-to-end.
+
+        ``token`` (a :class:`repro.concurrency.CancellationToken`) makes the
+        call abortable: the SQL executor polls it at operator and row-batch
+        boundaries and the term-translation loop polls it per batch, raising
+        :class:`repro.concurrency.QueryCancelled` out of this method.
+        """
+        if token is not None:
+            token.check()
         compile_started = time.perf_counter()
         artifact, cache_hit = self._compile_query(sparql)
         compile_elapsed = time.perf_counter() - compile_started
@@ -412,16 +421,29 @@ class OBDAEngine:
         if artifact.plan is None:
             return OBDAResult(unfolded.columns, [], timings, metrics, unfolded.sql_text)
         execution_started = time.perf_counter()
-        result = self.database.execute_plan(artifact.plan)
+        result = self.database.execute_plan(artifact.plan, token=token)
         timings.execution = time.perf_counter() - execution_started
         translation_started = time.perf_counter()
-        rows = [
-            tuple(
-                _make_term(value, meta)
-                for value, meta in zip(row, unfolded.column_meta)
-            )
-            for row in result.rows
-        ]
+        column_meta = unfolded.column_meta
+        if token is None:
+            rows = [
+                tuple(
+                    _make_term(value, meta)
+                    for value, meta in zip(row, column_meta)
+                )
+                for row in result.rows
+            ]
+        else:
+            rows = []
+            for position, row in enumerate(result.rows):
+                if position % 4096 == 0:
+                    token.check()
+                rows.append(
+                    tuple(
+                        _make_term(value, meta)
+                        for value, meta in zip(row, column_meta)
+                    )
+                )
         timings.translation = time.perf_counter() - translation_started
         return OBDAResult(unfolded.columns, rows, timings, metrics, unfolded.sql_text)
 

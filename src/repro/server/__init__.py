@@ -1,0 +1,60 @@
+"""SPARQL 1.1 Protocol serving layer over the OBDA engine.
+
+Layout::
+
+    HTTP front end (http.py, one thread per connection)
+        -> admission queue + worker pool (admission.py, bounded)
+            -> OBDAEngine.execute(query, token)   # cooperative deadlines
+        -> streaming result writers (results.py)
+    observability: metrics.py, /health, /metrics
+    protocol core: app.py (transport-free, unit-testable)
+    CLI: ``python -m repro.server``
+"""
+
+from .admission import Job, RejectedError, WorkerPool
+from .app import ProtocolError, Response, ServerConfig, SparqlEndpoint
+from .http import SparqlServer
+from .metrics import LatencyRecorder, ServerMetrics
+from .results import (
+    FORMATS,
+    NotAcceptable,
+    negotiate,
+    parse_csv_results,
+    parse_json_results,
+    parse_ntriples_results,
+    parse_tsv_results,
+    parse_xml_results,
+    serialize,
+    write_csv,
+    write_json,
+    write_ntriples,
+    write_tsv,
+    write_xml,
+)
+
+__all__ = [
+    "Job",
+    "RejectedError",
+    "WorkerPool",
+    "ProtocolError",
+    "Response",
+    "ServerConfig",
+    "SparqlEndpoint",
+    "SparqlServer",
+    "LatencyRecorder",
+    "ServerMetrics",
+    "FORMATS",
+    "NotAcceptable",
+    "negotiate",
+    "serialize",
+    "write_json",
+    "write_csv",
+    "write_tsv",
+    "write_xml",
+    "write_ntriples",
+    "parse_json_results",
+    "parse_csv_results",
+    "parse_tsv_results",
+    "parse_xml_results",
+    "parse_ntriples_results",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro.server`` — serve the NPD benchmark over SPARQL.
+
+Builds the seeded benchmark at the requested scale, stands up the OBDA
+engine, runs ANALYZE so the cost-based optimizer has statistics, and
+serves until SIGTERM/SIGINT, which triggers a graceful drain (stop
+accepting, finish in-flight queries up to ``--drain`` seconds, cancel
+the rest) and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import signal
+import sys
+import threading
+import time
+
+from ..npd import build_benchmark
+from ..npd.seed import SeedProfile
+from ..obda.system import OBDAEngine
+from .app import ServerConfig
+from .http import SparqlServer
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="SPARQL 1.1 Protocol endpoint over the NPD benchmark engine",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8890, help="0 picks a free port")
+    parser.add_argument("--scale", type=float, default=1.0, help="seed scale factor")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=4, help="query worker threads")
+    parser.add_argument(
+        "--queue-depth", type=int, default=16, help="waiting requests before 503"
+    )
+    parser.add_argument(
+        "--default-timeout", type=float, default=30.0, help="seconds per query"
+    )
+    parser.add_argument(
+        "--max-timeout",
+        type=float,
+        default=120.0,
+        help="ceiling for the client timeout parameter",
+    )
+    parser.add_argument(
+        "--drain", type=float, default=5.0, help="graceful shutdown budget in seconds"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress structured request logs"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    logging.basicConfig(
+        level=logging.WARNING if args.quiet else logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+        stream=sys.stderr,
+    )
+
+    build_started = time.perf_counter()
+    benchmark = build_benchmark(
+        seed=args.seed, profile=SeedProfile().scaled(args.scale)
+    )
+    engine = OBDAEngine(benchmark.database, benchmark.ontology, benchmark.mappings)
+    engine.analyze_database()
+    build_seconds = time.perf_counter() - build_started
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout=args.default_timeout,
+        max_timeout=args.max_timeout,
+        drain_seconds=args.drain,
+    )
+    server = SparqlServer(engine, config)
+
+    stop_event = threading.Event()
+
+    def request_stop(signum, frame):
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+
+    print(
+        f"listening on {server.address} "
+        f"(scale={args.scale} seed={args.seed} build={build_seconds:.2f}s "
+        f"workers={args.workers} queue={args.queue_depth})",
+        flush=True,
+    )
+    server.start()
+    stop_event.wait()
+    print("draining...", flush=True)
+    clean = server.stop()
+    print(f"drained {'cleanly' if clean else 'with cancellations'}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Admission control: a bounded queue in front of a fixed worker pool.
+
+The HTTP front end accepts connections on its own threads, but query
+*execution* happens here, on ``workers`` dedicated threads fed by a
+queue of at most ``queue_depth`` waiting jobs.  When the queue is full
+the submit fails immediately with :class:`RejectedError` — the server
+turns that into ``503 + Retry-After`` instead of letting unbounded
+request threads pile onto the engine and collapse throughput.
+
+Time spent waiting in the queue counts against the request's deadline:
+each job carries its cancellation token and workers check it *before*
+starting execution, so a request that timed out while queued never
+occupies a worker at all.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..concurrency import CancellationToken, QueryCancelled
+
+
+class RejectedError(Exception):
+    """The admission queue is full; the caller should back off."""
+
+
+class Job:
+    """One admitted unit of work; the submitter waits on :meth:`wait`."""
+
+    __slots__ = (
+        "fn",
+        "token",
+        "enqueued_at",
+        "started_at",
+        "result",
+        "error",
+        "_done",
+    )
+
+    def __init__(self, fn: Callable[[], Any], token: Optional[CancellationToken]):
+        self.fn = fn
+        self.token = token
+        self.enqueued_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    def finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the job completes; re-raise its error if any."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    @property
+    def queue_seconds(self) -> float:
+        return (self.started_at or time.monotonic()) - self.enqueued_at
+
+
+class WorkerPool:
+    """Fixed worker threads behind a bounded admission queue."""
+
+    def __init__(self, workers: int = 4, queue_depth: int = 16):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_depth)
+        self._inflight = 0
+        self._executing: set = set()
+        self._inflight_lock = threading.Lock()
+        self._accepting = True
+        self._threads = [
+            threading.Thread(target=self._run, name=f"sparql-worker-{index}", daemon=True)
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self, fn: Callable[[], Any], token: Optional[CancellationToken] = None
+    ) -> Job:
+        """Admit a job or raise :class:`RejectedError` without blocking."""
+        if not self._accepting:
+            raise RejectedError("server is draining")
+        job = Job(fn, token)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise RejectedError(
+                f"admission queue full ({self.queue_depth} waiting, "
+                f"{self.inflight} executing)"
+            ) from None
+        return job
+
+    # -- worker loop ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.started_at = time.monotonic()
+            with self._inflight_lock:
+                self._inflight += 1
+                self._executing.add(job)
+            try:
+                if job.token is not None:
+                    # expired while queued: never start executing
+                    job.token.check()
+                job.finish(result=job.fn())
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+                job.finish(error=exc)
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= 1
+                    self._executing.discard(job)
+                self._queue.task_done()
+
+    # -- shutdown -------------------------------------------------------
+
+    def shutdown(self, drain_seconds: float = 5.0) -> bool:
+        """Graceful drain: stop admitting, let in-flight work finish.
+
+        Waits up to ``drain_seconds`` for the queue and in-flight jobs to
+        complete, then cancels the tokens of anything still running and
+        stops the workers.  Returns True when the drain was clean (no
+        job had to be cancelled).
+        """
+        self._accepting = False
+        deadline = time.monotonic() + max(0.0, drain_seconds)
+        clean = True
+        while time.monotonic() < deadline:
+            if self._queue.unfinished_tasks == 0:
+                break
+            time.sleep(0.02)
+        else:
+            clean = False
+            # cancel whatever is still queued or executing; queued jobs
+            # fail their token check when a worker picks them up
+            drained: list = []
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                drained.append(job)
+            for job in drained:
+                if job is not None:
+                    if job.token is not None:
+                        job.token.cancel()
+                    job.finish(error=QueryCancelled("cancelled"))
+                self._queue.task_done()
+            # executing jobs get their tokens tripped; cooperative
+            # cancellation returns the workers shortly after
+            with self._inflight_lock:
+                running = list(self._executing)
+            for job in running:
+                if job.token is not None:
+                    job.token.cancel()
+        for thread in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        return clean

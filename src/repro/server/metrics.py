@@ -1,0 +1,89 @@
+"""Server observability: counters and latency percentiles.
+
+Everything here is cheap enough to update on every request: counters are
+plain ints behind one lock, and latencies go into fixed-size ring
+buffers whose percentiles are computed lazily when ``/metrics`` is
+scraped, not on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+def percentile(samples: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile; None on an empty sample set."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LatencyRecorder:
+    """A bounded ring of latency samples with percentile snapshots."""
+
+    def __init__(self, capacity: int = 2048):
+        self._samples: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            samples = list(self._samples)
+            count = self._count
+            total = self._total
+        return {
+            "count": count,
+            "mean_seconds": (total / count) if count else None,
+            "p50_seconds": percentile(samples, 0.50),
+            "p95_seconds": percentile(samples, 0.95),
+            "p99_seconds": percentile(samples, 0.99),
+        }
+
+
+class ServerMetrics:
+    """All endpoint counters and per-phase latency recorders."""
+
+    PHASES = ("queue_wait", "execute", "serialize", "total")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self.latency = {phase: LatencyRecorder() for phase in self.PHASES}
+        #: engine-phase latencies (rewriting/unfolding/planning/...)
+        self.engine_phase = {
+            phase: LatencyRecorder()
+            for phase in ("rewriting", "unfolding", "planning", "execution", "translation")
+        }
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "counters": counters,
+            "latency": {
+                phase: recorder.snapshot() for phase, recorder in self.latency.items()
+            },
+            "engine_phase": {
+                phase: recorder.snapshot()
+                for phase, recorder in self.engine_phase.items()
+            },
+        }

@@ -8,7 +8,18 @@ class SparqlError(Exception):
 
 
 class SparqlParseError(SparqlError):
-    """Raised on grammar violations."""
+    """Raised on grammar violations.
+
+    ``position`` is the character offset of the offending token in the
+    query string (None when unknown); the HTTP endpoint forwards it in
+    structured 400 error bodies so clients can point at the mistake.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None):
+        if position is not None and "offset" not in message:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
 
 
 class SparqlEvalError(SparqlError):

@@ -83,7 +83,8 @@ class SparqlParser:
         if not self._accept_keyword(keyword):
             raise SparqlParseError(
                 f"expected {keyword}, got {self._current.value!r} "
-                f"at offset {self._current.position}"
+                f"at offset {self._current.position}",
+                position=self._current.position,
             )
 
     def _accept_punct(self, punct: str) -> bool:
@@ -96,7 +97,8 @@ class SparqlParser:
         if not self._accept_punct(punct):
             raise SparqlParseError(
                 f"expected {punct!r}, got {self._current.value!r} "
-                f"at offset {self._current.position}"
+                f"at offset {self._current.position}",
+                position=self._current.position,
             )
 
     def _accept_op(self, *ops: str) -> Optional[str]:
@@ -114,7 +116,8 @@ class SparqlParser:
             where = self._parse_group_graph_pattern()
             if self._current.type is not TokType.EOF:
                 raise SparqlParseError(
-                    f"trailing input {self._current.value!r} after ASK body"
+                    f"trailing input {self._current.value!r} after ASK body",
+                    position=self._current.position,
                 )
             return SelectQuery(
                 projections=(),
@@ -146,7 +149,9 @@ class SparqlParser:
                 else:
                     break
             if not group_items:
-                raise SparqlParseError("empty GROUP BY")
+                raise SparqlParseError(
+                    "empty GROUP BY", position=self._current.position
+                )
             group_by = tuple(group_items)
         if self._accept_keyword("HAVING"):
             having_items = []
@@ -154,7 +159,9 @@ class SparqlParser:
                 having_items.append(self._parse_expression())
                 self._expect_punct(")")
             if not having_items:
-                raise SparqlParseError("empty HAVING")
+                raise SparqlParseError(
+                    "empty HAVING", position=self._current.position
+                )
             having = tuple(having_items)
         if self._accept_keyword("ORDER"):
             self._expect_keyword("BY")
@@ -169,7 +176,8 @@ class SparqlParser:
         if self._current.type is not TokType.EOF:
             raise SparqlParseError(
                 f"trailing input {self._current.value!r} at offset "
-                f"{self._current.position}"
+                f"{self._current.position}",
+                position=self._current.position,
             )
         return SelectQuery(
             projections=tuple(projections),
@@ -188,17 +196,24 @@ class SparqlParser:
         if token.type is TokType.NUMBER and token.value.isdigit():
             self._advance()
             return int(token.value)
-        raise SparqlParseError(f"expected integer, got {token.value!r}")
+        raise SparqlParseError(
+            f"expected integer, got {token.value!r}", position=token.position
+        )
 
     def _parse_prefix(self) -> None:
         token = self._current
         if token.type is not TokType.PNAME or not token.value.endswith(":"):
-            raise SparqlParseError(f"expected prefix name, got {token.value!r}")
+            raise SparqlParseError(
+                f"expected prefix name, got {token.value!r}",
+                position=token.position,
+            )
         self._advance()
         prefix = token.value[:-1]
         iri_token = self._current
         if iri_token.type is not TokType.IRI:
-            raise SparqlParseError("expected IRI after prefix name")
+            raise SparqlParseError(
+                "expected IRI after prefix name", position=iri_token.position
+            )
         self._advance()
         self._prefixes[prefix] = iri_token.value
 
@@ -218,14 +233,18 @@ class SparqlParser:
                 self._expect_keyword("AS")
                 var_token = self._current
                 if var_token.type is not TokType.VAR:
-                    raise SparqlParseError("expected variable after AS")
+                    raise SparqlParseError(
+                        "expected variable after AS", position=var_token.position
+                    )
                 self._advance()
                 self._expect_punct(")")
                 projections.append(Projection(Var(var_token.value), expression))
             else:
                 break
         if not projections:
-            raise SparqlParseError("empty SELECT clause")
+            raise SparqlParseError(
+                "empty SELECT clause", position=self._current.position
+            )
         return projections
 
     def _parse_order_conditions(self) -> List[OrderCondition]:
@@ -244,7 +263,9 @@ class SparqlParser:
             else:
                 break
         if not conditions:
-            raise SparqlParseError("empty ORDER BY")
+            raise SparqlParseError(
+                "empty ORDER BY", position=self._current.position
+            )
         return conditions
 
     # -- group graph patterns --------------------------------------------------------
@@ -277,7 +298,10 @@ class SparqlParser:
                 self._expect_keyword("AS")
                 var_token = self._current
                 if var_token.type is not TokType.VAR:
-                    raise SparqlParseError("expected variable after AS in BIND")
+                    raise SparqlParseError(
+                        "expected variable after AS in BIND",
+                        position=var_token.position,
+                    )
                 self._advance()
                 self._expect_punct(")")
                 elements.append(BindPattern(expression, Var(var_token.value)))
@@ -306,7 +330,8 @@ class SparqlParser:
                 ):
                     raise SparqlParseError(
                         f"expected '.' or '}}' after triples, got "
-                        f"{self._current.value!r} at offset {self._current.position}"
+                        f"{self._current.value!r} at offset {self._current.position}",
+                        position=self._current.position,
                     )
         flush_triples()
         return GroupPattern(tuple(elements), tuple(filters))
@@ -362,7 +387,8 @@ class SparqlParser:
             self._advance()
             return self._expand_pname(token.value)
         raise SparqlParseError(
-            f"expected predicate, got {token.value!r} at offset {token.position}"
+            f"expected predicate, got {token.value!r} at offset {token.position}",
+            position=token.position,
         )
 
     def _parse_term_or_bnode_list(
@@ -403,7 +429,8 @@ class SparqlParser:
             self._advance()
             return Literal(token.value.lower(), XSD_BOOLEAN)
         raise SparqlParseError(
-            f"expected RDF term, got {token.value!r} at offset {token.position}"
+            f"expected RDF term, got {token.value!r} at offset {token.position}",
+            position=token.position,
         )
 
     def _parse_literal_tail(self, lexical: str) -> Literal:
@@ -418,7 +445,9 @@ class SparqlParser:
             if token.type is TokType.PNAME:
                 self._advance()
                 return Literal(lexical, self._expand_pname(token.value).value)
-            raise SparqlParseError("expected datatype IRI after ^^")
+            raise SparqlParseError(
+                "expected datatype IRI after ^^", position=token.position
+            )
         return Literal(lexical)
 
     def _expand_pname(self, pname: str) -> IRI:
@@ -539,7 +568,8 @@ class SparqlParser:
             return self._parse_call(token.value)
         raise SparqlParseError(
             f"unexpected token {token.value!r} in expression at offset "
-            f"{token.position}"
+            f"{token.position}",
+            position=token.position,
         )
 
     def _parse_cast_tail(self, datatype: IRI) -> Expression:
@@ -553,7 +583,10 @@ class SparqlParser:
         if self._accept_op("*"):
             self._expect_punct(")")
             if name != "COUNT":
-                raise SparqlParseError(f"'*' only valid in COUNT, not {name}")
+                raise SparqlParseError(
+                    f"'*' only valid in COUNT, not {name}",
+                    position=self._current.position,
+                )
             return AggregateExpr("COUNT", None, distinct)
         argument = self._parse_expression()
         self._expect_punct(")")

@@ -73,7 +73,8 @@ def tokenize(text: str) -> List[Tok]:
         match = _TOKEN_RE.match(text, position)
         if not match:
             raise SparqlParseError(
-                f"unexpected character {text[position]!r} at offset {position}"
+                f"unexpected character {text[position]!r} at offset {position}",
+                position=position,
             )
         position = match.end()
         kind = match.lastgroup
@@ -103,7 +104,8 @@ def tokenize(text: str) -> List[Tok]:
                 tokens.append(Tok(TokType.KEYWORD, upper, start))
             else:
                 raise SparqlParseError(
-                    f"unexpected bare word {value!r} at offset {start}"
+                    f"unexpected bare word {value!r} at offset {start}",
+                    position=start,
                 )
         elif kind == "op":
             tokens.append(Tok(TokType.OP, value, start))

@@ -211,8 +211,14 @@ class Database:
             raise ExecutionError("compile() only applies to SELECT statements")
         return self._compile_statement(sql, None)
 
-    def execute_plan(self, plan: CompiledPlan) -> QueryResult:
-        """Execute a compiled plan, refreshing it first if it went stale."""
+    def execute_plan(self, plan: CompiledPlan, token=None) -> QueryResult:
+        """Execute a compiled plan, refreshing it first if it went stale.
+
+        ``token`` (a :class:`repro.concurrency.CancellationToken`) arms
+        cooperative cancellation for this call only: the executor stores it
+        thread-locally, so concurrent readers sharing this Database are
+        unaffected, and it is always cleared on exit.
+        """
         with self._lock.read():
             if (
                 plan.generation != self._plan_generation
@@ -220,7 +226,13 @@ class Database:
             ):
                 refresh_plan(plan, self.profile.name, self._plan_generation)
                 self._executor.stats.plan_recompiles += 1
-            return self._executor.execute_plan(plan)
+            if token is None:
+                return self._executor.execute_plan(plan)
+            self._executor.set_cancel_token(token)
+            try:
+                return self._executor.execute_plan(plan)
+            finally:
+                self._executor.set_cancel_token(None)
 
     def _compile_statement(
         self, statement: SelectStatement, sql_text: Optional[str]

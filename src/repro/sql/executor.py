@@ -25,6 +25,7 @@ import dataclasses
 import functools
 import math
 import operator
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -220,8 +221,12 @@ class Executor:
         # EXPLAIN ANALYZE mode: trace lines carry actual row counts,
         # estimated-vs-actual cardinality and per-disjunct timings
         self.analyze: bool = False
-        # active per-query shared-scan context (multi-disjunct UNIONs only)
-        self._shared: Optional[SharedScanContext] = None
+        # active per-query shared-scan context (multi-disjunct UNIONs
+        # only); thread-local because the Database facade shares one
+        # Executor across concurrent request threads — instance state
+        # here would let one query's teardown null the context out from
+        # under another thread's in-flight union
+        self._shared_state = threading.local()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
         # compiled-cache layer (settings.compiled_cache): memoized scan
@@ -236,10 +241,66 @@ class Executor:
             Tuple[int, int], Tuple[RowSchema, Expr, Callable[[RowT], Any]]
         ] = {}
         self._subquery_plans: Dict[int, Tuple[SelectStatement, CompiledPlan]] = {}
+        # per-thread cooperative-cancellation token (the Database facade
+        # shares one Executor across concurrent request threads, so the
+        # token must be thread-local rather than instance state)
+        self._cancel_state = threading.local()
 
     def _trace(self, message: str) -> None:
         if self.trace is not None:
             self.trace.append(message)
+
+    @property
+    def _shared(self) -> Optional[SharedScanContext]:
+        """This thread's active shared-scan context (None when unset)."""
+        return getattr(self._shared_state, "context", None)
+
+    @_shared.setter
+    def _shared(self, context: Optional[SharedScanContext]) -> None:
+        # the parallel fan-out assigns this on worker Executors from the
+        # pool threads that execute their batches, so the thread-local
+        # write lands exactly where the batch will read it
+        self._shared_state.context = context
+
+    # -- cooperative cancellation --------------------------------------
+
+    #: rows between in-loop cancellation polls (scan/probe/project loops)
+    CANCEL_BATCH_ROWS = 4096
+
+    @property
+    def cancel_token(self):
+        """This thread's active cancellation token (None when unset)."""
+        return getattr(self._cancel_state, "token", None)
+
+    def set_cancel_token(self, token) -> None:
+        self._cancel_state.token = token
+
+    def _check_cancel(self) -> None:
+        """Operator-boundary poll: raise QueryCancelled if the token tripped."""
+        token = self.cancel_token
+        if token is not None:
+            token.check()
+
+    def _cancellable_rows(
+        self, rows: Sequence[RowT], interval: Optional[int] = None
+    ):
+        """Wrap a row list with periodic token polls (row-batch boundary).
+
+        Returns the list unchanged when no token is active, so the hot
+        path pays a single attribute lookup per operator, never per row.
+        """
+        token = self.cancel_token
+        if token is None:
+            return rows
+        step = interval or self.CANCEL_BATCH_ROWS
+
+        def checked():
+            for position, row in enumerate(rows):
+                if position % step == 0:
+                    token.check()
+                yield row
+
+        return checked()
 
     # ------------------------------------------------------------------
     # public API
@@ -273,6 +334,7 @@ class Executor:
             else:
                 branch_results = []
                 for position, block in enumerate(blocks):
+                    self._check_cancel()
                     started = time.perf_counter()
                     columns, branch_rows = self._execute_block(
                         block.statement, block
@@ -339,12 +401,16 @@ class Executor:
         self.stats.parallel_batches += 1
         worker_settings = dataclasses.replace(self.settings, parallel_workers=0)
         shared = self._shared
+        # propagate this request's cancellation token into the pool threads
+        # (the token is thread-local here, so it must travel explicitly)
+        token = self.cancel_token
 
         def run_batch(
             batch: Sequence[PlannedBlock],
         ) -> Tuple[List[Tuple[List[str], List[RowT]]], ExecutionStats]:
             worker = Executor(self.catalog, self.profile, settings=worker_settings)
             worker._shared = shared
+            worker.set_cancel_token(token)
             # compiled-cache entries are pure (schema, AST) artifacts, so
             # sharing the dicts across workers is race-benign: a lost
             # update just means one redundant compile
@@ -404,6 +470,7 @@ class Executor:
         statement: SelectStatement,
         planned: Optional[PlannedBlock] = None,
     ) -> Tuple[List[str], List[RowT]]:
+        self._check_cancel()
         # the conjunct list is read-only here; sharing it across
         # executions of a cached plan is safe
         where_conjuncts = (
@@ -532,7 +599,7 @@ class Executor:
             relation.schema,
             [
                 row
-                for row in relation.rows
+                for row in self._cancellable_rows(relation.rows)
                 if all(predicate(row) is True for predicate in predicates)
             ],
         )
@@ -786,7 +853,11 @@ class Executor:
             relation.rows = index_rows
             return
         compiled = self._compile_cached(relation.schema, conjunct)
-        relation.rows = [row for row in relation.rows if compiled(row) is True]
+        relation.rows = [
+            row
+            for row in self._cancellable_rows(relation.rows)
+            if compiled(row) is True
+        ]
 
     def _try_index_scan(
         self, relation: Relation, conjunct: Expr
@@ -1090,7 +1161,7 @@ class Executor:
         rows = table.rows
         if self.settings.compiled_cache and len(left_keys) == 1:
             position = left_keys[0]
-            for left_row in left.rows:
+            for left_row in self._cancellable_rows(left.rows):
                 value = left_row[position]
                 if value is None:
                     continue
@@ -1107,7 +1178,7 @@ class Executor:
                     ):
                         output.append(combined)
         else:
-            for left_row in left.rows:
+            for left_row in self._cancellable_rows(left.rows):
                 key = tuple(_hashable(left_row[p]) for p in left_keys)
                 if any(part is None for part in key):
                     continue
@@ -1135,6 +1206,7 @@ class Executor:
         conjuncts: Sequence[Expr],
         estimate: Optional[float] = None,
     ) -> Relation:
+        self._check_cancel()
         schema = self._concat_schema(left.schema, right.schema)
         left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
         compiled_residual = self._combine_compiled(schema, residual)
@@ -1176,7 +1248,7 @@ class Executor:
                     # scalar probe keys, matching _hash_build's buckets
                     position = probe_keys[0]
                     empty: Tuple[RowT, ...] = ()
-                    for probe_row in probe.rows:
+                    for probe_row in self._cancellable_rows(probe.rows):
                         value = probe_row[position]
                         if value is None:
                             continue
@@ -1194,7 +1266,7 @@ class Executor:
                             ):
                                 output.append(combined)
                 else:
-                    for probe_row in probe.rows:
+                    for probe_row in self._cancellable_rows(probe.rows):
                         key = tuple(_hashable(probe_row[p]) for p in probe_keys)
                         if any(part is None for part in key):
                             continue
@@ -1235,7 +1307,7 @@ class Executor:
             if self.settings.compiled_cache and len(left_keys) == 1:
                 position = left_keys[0]
                 empty = ()
-                for left_row in left.rows:
+                for left_row in self._cancellable_rows(left.rows):
                     value = left_row[position]
                     if value is None:
                         continue
@@ -1249,7 +1321,7 @@ class Executor:
                         ):
                             output.append(combined)
             else:
-                for left_row in left.rows:
+                for left_row in self._cancellable_rows(left.rows):
                     key = tuple(_hashable(left_row[p]) for p in left_keys)
                     if any(part is None for part in key):
                         continue
@@ -1267,11 +1339,13 @@ class Executor:
                 len(output),
             )
             return Relation(schema, output)
-        # block nested loop fallback
+        # block nested loop fallback; the inner loop is the row-batch
+        # boundary here -- a cross join's cost is outer x inner, so outer
+        # polls alone could stall for a huge inner relation
         self.stats.nested_loop_joins += 1
         compiled = self._combine_compiled(schema, list(conjuncts))
-        for left_row in left.rows:
-            for right_row in right.rows:
+        for left_row in self._cancellable_rows(left.rows, interval=64):
+            for right_row in self._cancellable_rows(right.rows):
                 combined = left_row + right_row
                 if compiled is None or compiled(combined) is True:
                     output.append(combined)
@@ -1285,6 +1359,7 @@ class Executor:
     def _left_join(
         self, left: Relation, right: Relation, condition: Optional[Expr]
     ) -> Relation:
+        self._check_cancel()
         schema = self._concat_schema(left.schema, right.schema)
         conjuncts = split_conjuncts(condition)
         left_keys, right_keys, _, residual = self._equi_keys(left, right, conjuncts)
@@ -1299,7 +1374,7 @@ class Executor:
                 if any(part is None for part in key):
                     continue
                 buckets.setdefault(key, []).append(row)
-            for left_row in left.rows:
+            for left_row in self._cancellable_rows(left.rows):
                 key = tuple(_hashable(left_row[p]) for p in left_keys)
                 matched = False
                 if not any(part is None for part in key):
@@ -1313,9 +1388,9 @@ class Executor:
             return Relation(schema, output)
         self.stats.nested_loop_joins += 1
         compiled = self._combine_compiled(schema, conjuncts)
-        for left_row in left.rows:
+        for left_row in self._cancellable_rows(left.rows, interval=64):
             matched = False
-            for right_row in right.rows:
+            for right_row in self._cancellable_rows(right.rows):
                 combined = left_row + right_row
                 if compiled is None or compiled(combined) is True:
                     output.append(combined)
@@ -1325,6 +1400,7 @@ class Executor:
         return Relation(schema, output)
 
     def _natural_join(self, left: Relation, right: Relation) -> Relation:
+        self._check_cancel()
         left_names = [name for _, name in left.schema.fields]
         right_names = [name for _, name in right.schema.fields]
         shared = [name for name in left_names if name in right_names]
@@ -1381,6 +1457,7 @@ class Executor:
     def _project(
         self, statement: SelectStatement, relation: Relation
     ) -> Tuple[List[str], List[RowT]]:
+        self._check_cancel()
         items = self._expand_items(statement.items, relation.schema)
         columns = [item.output_name for item in items]
         if self.settings.compiled_cache and all(
@@ -1391,10 +1468,15 @@ class Executor:
             positions = [relation.schema.resolve(item.expr) for item in items]
             if len(positions) == 1:
                 position = positions[0]
-                rows = [(row[position],) for row in relation.rows]
+                rows = [
+                    (row[position],)
+                    for row in self._cancellable_rows(relation.rows)
+                ]
             else:
                 getter = operator.itemgetter(*positions)
-                rows = [getter(row) for row in relation.rows]
+                rows = [
+                    getter(row) for row in self._cancellable_rows(relation.rows)
+                ]
             return columns, rows
         if any(isinstance(item.expr, Star) for item in statement.items):
             # star expansion mints fresh ColumnRefs per execution; caching
@@ -1405,7 +1487,10 @@ class Executor:
             compiled = [
                 self._compile_cached(relation.schema, item.expr) for item in items
             ]
-        rows = [tuple(fn(row) for fn in compiled) for row in relation.rows]
+        rows = [
+            tuple(fn(row) for fn in compiled)
+            for row in self._cancellable_rows(relation.rows)
+        ]
         return columns, rows
 
     @staticmethod
@@ -1417,6 +1502,7 @@ class Executor:
     def _aggregate(
         self, statement: SelectStatement, relation: Relation
     ) -> Tuple[List[str], List[RowT]]:
+        self._check_cancel()
         items = self._expand_items(statement.items, relation.schema)
         compiler = self._compiler(relation.schema)
         # collect aggregate calls from items + having
@@ -1437,7 +1523,7 @@ class Executor:
         # group rows
         groups: Dict[Tuple[Any, ...], List[RowT]] = {}
         order: List[Tuple[Any, ...]] = []
-        for row in relation.rows:
+        for row in self._cancellable_rows(relation.rows):
             key = tuple(_hashable(fn(row)) for fn in compiled_groups)
             if key not in groups:
                 groups[key] = []
@@ -1496,6 +1582,7 @@ class Executor:
         return columns, projected
 
     def _deduplicate(self, rows: List[RowT]) -> List[RowT]:
+        self._check_cancel()
         self._trace(
             f"Distinct ({'hash' if self.profile.hash_distinct else 'sort'}) "
             f"over {len(rows)} rows"
@@ -1539,6 +1626,7 @@ class Executor:
     def _order_rows(
         self, rows: List[RowT], order_by: Sequence[OrderItem], schema: RowSchema
     ) -> List[RowT]:
+        self._check_cancel()
         compiler = ExpressionCompiler(schema, subquery_executor=self.run_subquery)
         # qualified refs (t.b) may survive into post-projection ordering
         # when the projection renamed them; fall back to the bare name

@@ -147,3 +147,45 @@ class TestConcurrentDml:
         final = db.execute(select)
         assert dict(final.rows) == {"a": 200, "b": 200}
         assert db.plan_cache.last_invalidation_reason == "insert"
+
+
+class TestConcurrentSharedScans:
+    def test_union_teardown_does_not_race_other_queries(
+        self, npd_engine, npd_benchmark
+    ):
+        """The shared-scan context is per query *and* per thread.
+
+        Regression: it used to be plain Executor instance state, so one
+        thread finishing its UNION nulled the context out from under
+        another thread's in-flight disjuncts (AttributeError: 'NoneType'
+        object has no attribute 'lookup_scan') — and, more quietly, two
+        concurrent queries could share one context and tear it down once.
+        """
+        queries = {
+            query_id: npd_benchmark.queries[query_id].sparql
+            for query_id in ("q1", "q5", "q14", "q19")
+        }
+        expected = {
+            query_id: sorted(repr(row) for row in npd_engine.execute(sparql).rows)
+            for query_id, sparql in queries.items()
+        }
+        failures: List[str] = []
+
+        def hammer():
+            for _ in range(6):
+                for query_id, sparql in queries.items():
+                    try:
+                        result = npd_engine.execute(sparql)
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append(f"{query_id}: {type(exc).__name__}: {exc}")
+                        return
+                    if sorted(repr(row) for row in result.rows) != expected[query_id]:
+                        failures.append(f"{query_id}: result set diverged")
+                        return
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert failures == []

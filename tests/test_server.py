@@ -1,0 +1,388 @@
+"""SPARQL endpoint server: admission, protocol behaviour, HTTP integration."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.concurrency import CancellationToken, QueryCancelled
+from repro.diffcheck.normalize import canonical_bag, compare_bags
+from repro.server import (
+    RejectedError,
+    ServerConfig,
+    SparqlEndpoint,
+    SparqlServer,
+    WorkerPool,
+    parse_json_results,
+)
+
+from test_cancellation import FAST_QUERY, SLOW_QUERY
+
+
+def http_get(url: str, headers: dict = None, timeout: float = 60.0):
+    """GET; returns (status, headers, body) without raising on 4xx/5xx."""
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def http_post(url: str, body: bytes, content_type: str, headers: dict = None,
+              timeout: float = 60.0):
+    all_headers = {"Content-Type": content_type}
+    all_headers.update(headers or {})
+    request = urllib.request.Request(url, data=body, headers=all_headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def query_url(base: str, sparql: str, **params) -> str:
+    params["query"] = sparql
+    return base + "/sparql?" + urllib.parse.urlencode(params)
+
+
+class TestWorkerPool:
+    def test_submit_and_wait(self):
+        pool = WorkerPool(workers=2, queue_depth=8)
+        try:
+            jobs = [pool.submit(lambda n=n: n * n) for n in range(8)]
+            assert [job.wait(5.0) for job in jobs] == [n * n for n in range(8)]
+        finally:
+            assert pool.shutdown(2.0)
+
+    def test_full_queue_rejects_immediately(self):
+        release = threading.Event()
+        pool = WorkerPool(workers=1, queue_depth=1)
+        try:
+            blocker = pool.submit(release.wait)
+            time.sleep(0.05)  # let the worker pick it up
+            queued = pool.submit(lambda: "queued")
+            with pytest.raises(RejectedError) as excinfo:
+                pool.submit(lambda: "rejected")
+            assert "full" in str(excinfo.value)
+            release.set()
+            assert blocker.wait(5.0)
+            assert queued.wait(5.0) == "queued"
+        finally:
+            release.set()
+            pool.shutdown(2.0)
+
+    def test_expired_while_queued_never_starts(self):
+        release = threading.Event()
+        executed = []
+        pool = WorkerPool(workers=1, queue_depth=2)
+        try:
+            pool.submit(release.wait)
+            time.sleep(0.05)
+            token = CancellationToken.with_timeout(0.01)
+            doomed = pool.submit(lambda: executed.append(True), token)
+            time.sleep(0.05)  # token expires while the job sits queued
+            release.set()
+            with pytest.raises(QueryCancelled):
+                doomed.wait(5.0)
+            assert executed == []
+        finally:
+            release.set()
+            pool.shutdown(2.0)
+
+    def test_errors_propagate_to_waiter(self):
+        pool = WorkerPool(workers=1, queue_depth=2)
+        try:
+            job = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                job.wait(5.0)
+        finally:
+            pool.shutdown(2.0)
+
+    def test_shutdown_cancels_executing_job(self):
+        token = CancellationToken()
+
+        def stubborn():
+            while True:
+                token.check()
+                time.sleep(0.01)
+
+        pool = WorkerPool(workers=1, queue_depth=1)
+        job = pool.submit(stubborn, token)
+        time.sleep(0.05)
+        clean = pool.shutdown(drain_seconds=0.1)
+        assert clean is False
+        assert token.cancelled
+        with pytest.raises(QueryCancelled):
+            job.wait(5.0)
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        assert pool.shutdown(1.0)
+        with pytest.raises(RejectedError):
+            pool.submit(lambda: None)
+
+
+class TestEndpointProtocol:
+    """Transport-free protocol behaviour via SparqlEndpoint directly."""
+
+    @pytest.fixture(scope="class")
+    def endpoint(self, npd_engine):
+        endpoint = SparqlEndpoint(npd_engine, ServerConfig(workers=2, queue_depth=4))
+        yield endpoint
+        endpoint.shutdown()
+
+    def test_success_returns_streamed_rows(self, endpoint, npd_engine):
+        response = endpoint.handle_query(FAST_QUERY)
+        assert response.status == 200
+        headers = dict(response.headers)
+        assert headers["Content-Type"].startswith("application/sparql-results+json")
+        variables, rows = parse_json_results(b"".join(response.chunks))
+        assert headers["X-Row-Count"] == str(len(rows))
+        expected = npd_engine.execute(FAST_QUERY)
+        assert compare_bags(
+            canonical_bag(variables, rows),
+            canonical_bag(expected.variables, expected.rows),
+        ).equal
+
+    def test_parse_error_maps_to_400_with_position(self, endpoint):
+        response = endpoint.handle_query("SELECT ?x WHERE { ?x a }")
+        assert response.status == 400
+        body = json.loads(b"".join(response.chunks))
+        assert body["error"] == "parse_error"
+        assert isinstance(body["position"], int)
+
+    def test_empty_query_is_400(self, endpoint):
+        assert endpoint.handle_query("   ").status == 400
+
+    def test_bad_timeout_param_is_400(self, endpoint):
+        assert endpoint.handle_query(FAST_QUERY, timeout_param="soon").status == 400
+        assert endpoint.handle_query(FAST_QUERY, timeout_param="-1").status == 400
+
+    def test_timeout_clamped_to_max(self, endpoint):
+        assert endpoint.resolve_timeout("9999") == endpoint.config.max_timeout
+        assert endpoint.resolve_timeout(None) == endpoint.config.default_timeout
+
+    def test_unacceptable_accept_is_406(self, endpoint):
+        assert endpoint.handle_query(FAST_QUERY, accept="application/pdf").status == 406
+
+    def test_ntriples_needs_three_columns(self, endpoint):
+        response = endpoint.handle_query(FAST_QUERY, format_param="ntriples")
+        assert response.status == 406
+
+    def test_deadline_maps_to_408(self, endpoint):
+        started = time.perf_counter()
+        response = endpoint.handle_query(SLOW_QUERY, timeout_param="0.2")
+        elapsed = time.perf_counter() - started
+        assert response.status == 408
+        assert elapsed < 0.2 + 1.5
+        body = json.loads(b"".join(response.chunks))
+        assert body["error"] == "timeout"
+        assert body["timeout_seconds"] == 0.2
+
+    def test_metrics_track_outcomes(self, endpoint):
+        snapshot = json.loads(b"".join(endpoint.metrics_snapshot().chunks))
+        counters = snapshot["counters"]
+        assert counters["requests_total"] >= counters.get("responses_200", 0)
+        assert counters["parse_errors"] >= 1
+        assert counters["timeouts"] >= 1
+        assert snapshot["queue"]["workers"] == 2
+
+
+@pytest.fixture(scope="module")
+def server(npd_engine):
+    config = ServerConfig(
+        port=0,
+        workers=4,
+        queue_depth=8,
+        default_timeout=60.0,
+        max_body_bytes=50_000,
+    )
+    instance = SparqlServer(npd_engine, config)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestHttpIntegration:
+    def test_all_catalogue_queries_match_in_process(
+        self, server, npd_benchmark, npd_engine
+    ):
+        """Acceptance: identical result bags over HTTP vs in-process."""
+        for query_id in sorted(npd_benchmark.queries):
+            sparql = npd_benchmark.queries[query_id].sparql
+            status, headers, body = http_get(query_url(server.address, sparql))
+            assert status == 200, f"{query_id}: {body[:200]!r}"
+            variables, rows = parse_json_results(body)
+            expected = npd_engine.execute(sparql)
+            outcome = compare_bags(
+                canonical_bag(variables, rows),
+                canonical_bag(expected.variables, expected.rows),
+            )
+            assert outcome.equal, f"{query_id}: HTTP result differs from in-process"
+            assert headers["X-Row-Count"] == str(len(expected.rows)), query_id
+
+    @pytest.mark.parametrize(
+        "accept,expected_mime",
+        [
+            ("application/sparql-results+json", "application/sparql-results+json"),
+            ("application/sparql-results+xml", "application/sparql-results+xml"),
+            ("text/csv", "text/csv"),
+            ("text/tab-separated-values", "text/tab-separated-values"),
+        ],
+    )
+    def test_content_negotiation_matrix(self, server, accept, expected_mime):
+        status, headers, body = http_get(
+            query_url(server.address, FAST_QUERY), headers={"Accept": accept}
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith(expected_mime)
+        assert len(body) > 0
+
+    def test_post_sparql_query_body(self, server):
+        status, headers, body = http_post(
+            server.address + "/sparql",
+            FAST_QUERY.encode(),
+            "application/sparql-query",
+            headers={"Accept": "application/sparql-results+json"},
+        )
+        assert status == 200
+        variables, rows = parse_json_results(body)
+        assert len(rows) > 0
+
+    def test_post_form_encoded(self, server):
+        form = urllib.parse.urlencode({"query": FAST_QUERY, "format": "tsv"}).encode()
+        status, headers, body = http_post(
+            server.address + "/sparql", form, "application/x-www-form-urlencoded"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/tab-separated-values")
+
+    def test_phase_headers_present(self, server):
+        status, headers, _ = http_get(query_url(server.address, FAST_QUERY))
+        assert status == 200
+        for phase in ("Rewriting", "Unfolding", "Planning", "Execution", "Translation"):
+            assert float(headers[f"X-Phase-{phase}"]) >= 0.0
+        assert headers["X-Cache-Hit"] in {"0", "1"}
+
+    def test_malformed_query_gives_structured_400(self, server):
+        status, _, body = http_get(
+            query_url(server.address, "SELECT ?x WHERE { ?x a }")
+        )
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["error"] == "parse_error"
+        assert "position" in payload
+
+    def test_missing_query_param_is_400(self, server):
+        status, _, body = http_get(server.address + "/sparql")
+        assert status == 400
+        assert json.loads(body)["error"] == "bad_request"
+
+    def test_unknown_path_is_404(self, server):
+        status, _, body = http_get(server.address + "/nope")
+        assert status == 404
+        assert json.loads(body)["error"] == "not_found"
+
+    def test_bad_content_type_is_415(self, server):
+        status, _, body = http_post(
+            server.address + "/sparql", FAST_QUERY.encode(), "text/turtle"
+        )
+        assert status == 415
+        assert json.loads(body)["error"] == "unsupported_media_type"
+
+    def test_oversized_body_is_413(self, server):
+        padding = FAST_QUERY + " #" + "x" * 60_000
+        status, _, body = http_post(
+            server.address + "/sparql", padding.encode(), "application/sparql-query"
+        )
+        assert status == 413
+        assert json.loads(body)["error"] == "payload_too_large"
+
+    def test_forced_timeout_is_408_within_deadline(self, server):
+        started = time.perf_counter()
+        status, _, body = http_get(
+            query_url(server.address, SLOW_QUERY, timeout="0.3")
+        )
+        elapsed = time.perf_counter() - started
+        assert status == 408
+        assert elapsed < 0.3 + 1.5
+        assert json.loads(body)["error"] == "timeout"
+
+    def test_health_endpoint(self, server):
+        status, _, body = http_get(server.address + "/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["loading_seconds"] >= 0
+
+    def test_metrics_endpoint(self, server):
+        status, _, body = http_get(server.address + "/metrics")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["counters"]["requests_total"] > 0
+        assert "engine_caches" in payload
+        assert "total" in payload["latency"]
+
+
+class TestOverloadAndDrain:
+    def test_burst_gets_503_then_recovers(self, npd_engine):
+        """Concurrent slow queries: bounded queue sheds load, deadlines hold."""
+        config = ServerConfig(port=0, workers=1, queue_depth=1, retry_after=2)
+        server = SparqlServer(npd_engine, config)
+        server.start()
+        try:
+            outcomes = []
+            lock = threading.Lock()
+
+            def fire():
+                started = time.perf_counter()
+                status, headers, _ = http_get(
+                    query_url(server.address, SLOW_QUERY, timeout="0.2")
+                )
+                with lock:
+                    outcomes.append(
+                        (status, headers.get("Retry-After"),
+                         time.perf_counter() - started)
+                    )
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            statuses = [status for status, _, _ in outcomes]
+            assert len(statuses) == 6
+            assert set(statuses) <= {408, 503}
+            assert statuses.count(503) >= 1, statuses
+            assert statuses.count(408) >= 1, statuses
+            for status, retry_after, elapsed in outcomes:
+                if status == 503:
+                    assert retry_after == "2"
+                else:
+                    # admitted queries abort within one batch of the deadline
+                    # (plus queue wait bounded by the preceding execution)
+                    assert elapsed < 5.0
+            # the pool recovered: a normal query succeeds afterwards
+            status, _, body = http_get(query_url(server.address, FAST_QUERY))
+            assert status == 200
+            _, rows = parse_json_results(body)
+            assert len(rows) > 0
+        finally:
+            server.stop()
+
+    def test_graceful_drain(self, npd_engine):
+        server = SparqlServer(npd_engine, ServerConfig(port=0, workers=2))
+        server.start()
+        address = server.address
+        status, _, _ = http_get(query_url(address, FAST_QUERY))
+        assert status == 200
+        assert server.stop() is True  # idle drain is clean
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(address + "/health", timeout=2.0)

@@ -1,0 +1,177 @@
+"""Round-trip tests: result serializers vs their reference parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffcheck.normalize import canonical_bag
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    XSD_DATE,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.server import (
+    NotAcceptable,
+    negotiate,
+    parse_csv_results,
+    parse_json_results,
+    parse_ntriples_results,
+    parse_tsv_results,
+    parse_xml_results,
+    write_csv,
+    write_json,
+    write_ntriples,
+    write_tsv,
+    write_xml,
+)
+
+ROUND_TRIP = [
+    ("json", write_json, parse_json_results),
+    ("xml", write_xml, parse_xml_results),
+    ("tsv", write_tsv, parse_tsv_results),
+]
+
+# every term shape the OBDA translator can produce, plus tricky lexicals
+TRICKY_VARIABLES = ["s", "value", "note"]
+TRICKY_ROWS = [
+    (IRI("http://ex.org/a#1"), Literal("42", XSD_INTEGER), Literal("plain")),
+    (IRI("http://ex.org/a#2"), Literal("3.25", XSD_DECIMAL), None),
+    (BNode("b0"), Literal("1.5e3", XSD_DOUBLE), Literal("hei", language="no")),
+    (IRI("http://ex.org/a#3"), Literal("2024-05-17", XSD_DATE), None),
+    (None, None, Literal('quote " and\ttab and\nnewline')),
+    (IRI("http://ex.org/a#1"), Literal("42", XSD_INTEGER), Literal("plain")),
+]
+
+
+def render(writer, variables, rows) -> bytes:
+    return b"".join(writer(variables, rows))
+
+
+class TestSyntheticRoundTrip:
+    @pytest.mark.parametrize("name,writer,parser", ROUND_TRIP)
+    def test_tricky_terms_round_trip(self, name, writer, parser):
+        payload = render(writer, TRICKY_VARIABLES, TRICKY_ROWS)
+        variables, rows = parser(payload)
+        assert variables == TRICKY_VARIABLES
+        assert canonical_bag(variables, rows) == canonical_bag(
+            TRICKY_VARIABLES, TRICKY_ROWS
+        )
+        # duplicates preserved (bag semantics)
+        assert len(rows) == len(TRICKY_ROWS)
+
+    def test_csv_is_lossy_but_value_faithful(self):
+        payload = render(write_csv, TRICKY_VARIABLES, TRICKY_ROWS)
+        variables, rows = parse_csv_results(payload)
+        assert variables == TRICKY_VARIABLES
+        assert len(rows) == len(TRICKY_ROWS)
+        # lexical forms survive even though type info does not
+        for original, parsed in zip(TRICKY_ROWS, rows):
+            for term, cell in zip(original, parsed):
+                if term is None:
+                    assert cell is None
+                elif isinstance(term, IRI):
+                    assert cell.lexical == term.value
+                elif isinstance(term, Literal):
+                    assert cell.lexical == term.lexical
+
+    def test_empty_result_round_trips(self):
+        for name, writer, parser in ROUND_TRIP:
+            variables, rows = parser(render(writer, ["x", "y"], []))
+            assert variables == ["x", "y"]
+            assert rows == []
+
+    def test_ntriples_round_trip_and_skips(self):
+        variables = ["s", "p", "o"]
+        rows = [
+            (IRI("http://ex.org/s"), IRI("http://ex.org/p"), Literal("v")),
+            (IRI("http://ex.org/s"), IRI("http://ex.org/p"), Literal("v")),
+            (None, IRI("http://ex.org/p"), Literal("skipped: unbound")),
+            (Literal("bad"), IRI("http://ex.org/p"), Literal("skipped: subject")),
+            (IRI("http://ex.org/s"), Literal("bad"), Literal("skipped: predicate")),
+            (BNode("b1"), IRI("http://ex.org/p"), IRI("http://ex.org/o")),
+        ]
+        payload = render(write_ntriples, variables, rows)
+        _, parsed = parse_ntriples_results(payload)
+        assert len(parsed) == 3  # two valid + one duplicate, three skipped
+        assert canonical_bag(variables, parsed) == canonical_bag(
+            variables, [rows[0], rows[1], rows[5]]
+        )
+
+    def test_ntriples_requires_three_columns(self):
+        with pytest.raises(ValueError):
+            list(write_ntriples(["a", "b"], []))
+
+    def test_writers_stream_in_chunks(self):
+        rows = [
+            (IRI(f"http://ex.org/{index}"), Literal(str(index), XSD_INTEGER))
+        for index in range(1000)]
+        chunks = list(write_json(["s", "n"], rows))
+        assert len(chunks) > 2  # not one monolithic body
+
+
+class TestCatalogueRoundTrip:
+    """All 21 catalogue query results survive every serializer."""
+
+    @pytest.fixture(scope="class")
+    def catalogue_results(self, npd_benchmark, npd_engine):
+        results = {}
+        for query_id in sorted(npd_benchmark.queries):
+            result = npd_engine.execute(npd_benchmark.queries[query_id].sparql)
+            results[query_id] = (result.variables, result.rows)
+        return results
+
+    def test_catalogue_has_expected_size(self, catalogue_results):
+        assert len(catalogue_results) == 21
+
+    @pytest.mark.parametrize("name,writer,parser", ROUND_TRIP)
+    def test_all_queries_round_trip(self, catalogue_results, name, writer, parser):
+        for query_id, (variables, rows) in catalogue_results.items():
+            payload = render(writer, variables, rows)
+            parsed_variables, parsed_rows = parser(payload)
+            assert parsed_variables == list(variables), f"{query_id} via {name}"
+            assert canonical_bag(parsed_variables, parsed_rows) == canonical_bag(
+                variables, rows
+            ), f"{query_id} via {name}: bags differ"
+
+    def test_all_queries_csv_shape(self, catalogue_results):
+        for query_id, (variables, rows) in catalogue_results.items():
+            payload = render(write_csv, variables, rows)
+            parsed_variables, parsed_rows = parse_csv_results(payload)
+            assert parsed_variables == list(variables), query_id
+            assert len(parsed_rows) == len(rows), query_id
+
+
+class TestNegotiation:
+    def test_default_is_json(self):
+        assert negotiate(None) == "json"
+        assert negotiate("*/*") == "json"
+        assert negotiate("") == "json"
+
+    def test_explicit_media_types(self):
+        assert negotiate("application/sparql-results+json") == "json"
+        assert negotiate("application/sparql-results+xml") == "xml"
+        assert negotiate("text/csv") == "csv"
+        assert negotiate("text/tab-separated-values") == "tsv"
+        assert negotiate("application/n-triples") == "ntriples"
+
+    def test_quality_ordering(self):
+        picked = negotiate("text/csv;q=0.3, application/sparql-results+xml;q=0.9")
+        assert picked == "xml"
+
+    def test_format_param_wins(self):
+        assert negotiate("text/csv", "tsv") == "tsv"
+        assert negotiate(None, "text/csv") == "csv"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(NotAcceptable):
+            negotiate("application/pdf")
+        with pytest.raises(NotAcceptable):
+            negotiate(None, "yaml")
+
+    def test_wildcard_families(self):
+        assert negotiate("text/*") == "csv"
+        assert negotiate("application/*") == "json"
