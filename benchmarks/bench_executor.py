@@ -13,9 +13,16 @@ PR 2's caches take it out of the picture):
   requires the cross-disjunct cache to fire on >= 5 of the 21 queries.
 * **parallel q6**: the heaviest UCQ re-runs with a 4-worker disjunct
   pool; the gate requires >= 1.3x over the naive baseline.
+* **row vs vectorized**: every catalogue query runs under the row
+  executor and the vectorized batch executor (optimizer ON for both);
+  identical bags are asserted query by query and the gate requires the
+  vectorized total to be >= ``--min-vectorized-speedup`` x the row total.
+* **scale sweep** (``--sweep``): total catalogue time for both executors
+  at scales 0.1/0.25/0.5/1.0, for the committed report.
 * **differential oracle** (``--oracle``): the whole catalogue is
-  cross-checked across the 5-config engine matrix with the optimizer ON,
-  so the speedup numbers are backed by three-way answer agreement.
+  cross-checked across the 6-config engine matrix (including the
+  ``vectorized`` config) with the optimizer ON, so the speedup numbers
+  are backed by three-way answer agreement.
 
 Writes ``BENCH_executor.json`` and ``BENCH_executor.txt``.  Exits
 non-zero when optimized execution is slower than naive, bags differ,
@@ -86,9 +93,27 @@ def parse_args(argv) -> argparse.Namespace:
         "the naive baseline (default 1.3)",
     )
     parser.add_argument(
+        "--min-vectorized-speedup",
+        type=float,
+        default=1.0,
+        help="required vectorized-over-row total-time speedup at the "
+        "bench scale (default 1.0 = never slower)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also run the row-vs-vectorized scale sweep "
+        "(slow; used for the committed report)",
+    )
+    parser.add_argument(
+        "--sweep-scales",
+        default="0.1,0.25,0.5,1.0",
+        help="comma-separated scales for --sweep",
+    )
+    parser.add_argument(
         "--oracle",
         action="store_true",
-        help="also cross-check the catalogue across the 5-config "
+        help="also cross-check the catalogue across the 6-config "
         "differential-oracle matrix (slow; used for the committed report)",
     )
     parser.add_argument("--json", default="BENCH_executor.json")
@@ -188,8 +213,76 @@ def measure_parallel(
     }
 
 
+def measure_executors(
+    benchmark, queries: Dict[str, str], runs: int
+) -> Dict[str, Any]:
+    """Row vs vectorized batch execution, optimizer ON, identical bags."""
+    database = benchmark.database
+    engines = {
+        name: OBDAEngine(
+            database, benchmark.ontology, benchmark.mappings, executor=name
+        )
+        for name in ("row", "vectorized")
+    }
+    # warm the compile pipeline (shared across engines via the database's
+    # plan cache) so only execution is on the clock
+    for engine in engines.values():
+        for sparql in queries.values():
+            engine.execute(sparql)
+    if not database.statistics_fresh:
+        database.analyze()
+    per_query: Dict[str, Any] = {}
+    bags_identical = True
+    for query_id, sparql in queries.items():
+        row_seconds, row_bag = _timed_runs(engines["row"], sparql, runs)
+        vec_seconds, vec_bag = _timed_runs(engines["vectorized"], sparql, runs)
+        identical = row_bag == vec_bag
+        bags_identical = bags_identical and identical
+        per_query[query_id] = {
+            "row_seconds": row_seconds,
+            "vectorized_seconds": vec_seconds,
+            "speedup": row_seconds / vec_seconds if vec_seconds > 0 else None,
+            "bag_identical": identical,
+            "rows": sum(row_bag.values()),
+        }
+    row_total = sum(q["row_seconds"] for q in per_query.values())
+    vec_total = sum(q["vectorized_seconds"] for q in per_query.values())
+    stats = database.stats
+    return {
+        "per_query": per_query,
+        "row_total_seconds": row_total,
+        "vectorized_total_seconds": vec_total,
+        "speedup_total": row_total / vec_total if vec_total > 0 else None,
+        "bags_identical": bags_identical,
+        "batch_blocks": stats.batch_blocks,
+        "batch_fallbacks": stats.batch_fallbacks,
+    }
+
+
+def measure_sweep(seed: int, scales, runs: int) -> Dict[str, Any]:
+    """Total catalogue time for both executors across seed scales."""
+    points = []
+    for scale in scales:
+        benchmark = build_benchmark(
+            seed=seed, profile=SeedProfile().scaled(scale)
+        )
+        queries = {qid: q.sparql for qid, q in benchmark.queries.items()}
+        result = measure_executors(benchmark, queries, runs)
+        points.append(
+            {
+                "scale": scale,
+                "total_rows": benchmark.database.total_rows(),
+                "row_total_seconds": result["row_total_seconds"],
+                "vectorized_total_seconds": result["vectorized_total_seconds"],
+                "speedup_total": result["speedup_total"],
+                "bags_identical": result["bags_identical"],
+            }
+        )
+    return {"points": points, "runs": runs}
+
+
 def run_oracle_matrix(benchmark) -> Dict[str, Any]:
-    """All 21 queries x the 5-config engine matrix, optimizer ON."""
+    """All 21 queries x the 6-config engine matrix, optimizer ON."""
     from repro.diffcheck import DEFAULT_MATRIX, DifferentialOracle
 
     oracle = DifferentialOracle(
@@ -250,6 +343,45 @@ def render_txt(report: Dict[str, Any]) -> str:
         f"naive {parallel['naive_seconds']:.6f}s -> "
         f"{parallel['parallel_seconds']:.6f}s = {parallel['speedup']:.2f}x"
     )
+    executors = report["executors"]
+    lines.append("")
+    lines.append("row vs vectorized execution (seconds, best of runs)")
+    lines.append(
+        f"{'query':8} {'row':>10} {'vectorized':>10} {'speedup':>8} {'bag':>5}"
+    )
+    for query_id, data in sorted(
+        executors["per_query"].items(), key=lambda item: int(item[0][1:])
+    ):
+        lines.append(
+            f"{query_id:8} {data['row_seconds']:>10.6f} "
+            f"{data['vectorized_seconds']:>10.6f} {data['speedup']:>7.2f}x "
+            f"{'ok' if data['bag_identical'] else 'DIFF':>5}"
+        )
+    lines.append(
+        f"{'TOTAL':8} {executors['row_total_seconds']:>10.6f} "
+        f"{executors['vectorized_total_seconds']:>10.6f} "
+        f"{executors['speedup_total']:>7.2f}x"
+    )
+    lines.append(
+        f"batch coverage: {executors['batch_blocks']} blocks vectorized, "
+        f"{executors['batch_fallbacks']} row-path fallbacks"
+    )
+    sweep = report.get("sweep")
+    if sweep is not None:
+        lines.append("")
+        lines.append("scale sweep (total catalogue seconds)")
+        lines.append(
+            f"{'scale':>6} {'rows':>8} {'row':>10} {'vectorized':>10} "
+            f"{'speedup':>8} {'bag':>5}"
+        )
+        for point in sweep["points"]:
+            lines.append(
+                f"{point['scale']:>6} {point['total_rows']:>8} "
+                f"{point['row_total_seconds']:>10.6f} "
+                f"{point['vectorized_total_seconds']:>10.6f} "
+                f"{point['speedup_total']:>7.2f}x "
+                f"{'ok' if point['bags_identical'] else 'DIFF':>5}"
+            )
     oracle = report.get("oracle")
     lines.append("")
     if oracle is None:
@@ -282,6 +414,11 @@ def main(argv=None) -> int:
         args.runs,
         args.workers,
     )
+    executors = measure_executors(benchmark, queries, args.runs)
+    sweep = None
+    if args.sweep:
+        scales = [float(s) for s in args.sweep_scales.split(",") if s]
+        sweep = measure_sweep(args.seed, scales, max(1, args.runs - 1))
     oracle = run_oracle_matrix(benchmark) if args.oracle else None
 
     report: Dict[str, Any] = {
@@ -297,6 +434,8 @@ def main(argv=None) -> int:
         },
         "modes": modes,
         "parallel": parallel,
+        "executors": executors,
+        "sweep": sweep,
         "oracle": oracle,
     }
 
@@ -334,6 +473,21 @@ def main(argv=None) -> int:
             f"< required {args.min_parallel_speedup:.2f}x",
             file=sys.stderr,
         )
+        failed = True
+    if not executors["bags_identical"]:
+        print("FAIL: row/vectorized answer bags differ", file=sys.stderr)
+        failed = True
+    if (executors["speedup_total"] or 0.0) < args.min_vectorized_speedup:
+        print(
+            f"FAIL: vectorized speedup {executors['speedup_total']:.2f}x "
+            f"< required {args.min_vectorized_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if sweep is not None and not all(
+        point["bags_identical"] for point in sweep["points"]
+    ):
+        print("FAIL: sweep answer bags differ", file=sys.stderr)
         failed = True
     if oracle is not None and not oracle["ok"]:
         print("FAIL: differential-oracle mismatches", file=sys.stderr)

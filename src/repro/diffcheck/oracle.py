@@ -92,6 +92,8 @@ class EngineConfig:
     sqo: bool = True
     #: attach an obdalint FactBase so fact-licensed unfolding fires
     facts: bool = False
+    #: SQL execution path override ("row"/"vectorized"); None = default
+    executor: Optional[str] = None
 
     def build(
         self,
@@ -115,6 +117,7 @@ class EngineConfig:
             enable_existential=self.existential,
             enable_sqo=self.sqo,
             factbase=factbase,
+            executor=self.executor,
         )
 
 
@@ -126,6 +129,7 @@ DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
     EngineConfig("no-existential", existential=False),
     EngineConfig("no-sqo", sqo=False),
     EngineConfig("facts", facts=True),
+    EngineConfig("vectorized", executor="vectorized"),
 )
 
 CONFIGS_BY_NAME: Dict[str, EngineConfig] = {

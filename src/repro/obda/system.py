@@ -170,9 +170,13 @@ class OBDAEngine:
         enable_query_cache: bool = True,
         factbase=None,
         validate_on_load: bool = False,
+        executor: Optional[str] = None,
     ):
         started = time.perf_counter()
         self.database = database
+        #: execution path override for unfolded SQL ("row"/"vectorized");
+        #: None uses the database's default executor
+        self.executor = executor
         self.ontology = ontology
         self.raw_mappings = mappings
         self.enable_tmappings = enable_tmappings
@@ -421,7 +425,9 @@ class OBDAEngine:
         if artifact.plan is None:
             return OBDAResult(unfolded.columns, [], timings, metrics, unfolded.sql_text)
         execution_started = time.perf_counter()
-        result = self.database.execute_plan(artifact.plan, token=token)
+        result = self.database.execute_plan(
+            artifact.plan, token=token, executor=self.executor
+        )
         timings.execution = time.perf_counter() - execution_started
         translation_started = time.perf_counter()
         column_meta = unfolded.column_meta
@@ -497,7 +503,7 @@ class OBDAEngine:
             lines.extend(
                 f"  {line}"
                 for line in self.database.explain(
-                    unfolded.statement, analyze=analyze
+                    unfolded.statement, analyze=analyze, executor=self.executor
                 )
             )
         else:

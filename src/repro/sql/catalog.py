@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .ast import CreateTableStatement
+from .columnar import ColumnStore
 from .errors import CatalogError, IntegrityError
 from .indexes import HashIndex, SortedIndex
 from .types import SqlType, coerce_value
@@ -89,6 +90,10 @@ class Table:
         self._index_creation_lock = threading.Lock()
         if self._pk_index is not None:
             self._hash_indexes[self.primary_key] = self._pk_index
+        # columnar mirror for the vectorized executor: built lazily on the
+        # first batch scan, then maintained incrementally by the DML hooks
+        # below (positions == row ids, so it shares index row ids)
+        self._column_store: Optional[ColumnStore] = None
 
     # -- schema helpers -----------------------------------------------------
 
@@ -112,6 +117,25 @@ class Table:
     def row_count(self) -> int:
         return self._live_count
 
+    # -- columnar mirror ------------------------------------------------------
+
+    def column_store(self) -> ColumnStore:
+        """The columnar mirror, building it on first use.
+
+        Creation is serialized with index creation: concurrent readers may
+        hit the same cold table, and the store must observe a consistent
+        row list (readers hold the database read lock, so no DML runs
+        concurrently with the build).
+        """
+        store = self._column_store
+        if store is None:
+            with self._index_creation_lock:
+                store = self._column_store
+                if store is None:
+                    store = ColumnStore(self)
+                    self._column_store = store
+        return store
+
     # -- index management ------------------------------------------------------
 
     def create_hash_index(self, columns: Sequence[str]) -> HashIndex:
@@ -125,9 +149,19 @@ class Table:
                 return existing
             index = HashIndex(key)
             positions = [self.column_position(column) for column in key]
-            for row_id, row in enumerate(self.rows):
-                if row is not None:
-                    index.insert(tuple(row[p] for p in positions), row_id)
+            store = self._column_store
+            if store is not None:
+                live = store.live_positions()
+                if len(positions) == 1:
+                    values = store.column_values(positions[0], live)
+                    index.bulk_load(((value,) for value in values), live)
+                else:
+                    parts = [store.column_values(p, live) for p in positions]
+                    index.bulk_load(zip(*parts), live)
+            else:
+                for row_id, row in enumerate(self.rows):
+                    if row is not None:
+                        index.insert(tuple(row[p] for p in positions), row_id)
             self._hash_indexes[key] = index
             return index
 
@@ -142,9 +176,14 @@ class Table:
                 return existing
             index = SortedIndex(lname)
             position = self.column_position(lname)
-            for row_id, row in enumerate(self.rows):
-                if row is not None:
-                    index.insert(row[position], row_id)
+            store = self._column_store
+            if store is not None:
+                live = store.live_positions()
+                index.bulk_load(store.column_values(position, live), live)
+            else:
+                for row_id, row in enumerate(self.rows):
+                    if row is not None:
+                        index.insert(row[position], row_id)
             self._sorted_indexes[lname] = index
             return index
 
@@ -210,6 +249,8 @@ class Table:
         row_id = len(self.rows)
         self.rows.append(row)
         self._live_count += 1
+        if self._column_store is not None:
+            self._column_store.append_row(row)
         for columns, index in self._hash_indexes.items():
             positions = [self._column_index[c] for c in columns]
             index.insert(tuple(row[p] for p in positions), row_id)
@@ -228,12 +269,16 @@ class Table:
             index.delete(row[self._column_index[column]], row_id)
         self.rows[row_id] = None
         self._live_count -= 1
+        if self._column_store is not None:
+            self._column_store.delete_row(row_id)
 
     def update_row(self, row_id: int, values: Sequence[Any]) -> None:
         self.delete_row(row_id)
         row = self._coerce_row(values)
         self.rows[row_id] = row
         self._live_count += 1
+        if self._column_store is not None:
+            self._column_store.update_row(row_id, row)
         for columns, index in self._hash_indexes.items():
             positions = [self._column_index[c] for c in columns]
             index.insert(tuple(row[p] for p in positions), row_id)

@@ -22,6 +22,7 @@ from .ast import (
 from .catalog import Catalog, Table
 from .errors import ExecutionError, IntegrityError
 from .executor import ExecutionStats, Executor, QueryResult
+from .vectorized import VectorizedExecutor
 from .expressions import ExpressionCompiler, RowSchema
 from .optimizer import OptimizerSettings
 from .parser import parse_script, parse_statement
@@ -42,22 +43,54 @@ class Database:
     mutations run exclusively.
     """
 
+    #: valid values for the ``executor`` constructor/``execute_plan`` arg
+    EXECUTORS = ("row", "vectorized")
+
     def __init__(
         self,
         profile: Optional[EngineProfile] = None,
         enforce_foreign_keys: bool = True,
         optimizer: Optional[OptimizerSettings] = None,
+        executor: str = "row",
     ):
+        if executor not in self.EXECUTORS:
+            raise ExecutionError(
+                f"unknown executor {executor!r} (expected one of {self.EXECUTORS})"
+            )
         self.catalog = Catalog()
         self.profile = profile or postgresql_profile()
         self.enforce_foreign_keys = enforce_foreign_keys
         self.optimizer_settings = optimizer or OptimizerSettings()
-        self._executor = Executor(
-            self.catalog, self.profile, settings=self.optimizer_settings
-        )
+        self.executor_name = executor
+        self._make_executors()
         self._plan_cache = PlanCache()
         self._plan_generation = 0
         self._lock = ReadWriteLock()
+
+    def _make_executors(self) -> None:
+        """(Re)build the row and vectorized executors.
+
+        Both share one :class:`ExecutionStats` instance, so counters (and
+        the plan-cache counters the facade maintains) are consistent no
+        matter which path executed a query.
+        """
+        self._executor = Executor(
+            self.catalog, self.profile, settings=self.optimizer_settings
+        )
+        self._vectorized = VectorizedExecutor(
+            self.catalog, self.profile, settings=self.optimizer_settings
+        )
+        self._vectorized.stats = self._executor.stats
+
+    def _select_executor(self, executor: Optional[str]) -> Executor:
+        name = executor or self.executor_name
+        if name == "row":
+            return self._executor
+        if name == "vectorized":
+            return self._vectorized
+        raise ExecutionError(
+            f"unknown executor {name!r} (expected one of {self.EXECUTORS})"
+        )
 
     # -- profile management -------------------------------------------------
 
@@ -69,9 +102,7 @@ class Database:
         """
         with self._lock.write():
             self.profile = profile
-            self._executor = Executor(
-                self.catalog, profile, settings=self.optimizer_settings
-            )
+            self._make_executors()
             self._invalidate_plans("set_profile")
 
     # -- physical optimizer -------------------------------------------------
@@ -85,6 +116,7 @@ class Database:
         with self._lock.write():
             self.optimizer_settings = settings
             self._executor.settings = settings
+            self._vectorized.settings = settings
 
     def analyze(self) -> Dict[str, Any]:
         """ANALYZE: collect per-table/per-column statistics in the catalog.
@@ -211,14 +243,19 @@ class Database:
             raise ExecutionError("compile() only applies to SELECT statements")
         return self._compile_statement(sql, None)
 
-    def execute_plan(self, plan: CompiledPlan, token=None) -> QueryResult:
+    def execute_plan(
+        self, plan: CompiledPlan, token=None, executor: Optional[str] = None
+    ) -> QueryResult:
         """Execute a compiled plan, refreshing it first if it went stale.
 
         ``token`` (a :class:`repro.concurrency.CancellationToken`) arms
         cooperative cancellation for this call only: the executor stores it
         thread-locally, so concurrent readers sharing this Database are
-        unaffected, and it is always cleared on exit.
+        unaffected, and it is always cleared on exit.  ``executor``
+        overrides the database's default execution path for this call
+        (``"row"`` or ``"vectorized"``).
         """
+        engine = self._select_executor(executor)
         with self._lock.read():
             if (
                 plan.generation != self._plan_generation
@@ -227,12 +264,12 @@ class Database:
                 refresh_plan(plan, self.profile.name, self._plan_generation)
                 self._executor.stats.plan_recompiles += 1
             if token is None:
-                return self._executor.execute_plan(plan)
-            self._executor.set_cancel_token(token)
+                return engine.execute_plan(plan)
+            engine.set_cancel_token(token)
             try:
-                return self._executor.execute_plan(plan)
+                return engine.execute_plan(plan)
             finally:
-                self._executor.set_cancel_token(None)
+                engine.set_cancel_token(None)
 
     def _compile_statement(
         self, statement: SelectStatement, sql_text: Optional[str]
@@ -260,7 +297,10 @@ class Database:
         return result
 
     def explain(
-        self, sql: Union[str, SelectStatement], analyze: bool = False
+        self,
+        sql: Union[str, SelectStatement],
+        analyze: bool = False,
+        executor: Optional[str] = None,
     ) -> List[str]:
         """Run a SELECT with plan tracing and return the operator trace.
 
@@ -295,6 +335,7 @@ class Database:
         # concurrent execute/explain on another thread would interleave
         # its operator lines into (or clear) this trace under a shared
         # read lock.  EXPLAIN is diagnostic, so exclusivity is cheap.
+        engine = self._select_executor(executor)
         with self._lock.write():
             if (
                 plan.generation != self._plan_generation
@@ -302,14 +343,14 @@ class Database:
             ):
                 refresh_plan(plan, self.profile.name, self._plan_generation)
                 self._executor.stats.plan_recompiles += 1
-            self._executor.trace = []
-            self._executor.analyze = analyze
+            engine.trace = []
+            engine.analyze = analyze
             try:
-                result = self._executor.execute_plan(plan)
+                result = engine.execute_plan(plan)
             finally:
-                trace = self._executor.trace or []
-                self._executor.trace = None
-                self._executor.analyze = False
+                trace = engine.trace or []
+                engine.trace = None
+                engine.analyze = False
         trace.append(f"Result: {len(result.rows)} rows")
         header = [
             f"plan: {'cached' if cached else 'compiled'}",

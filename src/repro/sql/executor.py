@@ -98,6 +98,10 @@ class ExecutionStats:
     build_side_swaps: int = 0
     # parallel-UCQ batches (one per fanned-out UNION execution)
     parallel_batches: int = 0
+    # vectorized executor: blocks run on the batch path / fallbacks to
+    # the row path (ineligible shape or unsupported operator)
+    batch_blocks: int = 0
+    batch_fallbacks: int = 0
 
     def reset(self) -> None:
         self.rows_scanned = 0
@@ -116,6 +120,8 @@ class ExecutionStats:
         self.shared_build_hits = 0
         self.build_side_swaps = 0
         self.parallel_batches = 0
+        self.batch_blocks = 0
+        self.batch_fallbacks = 0
 
     def merge_worker(self, other: "ExecutionStats") -> None:
         """Fold a parallel worker's counters into this (main) instance.
@@ -130,6 +136,8 @@ class ExecutionStats:
         self.nested_loop_joins += other.nested_loop_joins
         self.index_nl_joins += other.index_nl_joins
         self.build_side_swaps += other.build_side_swaps
+        self.batch_blocks += other.batch_blocks
+        self.batch_fallbacks += other.batch_fallbacks
 
 
 @dataclass
@@ -408,7 +416,10 @@ class Executor:
         def run_batch(
             batch: Sequence[PlannedBlock],
         ) -> Tuple[List[Tuple[List[str], List[RowT]]], ExecutionStats]:
-            worker = Executor(self.catalog, self.profile, settings=worker_settings)
+            # type(self), not Executor: the vectorized subclass must fan
+            # out vectorized workers, or parallel UCQs would silently
+            # fall back to the row path
+            worker = type(self)(self.catalog, self.profile, settings=worker_settings)
             worker._shared = shared
             worker.set_cancel_token(token)
             # compiled-cache entries are pure (schema, AST) artifacts, so
@@ -498,6 +509,20 @@ class Executor:
         else:
             columns, rows = self._project(statement, relation)
             source_rows = relation.rows
+        return self._finish_block(
+            statement, columns, rows, relation.schema, source_rows
+        )
+
+    def _finish_block(
+        self,
+        statement: SelectStatement,
+        columns: List[str],
+        rows: List[RowT],
+        source_schema: RowSchema,
+        source_rows: Optional[List[RowT]],
+    ) -> Tuple[List[str], List[RowT]]:
+        """The operator tail shared by the row and batch paths:
+        DISTINCT, ORDER BY (with source-column access), LIMIT/OFFSET."""
         if statement.distinct:
             rows = self._deduplicate(rows)
             source_rows = None  # alignment with source rows is lost
@@ -508,7 +533,7 @@ class Executor:
                 # ORDER BY may reference source columns (e.g. e.name) that
                 # are not in the select list: sort projected rows zipped
                 # with their source rows under the combined schema.
-                combined_schema = output_schema.concat(relation.schema)
+                combined_schema = output_schema.concat(source_schema)
                 combined_rows = [p + s for p, s in zip(rows, source_rows)]
                 combined_rows = self._order_rows(
                     combined_rows, order_by, combined_schema

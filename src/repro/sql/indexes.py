@@ -28,6 +28,12 @@ class HashIndex:
     def insert(self, key: Key, row_id: int) -> None:
         self._buckets[key].add(row_id)
 
+    def bulk_load(self, keys, row_ids) -> None:
+        """Load (key, row_id) pairs in one pass (columnar index build)."""
+        buckets = self._buckets
+        for key, row_id in zip(keys, row_ids):
+            buckets[key].add(row_id)
+
     def delete(self, key: Key, row_id: int) -> None:
         bucket = self._buckets.get(key)
         if bucket is not None:
@@ -92,6 +98,13 @@ class SortedIndex:
         if value is None:
             return  # NULLs are not range-searchable
         self._pending.append((value, row_id))
+
+    def bulk_load(self, values, row_ids) -> None:
+        """Load (value, row_id) pairs in one pass (columnar index build)."""
+        pending = self._pending
+        for value, row_id in zip(values, row_ids):
+            if value is not None:
+                pending.append((value, row_id))
 
     def delete(self, value: Any, row_id: int) -> None:
         if value is None:

@@ -32,9 +32,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .ast import (
+    ExistsSubquery,
     Expr,
     FunctionCall,
+    InSubquery,
+    Join,
+    NamedTable,
     SelectStatement,
+    SubquerySource,
+    TableRef,
     split_conjuncts,
     walk_expr,
 )
@@ -64,6 +70,60 @@ class PlannedBlock:
     union_all: bool  # how this branch is glued to the next one
     where_conjuncts: List[Expr]
     has_aggregates: bool
+    batch_eligible: bool = False
+
+
+def _batch_eligible_source(source: Optional[TableRef]) -> bool:
+    """True when the source tree is scans glued by inner joins.
+
+    Scans are base tables or derived tables (the latter evaluated by an
+    independent sub-execution and carried as a materialized leg -- SQL
+    has no lateral derived tables, so they can never be correlated).
+    """
+    if source is None:
+        return False
+    if isinstance(source, (NamedTable, SubquerySource)):
+        return True
+    if isinstance(source, Join):
+        if source.kind != "INNER":
+            return False
+        return _batch_eligible_source(source.left) and _batch_eligible_source(
+            source.right
+        )
+    return False  # LEFT/NATURAL join trees stay on the row path
+
+
+def block_batch_eligible(statement: SelectStatement) -> bool:
+    """Logical eligibility of one UNION branch for the vectorized path.
+
+    The batch path covers the OBDA workload shape: base-table scans glued
+    by inner joins, scalar expressions, aggregation, DISTINCT, ORDER BY
+    and LIMIT.  LEFT/NATURAL joins, derived tables and subquery predicates
+    keep the row path (the correctness oracle); the executor counts those
+    fallbacks so coverage is observable.
+    """
+    if not _batch_eligible_source(statement.source):
+        return False
+    exprs: List[Expr] = [item.expr for item in statement.items]
+    pending: List[TableRef] = [statement.source]
+    while pending:
+        ref = pending.pop()
+        if isinstance(ref, Join):
+            if ref.condition is not None:
+                exprs.append(ref.condition)
+            pending.append(ref.left)
+            pending.append(ref.right)
+    if statement.where is not None:
+        exprs.append(statement.where)
+    exprs.extend(statement.group_by)
+    if statement.having is not None:
+        exprs.append(statement.having)
+    exprs.extend(order.expr for order in statement.order_by)
+    for expr in exprs:
+        for node in walk_expr(expr):
+            if isinstance(node, (InSubquery, ExistsSubquery)):
+                return False  # correlated eval needs per-row context
+    return True
 
 
 @dataclass
@@ -110,6 +170,7 @@ def _decompose(statement: SelectStatement) -> Tuple[List[PlannedBlock], bool]:
                 union_all=tail.all if tail else True,
                 where_conjuncts=split_conjuncts(block.where),
                 has_aggregates=statement_has_aggregates(block),
+                batch_eligible=block_batch_eligible(block),
             )
         )
         if tail is not None and not tail.all:

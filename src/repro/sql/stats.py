@@ -90,6 +90,22 @@ class CatalogStatistics:
 
 
 def _analyze_table(table: Table) -> TableStatistics:
+    store = getattr(table, "_column_store", None)
+    if store is not None:
+        # the columnar mirror answers ANALYZE per column without
+        # materializing rows; semantics match the row loop below exactly
+        stats = TableStatistics(table=table.name, row_count=store.live_count)
+        for position, column in enumerate(table.columns):
+            n_distinct, nulls, minimum, maximum = store.analyze_column(position)
+            stats.columns[column.lname] = ColumnStatistics(
+                column=column.lname,
+                n_distinct=n_distinct,
+                null_count=nulls,
+                row_count=store.live_count,
+                min_value=minimum,
+                max_value=maximum,
+            )
+        return stats
     positions = range(len(table.columns))
     distinct: list[set] = [set() for _ in positions]
     nulls = [0 for _ in positions]

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import enum
 import re
+from array import array
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 from .errors import TypeMismatchError
 
@@ -201,6 +202,310 @@ def coerce_value(value: Any, sql_type: SqlType, column: str = "?") -> Any:
     if isinstance(value, (int, float, bool)):
         return str(value)
     raise TypeMismatchError(f"column {column}: {value!r} is not textual")
+
+
+# -- per-type column codecs (columnar storage) ------------------------------
+#
+# Each codec stores one column of a table as a typed array (or a code array
+# plus dictionary) with NULLs tracked out-of-band, so the vectorized
+# executor can run filter/join/aggregate kernels over flat buffers instead
+# of per-row Python tuples.  The contract shared by all codecs:
+#
+# * positions are table row ids (deleted rows keep their slot; liveness is
+#   tracked by the owning ColumnStore);
+# * ``append``/``set`` raise OverflowError when a value does not fit the
+#   typed array *before* touching any state, so the caller can degrade the
+#   column to ``ObjectColumn`` and retry;
+# * ``gather(positions)`` decodes to exactly the values the row-at-a-time
+#   path stores (``coerce_value`` output), NULL as ``None``.
+
+
+class IntColumn:
+    """64-bit integer column: ``array('q')`` plus a NULL bitmap."""
+
+    kind = "int"
+    __slots__ = ("values", "nulls", "null_count")
+
+    def __init__(self) -> None:
+        self.values = array("q")
+        self.nulls = bytearray()
+        self.null_count = 0
+
+    def __len__(self) -> int:
+        return len(self.nulls)
+
+    def append(self, value: Any) -> None:
+        if value is None:
+            self.values.append(0)
+            self.nulls.append(1)
+            self.null_count += 1
+        else:
+            self.values.append(value)  # OverflowError degrades the column
+            self.nulls.append(0)
+
+    def get(self, position: int) -> Any:
+        return None if self.nulls[position] else self.values[position]
+
+    def set(self, position: int, value: Any) -> None:
+        if value is None:
+            if not self.nulls[position]:
+                self.null_count += 1
+            self.nulls[position] = 1
+            self.values[position] = 0
+        else:
+            self.values[position] = value  # OverflowError before any change
+            if self.nulls[position]:
+                self.null_count -= 1
+                self.nulls[position] = 0
+
+    def gather(self, positions) -> list:
+        values = self.values
+        if not self.null_count:
+            return [values[p] for p in positions]
+        nulls = self.nulls
+        return [None if nulls[p] else values[p] for p in positions]
+
+    def to_object(self) -> "ObjectColumn":
+        return ObjectColumn.from_values(self.gather(range(len(self))))
+
+
+class FloatColumn:
+    """Double column (DOUBLE/DECIMAL): ``array('d')`` plus a NULL bitmap."""
+
+    kind = "float"
+    __slots__ = ("values", "nulls", "null_count")
+
+    def __init__(self) -> None:
+        self.values = array("d")
+        self.nulls = bytearray()
+        self.null_count = 0
+
+    def __len__(self) -> int:
+        return len(self.nulls)
+
+    def append(self, value: Any) -> None:
+        if value is None:
+            self.values.append(0.0)
+            self.nulls.append(1)
+            self.null_count += 1
+        else:
+            self.values.append(value)
+            self.nulls.append(0)
+
+    def get(self, position: int) -> Any:
+        return None if self.nulls[position] else self.values[position]
+
+    def set(self, position: int, value: Any) -> None:
+        if value is None:
+            if not self.nulls[position]:
+                self.null_count += 1
+            self.nulls[position] = 1
+            self.values[position] = 0.0
+        else:
+            self.values[position] = value
+            if self.nulls[position]:
+                self.null_count -= 1
+                self.nulls[position] = 0
+
+    def gather(self, positions) -> list:
+        values = self.values
+        if not self.null_count:
+            return [values[p] for p in positions]
+        nulls = self.nulls
+        return [None if nulls[p] else values[p] for p in positions]
+
+    def to_object(self) -> "ObjectColumn":
+        return ObjectColumn.from_values(self.gather(range(len(self))))
+
+
+class BoolColumn:
+    """Boolean column: signed byte codes (1/0, -1 for NULL)."""
+
+    kind = "bool"
+    __slots__ = ("codes", "null_count")
+
+    def __init__(self) -> None:
+        self.codes = array("b")
+        self.null_count = 0
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def append(self, value: Any) -> None:
+        if value is None:
+            self.codes.append(-1)
+            self.null_count += 1
+        else:
+            self.codes.append(1 if value else 0)
+
+    def get(self, position: int) -> Any:
+        code = self.codes[position]
+        return None if code < 0 else bool(code)
+
+    def set(self, position: int, value: Any) -> None:
+        old = self.codes[position]
+        if value is None:
+            if old >= 0:
+                self.null_count += 1
+            self.codes[position] = -1
+        else:
+            if old < 0:
+                self.null_count -= 1
+            self.codes[position] = 1 if value else 0
+
+    def gather(self, positions) -> list:
+        codes = self.codes
+        return [None if codes[p] < 0 else bool(codes[p]) for p in positions]
+
+    def to_object(self) -> "ObjectColumn":
+        return ObjectColumn.from_values(self.gather(range(len(self))))
+
+
+class DictColumn:
+    """Dictionary-encoded string column (VARCHAR/TEXT/DATE).
+
+    Stores one ``array('i')`` of codes (-1 for NULL) plus the value
+    dictionary; equality filters and hash-join probes compare integer
+    codes instead of strings.  High-NDV columns are degraded to
+    :class:`ObjectColumn` at build time (see ``maybe_degrade``).
+    """
+
+    kind = "dict"
+    __slots__ = ("codes", "dictionary", "code_of", "null_count")
+
+    def __init__(self) -> None:
+        self.codes = array("i")
+        self.dictionary: list = []
+        self.code_of: dict = {}
+        self.null_count = 0
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def append(self, value: Any) -> None:
+        if value is None:
+            self.codes.append(-1)
+            self.null_count += 1
+            return
+        code = self.code_of.get(value)
+        if code is None:
+            code = len(self.dictionary)
+            self.code_of[value] = code
+            self.dictionary.append(value)
+        self.codes.append(code)
+
+    def get(self, position: int) -> Any:
+        code = self.codes[position]
+        return None if code < 0 else self.dictionary[code]
+
+    def set(self, position: int, value: Any) -> None:
+        old = self.codes[position]
+        if value is None:
+            if old >= 0:
+                self.null_count += 1
+            self.codes[position] = -1
+            return
+        code = self.code_of.get(value)
+        if code is None:
+            code = len(self.dictionary)
+            self.code_of[value] = code
+            self.dictionary.append(value)
+        if old < 0:
+            self.null_count -= 1
+        self.codes[position] = code
+
+    def gather(self, positions) -> list:
+        codes = self.codes
+        dictionary = self.dictionary
+        if not self.null_count:
+            return [dictionary[codes[p]] for p in positions]
+        return [
+            None if codes[p] < 0 else dictionary[codes[p]] for p in positions
+        ]
+
+    def maybe_degrade(self) -> "DictColumn | ObjectColumn":
+        """Fall back to plain object storage for near-unique columns.
+
+        A dictionary over a key-like column costs an extra indirection per
+        access and saves nothing; plain (interned-ish) string lists are
+        both smaller and faster to gather.
+        """
+        count = len(self.codes)
+        if count >= 256 and len(self.dictionary) > count // 2:
+            return self.to_object()
+        return self
+
+    def to_object(self) -> "ObjectColumn":
+        column = ObjectColumn.from_values(self.gather(range(len(self))))
+        column.textual = True
+        return column
+
+
+class ObjectColumn:
+    """Fallback column: a plain Python list (GEOMETRY, degraded columns)."""
+
+    kind = "object"
+    __slots__ = ("values", "null_count", "textual")
+
+    def __init__(self) -> None:
+        self.values: list = []
+        self.null_count = 0
+        #: True when every non-NULL value is a str (degraded text column),
+        #: which licenses the string filter kernels
+        self.textual = False
+
+    @classmethod
+    def from_values(cls, values: list) -> "ObjectColumn":
+        column = cls()
+        column.values = list(values)
+        column.null_count = sum(1 for value in column.values if value is None)
+        return column
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def append(self, value: Any) -> None:
+        if value is None:
+            self.null_count += 1
+        elif self.textual and not isinstance(value, str):
+            self.textual = False
+        self.values.append(value)
+
+    def get(self, position: int) -> Any:
+        return self.values[position]
+
+    def set(self, position: int, value: Any) -> None:
+        old = self.values[position]
+        if old is None and value is not None:
+            self.null_count -= 1
+        elif old is not None and value is None:
+            self.null_count += 1
+        if value is not None and self.textual and not isinstance(value, str):
+            self.textual = False
+        self.values[position] = value
+
+    def gather(self, positions) -> list:
+        values = self.values
+        return [values[p] for p in positions]
+
+    def to_object(self) -> "ObjectColumn":
+        return self
+
+
+ColumnCodec = Union[IntColumn, FloatColumn, BoolColumn, DictColumn, ObjectColumn]
+
+
+def column_codec_for(sql_type: SqlType) -> ColumnCodec:
+    """A fresh, empty codec appropriate for the declared column type."""
+    if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+        return IntColumn()
+    if sql_type in (SqlType.DOUBLE, SqlType.DECIMAL):
+        return FloatColumn()
+    if sql_type is SqlType.BOOLEAN:
+        return BoolColumn()
+    if sql_type in (SqlType.VARCHAR, SqlType.TEXT, SqlType.DATE):
+        return DictColumn()
+    return ObjectColumn()
 
 
 def comparable(left: Any, right: Any) -> bool:
