@@ -10,11 +10,16 @@ Measures three things on the NPD benchmark:
   without, plus the fact-licensed optimization counters (elided
   IS NOT NULL guards, eliminated FK joins, skipped empty disjuncts);
 * **execute-time deltas**: per-query end-to-end execution time facts-on
-  vs. facts-off (median of ``--runs`` measured runs, after warm-up).
+  vs. facts-off (median of ``--runs`` measured runs, after warm-up);
+* **constraint deltas**: the same measures with the verified constraint
+  set (exact mappings + virtual FDs) attached on top of the FactBase --
+  per-query SQL size, unfolding time, and the constraint counters
+  (pruned disjuncts, merged VFD self-joins).
 
 Writes ``BENCH_analysis.json`` and ``BENCH_analysis.txt``.  Exits
-non-zero when any optimized unfolding is *larger* than the baseline or
-any query's result bag changes -- fact-licensed optimization must never
+non-zero when any optimized unfolding is *larger* than the baseline
+(constraints are additionally gated against the facts-only size) or
+any query's result bag changes -- licensed optimization must never
 cost SQL size or correctness.
 
 Run directly (not via pytest)::
@@ -64,6 +69,8 @@ def parse_args(argv) -> argparse.Namespace:
 def measure_query(engine: OBDAEngine, sparql: str, runs: int) -> Dict[str, Any]:
     """Warm once, then report the median measured execution profile."""
     result = engine.execute(sparql)  # warm-up: compile + first execution
+    # rewrite+unfold happen once, on the cold run; warm runs report 0
+    unfold_seconds = result.timings.rewriting + result.timings.unfolding
     executions = []
     for _ in range(runs):
         result = engine.execute(sparql)
@@ -78,6 +85,10 @@ def measure_query(engine: OBDAEngine, sparql: str, runs: int) -> Dict[str, Any]:
         "eliminated_joins": metrics.eliminated_joins,
         "empty_disjuncts_skipped": metrics.empty_disjuncts_skipped,
         "facts_fired": len(metrics.facts_fired),
+        "constraint_pruned_disjuncts": metrics.constraint_pruned_disjuncts,
+        "merged_vfd_joins": metrics.merged_vfd_joins,
+        "constraints_fired": len(metrics.constraints_fired),
+        "unfold_seconds": unfold_seconds,
         "execute_seconds": statistics.median(executions),
     }
 
@@ -108,6 +119,27 @@ def render_txt(report: Dict[str, Any]) -> str:
             f"{on['elided_null_guards']:>7} {on['eliminated_joins']:>6} "
             f"{on['facts_fired']:>6}"
         )
+    lines.append("")
+    lines.append(
+        "per-query deltas, constraints on vs facts only "
+        "(exact pruning + VFD merging on top of the FactBase)"
+    )
+    lines.append(
+        f"{'query':8} {'sql chars':>16} {'unfold ms':>16} "
+        f"{'pruned':>7} {'merged':>7} {'fired':>6}"
+    )
+    for query_id, data in report["queries"].items():
+        on, con = data["facts_on"], data["constraints_on"]
+        chars = f"{on['sql_characters']}->{con['sql_characters']}"
+        unfolds = (
+            f"{on['unfold_seconds'] * 1e3:.2f}->"
+            f"{con['unfold_seconds'] * 1e3:.2f}"
+        )
+        lines.append(
+            f"{query_id:8} {chars:>16} {unfolds:>16} "
+            f"{con['constraint_pruned_disjuncts']:>7} "
+            f"{con['merged_vfd_joins']:>7} {con['constraints_fired']:>6}"
+        )
     totals = report["totals"]
     lines.append("")
     lines.append(
@@ -116,12 +148,25 @@ def render_txt(report: Dict[str, Any]) -> str:
         f"({totals['sql_shrink_percent']:.1f}% smaller)"
     )
     lines.append(
+        f"total sql characters with constraints: "
+        f"{totals['sql_characters_on']} -> "
+        f"{totals['sql_characters_constraints']} "
+        f"({totals['constraints_shrink_percent']:.1f}% smaller again)"
+    )
+    lines.append(
         f"total execute seconds: {totals['execute_seconds_off']:.4f} -> "
-        f"{totals['execute_seconds_on']:.4f}"
+        f"{totals['execute_seconds_on']:.4f} -> "
+        f"{totals['execute_seconds_constraints']:.4f} (constraints)"
+    )
+    lines.append(
+        f"total unfold seconds: {totals['unfold_seconds_on']:.4f} -> "
+        f"{totals['unfold_seconds_constraints']:.4f} (constraints)"
     )
     lines.append(
         f"queries with strictly smaller unfolding: "
-        f"{totals['strictly_smaller']}/{totals['queries']}"
+        f"{totals['strictly_smaller']}/{totals['queries']} (facts), "
+        f"{totals['constraints_strictly_smaller']}/{totals['queries']} "
+        f"(constraints vs facts)"
     )
     return "\n".join(lines)
 
@@ -151,9 +196,17 @@ def main(argv=None) -> int:
         )
         return 2
 
+    constraints = lint.constraints.constraints if lint.constraints else None
     engine_off = OBDAEngine(database, ontology, mappings)
     engine_on = OBDAEngine(
         database, ontology, mappings, factbase=lint.factbase
+    )
+    engine_con = OBDAEngine(
+        database,
+        ontology,
+        mappings,
+        factbase=lint.factbase,
+        constraints=constraints,
     )
 
     per_query: Dict[str, Any] = {}
@@ -161,12 +214,21 @@ def main(argv=None) -> int:
     for query_id, sparql in queries.items():
         off = measure_query(engine_off, sparql, args.runs)
         on = measure_query(engine_on, sparql, args.runs)
-        if off.pop("bag") != on.pop("bag"):
+        con = measure_query(engine_con, sparql, args.runs)
+        bag = off.pop("bag")
+        if bag != on.pop("bag") or bag != con.pop("bag"):
             mismatches.append(query_id)
-        per_query[query_id] = {"facts_off": off, "facts_on": on}
+        per_query[query_id] = {
+            "facts_off": off,
+            "facts_on": on,
+            "constraints_on": con,
+        }
 
     chars_off = sum(q["facts_off"]["sql_characters"] for q in per_query.values())
     chars_on = sum(q["facts_on"]["sql_characters"] for q in per_query.values())
+    chars_con = sum(
+        q["constraints_on"]["sql_characters"] for q in per_query.values()
+    )
     totals = {
         "queries": len(per_query),
         "sql_characters_off": chars_off,
@@ -186,6 +248,25 @@ def main(argv=None) -> int:
             if q["facts_on"]["sql_characters"]
             < q["facts_off"]["sql_characters"]
         ),
+        "sql_characters_constraints": chars_con,
+        "constraints_shrink_percent": (
+            100.0 * (chars_on - chars_con) / chars_on if chars_on else 0.0
+        ),
+        "execute_seconds_constraints": sum(
+            q["constraints_on"]["execute_seconds"] for q in per_query.values()
+        ),
+        "unfold_seconds_on": sum(
+            q["facts_on"]["unfold_seconds"] for q in per_query.values()
+        ),
+        "unfold_seconds_constraints": sum(
+            q["constraints_on"]["unfold_seconds"] for q in per_query.values()
+        ),
+        "constraints_strictly_smaller": sum(
+            1
+            for q in per_query.values()
+            if q["constraints_on"]["sql_characters"]
+            < q["facts_on"]["sql_characters"]
+        ),
         "bag_mismatches": mismatches,
     }
     report: Dict[str, Any] = {
@@ -200,6 +281,7 @@ def main(argv=None) -> int:
             "finding_counts": lint.counts(),
             "facts": len(lint.factbase) if lint.factbase else 0,
             "fact_counts": lint.factbase.counts() if lint.factbase else {},
+            "constraint_counts": constraints.counts() if constraints else {},
             "passes": ",".join(lint.passes),
         },
         "queries": per_query,
@@ -223,6 +305,19 @@ def main(argv=None) -> int:
     ]
     if grown:
         print(f"FAIL: optimized unfolding larger for {grown}", file=sys.stderr)
+        return 1
+    grown_con = [
+        query_id
+        for query_id, data in per_query.items()
+        if data["constraints_on"]["sql_characters"]
+        > data["facts_on"]["sql_characters"]
+    ]
+    if grown_con:
+        print(
+            f"FAIL: constraint unfolding larger than facts-only for "
+            f"{grown_con}",
+            file=sys.stderr,
+        )
         return 1
     if mismatches:
         print(f"FAIL: result bags differ for {mismatches}", file=sys.stderr)

@@ -10,6 +10,16 @@ self-joins, skipped guaranteed-empty UCQ disjuncts.
 """
 
 from .analyzer import analyze
+from .constraints import (
+    ConstraintReport,
+    ConstraintSet,
+    ConstraintSyntaxError,
+    Declaration,
+    ExactMappingConstraint,
+    VfdConstraint,
+    build_constraints,
+    parse_declarations,
+)
 from .facts import (
     EmptyEntityFact,
     ExactMappingFact,
@@ -27,7 +37,12 @@ from .query_pass import run_query_pass
 
 __all__ = [
     "AnalysisReport",
+    "ConstraintReport",
+    "ConstraintSet",
+    "ConstraintSyntaxError",
+    "Declaration",
     "EmptyEntityFact",
+    "ExactMappingConstraint",
     "ExactMappingFact",
     "FactBase",
     "Finding",
@@ -36,9 +51,12 @@ __all__ = [
     "NotNullFact",
     "Severity",
     "UniqueFact",
+    "VfdConstraint",
     "analyze",
     "apply_mutant",
+    "build_constraints",
     "build_factbase",
+    "parse_declarations",
     "run_mapping_pass",
     "run_ontology_pass",
     "run_query_pass",

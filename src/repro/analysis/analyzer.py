@@ -23,6 +23,7 @@ from ..owl.model import Ontology
 from ..owl.reasoner import QLReasoner
 from ..sparql.ast import SelectQuery
 from ..sql.engine import Database
+from .constraints import build_constraints
 from .facts import build_factbase
 from .mapping_pass import run_mapping_pass
 from .model import AnalysisReport
@@ -42,6 +43,8 @@ def analyze(
     verify_data: bool = True,
     perf: bool = True,
     perf_threshold: float = DEFAULT_CARDINALITY_THRESHOLD,
+    constraints: bool = True,
+    constraint_declarations: str = "",
 ) -> AnalysisReport:
     """Run obdalint end to end and return the report (with FactBase)."""
     started = time.perf_counter()
@@ -58,6 +61,17 @@ def analyze(
     report.extend(run_mapping_pass(database.catalog, mappings))
     passes.append("ontology")
     report.extend(run_ontology_pass(ontology, reasoner, factbase))
+    if constraints:
+        passes.append("constraints")
+        report.constraints = build_constraints(
+            database=database,
+            ontology=ontology,
+            mappings=mappings,
+            reasoner=reasoner,
+            declarations=constraint_declarations,
+            verify_data=verify_data,
+        )
+        report.extend(report.constraints.findings)
     if queries or advisory_queries:
         passes.append("query")
         report.extend(

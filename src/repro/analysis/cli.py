@@ -12,6 +12,7 @@ nonzero when the assets are unhealthy:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -19,6 +20,7 @@ from ..diffcheck.fuzzer import QueryFuzzer
 from ..npd import build_benchmark
 from ..npd.seed import SeedProfile
 from .analyzer import analyze
+from .constraints import ConstraintSyntaxError
 from .mutants import MUTANTS, apply_mutant
 
 
@@ -80,6 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip pass 4 (PERF_NO_ACCESS_PATH cardinality lint)",
     )
     parser.add_argument(
+        "--constraints",
+        action="store_true",
+        help="print the inferred/verified/rejected exact-mapping and VFD "
+        "constraints as JSON on stdout",
+    )
+    parser.add_argument(
+        "--constraints-file",
+        metavar="PATH",
+        help="declaration file ('exact <iri>' / 'vfd table: col, ... -> col' "
+        "lines) the verifier must confirm or reject",
+    )
+    parser.add_argument(
+        "--no-constraints",
+        action="store_true",
+        help="skip the constraints pass (inference + data verification)",
+    )
+    parser.add_argument(
         "--perf-threshold",
         type=float,
         default=None,
@@ -122,6 +141,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.mutant, database, ontology, mappings, seed=args.seed
         )
         print(f"mutant injected: {args.mutant} (seed {args.seed})", file=sys.stderr)
+    declarations: List[str] = []
+    if args.constraints_file:
+        try:
+            with open(args.constraints_file, "r", encoding="utf-8") as handle:
+                declarations.append(handle.read())
+        except OSError as exc:
+            print(f"cannot read {args.constraints_file}: {exc}", file=sys.stderr)
+            return 2
+    if args.mutant:
+        declarations.extend(MUTANTS[args.mutant].declarations)
     queries = (
         None
         if args.no_queries
@@ -136,16 +165,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     perf_kwargs = {}
     if args.perf_threshold is not None:
         perf_kwargs["perf_threshold"] = args.perf_threshold
-    report = analyze(
-        database,
-        ontology,
-        mappings,
-        queries=queries,
-        advisory_queries=advisory,
-        verify_data=not args.no_verify_data,
-        perf=not args.no_perf,
-        **perf_kwargs,
-    )
+    try:
+        report = analyze(
+            database,
+            ontology,
+            mappings,
+            queries=queries,
+            advisory_queries=advisory,
+            verify_data=not args.no_verify_data,
+            perf=not args.no_perf,
+            constraints=not args.no_constraints,
+            constraint_declarations="\n".join(declarations),
+            **perf_kwargs,
+        )
+    except ConstraintSyntaxError as exc:
+        print(f"bad constraint declaration: {exc}", file=sys.stderr)
+        return 2
+    if args.constraints and report.constraints is not None:
+        print(
+            json.dumps(report.constraints.to_dict(), indent=2, sort_keys=True)
+        )
     if args.json:
         payload = report.to_json()
         if args.json == "-":
@@ -154,7 +193,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
     if args.quiet:
-        print(report.describe().rsplit("\n", 2)[-2])
+        described = report.describe().splitlines()
+        print(
+            next(
+                line
+                for line in reversed(described)
+                if line.startswith("obdalint:")
+            )
+        )
     else:
         print(report.describe())
     counts = report.counts()

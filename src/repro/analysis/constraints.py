@@ -1,0 +1,879 @@
+"""Optimization-grade OBDA constraints: exact mappings and virtual FDs.
+
+Implements the constraint layer of Hovland, Lanti, Rezk and Xiao's *OBDA
+Constraints for Effective Query Answering* on top of PR 3's FactBase:
+
+* :class:`ExactMappingConstraint` -- an ontology entity whose *own* raw
+  mapping assertions already produce its full extension: every individual
+  (or pair) contributed by a mapped proper sub-entity in the subconcept /
+  subrole closure is also produced by the entity's own assertions.  An
+  exact class needs no subclass expansion in the rewriter and no
+  subclass-origin disjuncts in the unfolder.
+* :class:`VfdConstraint` -- a *virtual functional dependency* over a base
+  table: rows that agree on the (non-NULL) determinant columns also agree
+  on the dependent column, NULLs included.  VFDs license merging the
+  redundant self-joins that OBDA unfolding produces when several mapping
+  assertions over the same table are joined on a non-key subject.
+
+Both kinds are *inferred* from the mappings against the schema and then
+*verified* against the data, like the FactBase facts; users can also
+*declare* constraints with a two-line syntax (:func:`parse_declarations`)
+and the verifier confirms or rejects each declaration with a Finding:
+
+* ``CON_EXACT_VIOLATED`` -- a declared exact mapping has a counterexample
+  individual contributed by a sub-entity only;
+* ``CON_VFD_VIOLATED`` -- a declared VFD has two rows agreeing on the
+  determinants but not on the dependent;
+* ``CON_UNVERIFIABLE`` -- a declaration references an unknown entity,
+  table or column, or data verification was disabled.
+
+Only constraints that survive verification end up in the
+:class:`ConstraintSet` the engine consumes; rejected *inferred* candidates
+are dropped silently (they were never asserted by anyone) but reported in
+the :class:`ConstraintReport` for ``--constraints`` JSON output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..owl.model import (
+    ClassConcept,
+    DataPropertyRef,
+    DataSomeValues,
+    Ontology,
+    Role,
+    SomeValues,
+)
+from ..owl.reasoner import QLReasoner
+from ..sql.errors import SqlError
+from .model import Finding, Severity
+
+CON_EXACT_VIOLATED = "CON_EXACT_VIOLATED"
+CON_VFD_VIOLATED = "CON_VFD_VIOLATED"
+CON_UNVERIFIABLE = "CON_UNVERIFIABLE"
+
+
+# ---------------------------------------------------------------------------
+# Constraint model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExactMappingConstraint:
+    """Entity whose own mappings cover its whole subentity closure."""
+
+    entity: str
+    kind: str  # "class" | "object-property" | "data-property"
+    origin: str  # "declared" | "inferred" | "static"
+
+    def label(self) -> str:
+        return f"exact:{self.entity}[{self.kind},{self.origin}]"
+
+
+@dataclass(frozen=True)
+class VfdConstraint:
+    """Strict virtual functional dependency ``table: determinants -> dep``.
+
+    *Strict* means rows with equal, all-non-NULL determinant values agree
+    on the dependent **including NULL-ness** -- exactly the condition under
+    which the unfolder may collapse a self-join over the determinants into
+    a single scan without changing the produced set of answers.
+    """
+
+    table: str
+    determinants: Tuple[str, ...]
+    dependent: str
+    origin: str  # "declared" | "inferred"
+
+    def label(self) -> str:
+        dets = ",".join(self.determinants)
+        return f"vfd:{self.table}({dets})->{self.dependent}[{self.origin}]"
+
+
+Constraint = Union[ExactMappingConstraint, VfdConstraint]
+
+
+class ConstraintSet:
+    """Verified constraints, indexed for the unfolder/rewriter lookups."""
+
+    def __init__(
+        self,
+        exact: Iterable[ExactMappingConstraint] = (),
+        vfds: Iterable[VfdConstraint] = (),
+        declarations: Iterable["Declaration"] = (),
+        generation: Optional[int] = None,
+    ) -> None:
+        self.exact_constraints = tuple(exact)
+        self.vfd_constraints = tuple(vfds)
+        self.declarations = tuple(declarations)
+        # database plan-generation this set was verified against; the
+        # engine compares it on every execute to detect staleness
+        self.generation = generation
+        self._exact: Dict[str, ExactMappingConstraint] = {
+            c.entity: c for c in self.exact_constraints
+        }
+        self._vfds: Dict[str, List[Tuple[frozenset, str, VfdConstraint]]] = {}
+        for vfd in self.vfd_constraints:
+            self._vfds.setdefault(vfd.table, []).append(
+                (frozenset(vfd.determinants), vfd.dependent, vfd)
+            )
+
+    # -- lookups -------------------------------------------------------------
+
+    def exact(self, entity: str) -> Optional[ExactMappingConstraint]:
+        return self._exact.get(entity)
+
+    def vfd_covers(
+        self, table: str, determinants: Iterable[str], dependent: str
+    ) -> Optional[VfdConstraint]:
+        """A VFD whose determinants are a subset of *determinants*.
+
+        FD weakening: if ``X -> y`` holds then ``X' -> y`` holds for every
+        ``X' ⊇ X`` (rows agreeing on non-NULL X' agree on the subset X).
+        """
+        available = {c.lower() for c in determinants}
+        dep = dependent.lower()
+        for dets, dependent_col, vfd in self._vfds.get(table.lower(), ()):
+            if dependent_col == dep and dets <= available:
+                return vfd
+        return None
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def all_constraints(self) -> Tuple[Constraint, ...]:
+        return self.exact_constraints + self.vfd_constraints
+
+    def __len__(self) -> int:
+        return len(self.exact_constraints) + len(self.vfd_constraints)
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1()
+        for constraint in sorted(self.all_constraints(), key=repr):
+            digest.update(repr(constraint).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "exact": len(self.exact_constraints),
+            "exact_declared": sum(
+                1 for c in self.exact_constraints if c.origin == "declared"
+            ),
+            "vfd": len(self.vfd_constraints),
+            "vfd_declared": sum(
+                1 for c in self.vfd_constraints if c.origin == "declared"
+            ),
+        }
+
+    def describe(self) -> str:
+        counts = self.counts()
+        return (
+            f"{counts['exact']} exact mappings, {counts['vfd']} virtual FDs "
+            f"(fingerprint {self.fingerprint()})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = dict(self.counts())
+        payload["fingerprint"] = self.fingerprint()
+        payload["exact_entities"] = sorted(
+            c.entity for c in self.exact_constraints
+        )
+        payload["vfds"] = sorted(c.label() for c in self.vfd_constraints)
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Declaration syntax
+# ---------------------------------------------------------------------------
+
+
+class ConstraintSyntaxError(ValueError):
+    """Raised on malformed constraint declaration text."""
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One user-asserted constraint, prior to verification.
+
+    Textual syntax (one declaration per line, ``#`` comments)::
+
+        exact <http://sws.ifi.uio.no/vocab/npd-v2#Quadrant>
+        vfd licence: prlnpdidlicence -> prlname
+    """
+
+    kind: str  # "exact" | "vfd"
+    entity: str = ""
+    table: str = ""
+    determinants: Tuple[str, ...] = ()
+    dependent: str = ""
+    line: int = 0
+
+    def label(self) -> str:
+        if self.kind == "exact":
+            return f"exact:{self.entity}"
+        dets = ",".join(self.determinants)
+        return f"vfd:{self.table}({dets})->{self.dependent}"
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment -- but IRIs carry fragments, so a ``#``
+    inside ``<...>`` is part of the IRI, not a comment."""
+    in_iri = False
+    for position, char in enumerate(line):
+        if char == "<":
+            in_iri = True
+        elif char == ">":
+            in_iri = False
+        elif char == "#" and not in_iri:
+            return line[:position]
+    return line
+
+
+def parse_declarations(text: str) -> List[Declaration]:
+    """Parse constraint declaration text; raises ConstraintSyntaxError."""
+    declarations: List[Declaration] = []
+    for number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        keyword, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if keyword == "exact":
+            if not rest:
+                raise ConstraintSyntaxError(
+                    f"line {number}: 'exact' needs an entity IRI"
+                )
+            entity = rest
+            if entity.startswith("<") and entity.endswith(">"):
+                entity = entity[1:-1]
+            if not entity or " " in entity:
+                raise ConstraintSyntaxError(
+                    f"line {number}: malformed entity IRI {rest!r}"
+                )
+            declarations.append(
+                Declaration(kind="exact", entity=entity, line=number)
+            )
+        elif keyword == "vfd":
+            table, colon, spec = rest.partition(":")
+            table = table.strip().lower()
+            dets_text, arrow, dep = spec.partition("->")
+            if not colon or not arrow or not table:
+                raise ConstraintSyntaxError(
+                    f"line {number}: expected 'vfd table: col, ... -> col', "
+                    f"got {line!r}"
+                )
+            determinants = tuple(
+                sorted(
+                    {c.strip().lower() for c in dets_text.split(",") if c.strip()}
+                )
+            )
+            dependent = dep.strip().lower()
+            if not determinants or not dependent or " " in dependent:
+                raise ConstraintSyntaxError(
+                    f"line {number}: expected 'vfd table: col, ... -> col', "
+                    f"got {line!r}"
+                )
+            declarations.append(
+                Declaration(
+                    kind="vfd",
+                    table=table,
+                    determinants=determinants,
+                    dependent=dependent,
+                    line=number,
+                )
+            )
+        else:
+            raise ConstraintSyntaxError(
+                f"line {number}: unknown declaration keyword {keyword!r}"
+            )
+    return declarations
+
+
+# ---------------------------------------------------------------------------
+# Inference: candidate constraints from mappings vs. schema
+# ---------------------------------------------------------------------------
+
+
+def _mapped_entities(mappings) -> Tuple[Set[str], Set[str]]:
+    classes: Set[str] = set()
+    predicates: Set[str] = set()
+    for assertion in mappings.class_assertions():
+        classes.add(assertion.entity)
+    for assertion in mappings.property_assertions():
+        predicates.add(assertion.entity)
+    return classes, predicates
+
+
+def _generator_mapped(
+    concept, mapped_classes: Set[str], mapped_predicates: Set[str]
+) -> bool:
+    if isinstance(concept, ClassConcept):
+        return concept.iri in mapped_classes
+    if isinstance(concept, SomeValues):
+        return concept.role.iri in mapped_predicates
+    if isinstance(concept, DataSomeValues):
+        return concept.prop.iri in mapped_predicates
+    return True  # unknown concept forms: assume populated (stay sound)
+
+
+@dataclass(frozen=True)
+class _ExactCandidate:
+    """An exact-mapping candidate plus the proper generators to check."""
+
+    constraint: ExactMappingConstraint
+    proper_generators: Tuple[object, ...] = ()
+
+
+def _bare_table_projection(statement, catalog) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """(table, output columns) for ``SELECT a, b FROM t`` sources, else None.
+
+    Only plain projections qualify: single branch, no WHERE/joins/renames,
+    every select item a bare column of the base table.  These are the
+    sources whose self-joins the VFD optimization can collapse.
+    """
+    from ..sql.ast import ColumnRef, NamedTable
+
+    if statement.union is not None or statement.where is not None:
+        return None
+    source = statement.source
+    if not isinstance(source, NamedTable):
+        return None
+    table_name = source.name.lower()
+    if not catalog.has_table(table_name):
+        return None
+    table = catalog.table(table_name)
+    outputs: List[str] = []
+    for item in statement.items:
+        expr = item.expr
+        if not isinstance(expr, ColumnRef):
+            return None
+        column = expr.name.lower()
+        if item.alias is not None and item.alias.lower() != column:
+            return None
+        if not table.has_column(column):
+            return None
+        outputs.append(column)
+    if not outputs:
+        return None
+    return table_name, tuple(outputs)
+
+
+def infer_exact_candidates(
+    ontology: Ontology, mappings, reasoner: QLReasoner
+) -> List[_ExactCandidate]:
+    """Exact-mapping candidates for every mapped entity.
+
+    Entities whose mapped closure is just themselves are exact *statically*
+    (origin ``static``, nothing to verify); entities with mapped proper
+    sub-entities become ``inferred`` candidates whose proper generators
+    must be data-checked for containment in the entity's own extension.
+    """
+    mapped_classes, mapped_predicates = _mapped_entities(mappings)
+    candidates: List[_ExactCandidate] = []
+    for cls in sorted(ontology.classes):
+        if cls not in mapped_classes:
+            continue
+        generators = reasoner.subconcepts_of(ClassConcept(cls))
+        proper = tuple(
+            g
+            for g in generators
+            if not (isinstance(g, ClassConcept) and g.iri == cls)
+            and _generator_mapped(g, mapped_classes, mapped_predicates)
+        )
+        origin = "static" if not proper else "inferred"
+        candidates.append(
+            _ExactCandidate(
+                ExactMappingConstraint(cls, "class", origin), proper
+            )
+        )
+    for prop in sorted(ontology.object_properties):
+        if prop not in mapped_predicates:
+            continue
+        subroles = reasoner.subroles_of(Role(prop))
+        proper = tuple(
+            r
+            for r in subroles
+            if r != Role(prop) and r.iri in mapped_predicates
+        )
+        origin = "static" if not proper else "inferred"
+        candidates.append(
+            _ExactCandidate(
+                ExactMappingConstraint(prop, "object-property", origin), proper
+            )
+        )
+    for prop in sorted(ontology.data_properties):
+        if prop not in mapped_predicates:
+            continue
+        subprops = reasoner.sub_data_properties_of(DataPropertyRef(prop))
+        proper = tuple(
+            p for p in subprops if p.iri != prop and p.iri in mapped_predicates
+        )
+        origin = "static" if not proper else "inferred"
+        candidates.append(
+            _ExactCandidate(
+                ExactMappingConstraint(prop, "data-property", origin), proper
+            )
+        )
+    return candidates
+
+
+def infer_vfd_candidates(database, mappings) -> List[VfdConstraint]:
+    """VFD candidates from subject-template usage in bare-projection sources.
+
+    For every assertion ``SELECT x.., y.. FROM t`` whose subject template
+    reads columns X and which references a non-subject column y, the pair
+    ``t: X -> y`` is a candidate -- it is exactly the dependency that, when
+    it holds, collapses the self-join the unfolder would otherwise emit
+    between this assertion and its siblings.  Candidates where X contains
+    the primary key are skipped: uniqueness already licenses the merge via
+    the FactBase.
+    """
+    catalog = database.catalog
+    seen: Dict[Tuple[str, Tuple[str, ...], str], VfdConstraint] = {}
+    for assertion in mappings:
+        try:
+            statement = assertion.parsed_source()
+        except Exception:  # noqa: BLE001 - malformed sources are lint findings
+            continue
+        projection = _bare_table_projection(statement, catalog)
+        if projection is None:
+            continue
+        table_name, outputs = projection
+        subject_cols = tuple(c.lower() for c in assertion.subject.columns)
+        if not subject_cols or any(c not in outputs for c in subject_cols):
+            continue
+        table = catalog.table(table_name)
+        if table.primary_key and set(table.primary_key) <= set(subject_cols):
+            continue  # unique subject: merging is already fact-licensed
+        determinants = tuple(sorted(set(subject_cols)))
+        for column in assertion.referenced_columns():
+            column = column.lower()
+            if column in determinants or column not in outputs:
+                continue
+            key = (table_name, determinants, column)
+            if key not in seen:
+                seen[key] = VfdConstraint(
+                    table_name, determinants, column, "inferred"
+                )
+    return sorted(seen.values(), key=lambda c: c.label())
+
+
+# ---------------------------------------------------------------------------
+# Verification against the data
+# ---------------------------------------------------------------------------
+
+
+class _ExtensionCache:
+    """Lazily-computed extensions of mapped entities (raw mappings)."""
+
+    def __init__(self, database, mappings) -> None:
+        self._database = database
+        self._mappings = mappings
+        self._subjects: Dict[str, Set[object]] = {}
+        self._pairs: Dict[str, Set[Tuple[object, object]]] = {}
+
+    def subjects(self, entity: str) -> Set[object]:
+        cached = self._subjects.get(entity)
+        if cached is None:
+            cached = {
+                subject
+                for subject, _, _ in self._entity_triples(entity)
+            }
+            self._subjects[entity] = cached
+        return cached
+
+    def pairs(self, entity: str) -> Set[Tuple[object, object]]:
+        cached = self._pairs.get(entity)
+        if cached is None:
+            cached = {
+                (subject, obj)
+                for subject, _, obj in self._entity_triples(entity)
+            }
+            self._pairs[entity] = cached
+        return cached
+
+    def objects(self, entity: str) -> Set[object]:
+        return {obj for _, obj in self.pairs(entity)}
+
+    def role_subjects(self, entity: str) -> Set[object]:
+        return {subject for subject, _ in self.pairs(entity)}
+
+    def generator_instances(self, generator) -> Set[object]:
+        """Individuals a basic concept contributes to a class extension."""
+        if isinstance(generator, ClassConcept):
+            return self.subjects(generator.iri)
+        if isinstance(generator, SomeValues):
+            if generator.role.inverse:
+                return self.objects(generator.role.iri)
+            return self.role_subjects(generator.role.iri)
+        if isinstance(generator, DataSomeValues):
+            return self.role_subjects(generator.prop.iri)
+        return set()
+
+    def role_pairs(self, role: Role) -> Set[Tuple[object, object]]:
+        pairs = self.pairs(role.iri)
+        if role.inverse:
+            return {(obj, subject) for subject, obj in pairs}
+        return pairs
+
+    def _entity_triples(self, entity: str):
+        from ..obda.materializer import triples_of_assertion
+
+        for assertion in self._mappings.for_entity(entity):
+            yield from triples_of_assertion(self._database, assertion)
+
+
+def verify_exact(
+    cache: _ExtensionCache, candidate: _ExactCandidate
+) -> Optional[str]:
+    """None when the candidate holds, else a human-readable counterexample."""
+    constraint = candidate.constraint
+    if constraint.origin == "static":
+        return None
+    if constraint.kind == "class":
+        own = cache.subjects(constraint.entity)
+        for generator in candidate.proper_generators:
+            extra = cache.generator_instances(generator) - own
+            if extra:
+                sample = sorted(str(term) for term in extra)[0]
+                return f"{generator} contributes {sample} not in own extension"
+        return None
+    own_pairs = cache.pairs(constraint.entity)
+    for generator in candidate.proper_generators:
+        if isinstance(generator, Role):
+            extra_pairs = cache.role_pairs(generator) - own_pairs
+        else:  # DataPropertyRef
+            extra_pairs = cache.pairs(generator.iri) - own_pairs
+        if extra_pairs:
+            subject, obj = sorted(
+                extra_pairs, key=lambda pair: (str(pair[0]), str(pair[1]))
+            )[0]
+            return (
+                f"{generator} contributes ({subject}, {obj}) "
+                f"not in own extension"
+            )
+    return None
+
+
+def verify_vfd(database, vfd: VfdConstraint) -> Optional[str]:
+    """None when the VFD holds on the data, else a counterexample string."""
+    catalog = database.catalog
+    if not catalog.has_table(vfd.table):
+        raise KeyError(f"unknown table {vfd.table!r}")
+    table = catalog.table(vfd.table)
+    for column in vfd.determinants + (vfd.dependent,):
+        if not table.has_column(column):
+            raise KeyError(f"unknown column {vfd.table}.{column}")
+    det_positions = [table.column_position(c) for c in vfd.determinants]
+    dep_position = table.column_position(vfd.dependent)
+    seen: Dict[Tuple[object, ...], object] = {}
+    for row in table.iter_rows():
+        key = tuple(row[i] for i in det_positions)
+        if any(value is None for value in key):
+            continue  # strict VFDs quantify over non-NULL determinants
+        value = row[dep_position]
+        if key in seen:
+            if seen[key] != value:
+                dets = ",".join(vfd.determinants)
+                return (
+                    f"rows with {dets}={key!r} disagree on "
+                    f"{vfd.dependent}: {seen[key]!r} vs {value!r}"
+                )
+        else:
+            seen[key] = value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The builder
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConstraintReport:
+    """Outcome of one constraint inference + verification run."""
+
+    constraints: ConstraintSet
+    findings: List[Finding] = field(default_factory=list)
+    inferred: List[str] = field(default_factory=list)
+    verified: List[str] = field(default_factory=list)
+    rejected: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "constraints": self.constraints.to_dict(),
+            "inferred": sorted(self.inferred),
+            "verified": sorted(self.verified),
+            "rejected": sorted(self.rejected),
+            "findings": [f.to_dict() for f in self.findings],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def _declared_exact_candidate(
+    declaration: Declaration,
+    ontology: Ontology,
+    mappings,
+    reasoner: QLReasoner,
+) -> Optional[_ExactCandidate]:
+    """Build the verification obligation for a declared exact constraint."""
+    entity = declaration.entity
+    mapped_classes, mapped_predicates = _mapped_entities(mappings)
+    if entity in ontology.classes:
+        kind = "class"
+        if entity not in mapped_classes:
+            return None
+        generators = reasoner.subconcepts_of(ClassConcept(entity))
+        proper = tuple(
+            g
+            for g in generators
+            if not (isinstance(g, ClassConcept) and g.iri == entity)
+            and _generator_mapped(g, mapped_classes, mapped_predicates)
+        )
+    elif entity in ontology.object_properties:
+        kind = "object-property"
+        if entity not in mapped_predicates:
+            return None
+        proper = tuple(
+            r
+            for r in reasoner.subroles_of(Role(entity))
+            if r != Role(entity) and r.iri in mapped_predicates
+        )
+    elif entity in ontology.data_properties:
+        kind = "data-property"
+        if entity not in mapped_predicates:
+            return None
+        proper = tuple(
+            p
+            for p in reasoner.sub_data_properties_of(DataPropertyRef(entity))
+            if p.iri != entity and p.iri in mapped_predicates
+        )
+    else:
+        raise KeyError(f"unknown entity {entity!r}")
+    return _ExactCandidate(
+        ExactMappingConstraint(entity, kind, "declared"), proper
+    )
+
+
+def build_constraints(
+    database=None,
+    ontology: Optional[Ontology] = None,
+    mappings=None,
+    reasoner: Optional[QLReasoner] = None,
+    declarations: Union[str, Sequence[Declaration]] = (),
+    verify_data: bool = True,
+) -> ConstraintReport:
+    """Infer, merge with declarations, and data-verify OBDA constraints.
+
+    Returns a :class:`ConstraintReport` whose ``constraints`` hold only
+    the verified survivors; failed *declarations* additionally produce
+    ERROR findings (``CON_EXACT_VIOLATED`` / ``CON_VFD_VIOLATED``), and
+    unverifiable ones produce ``CON_UNVERIFIABLE`` warnings.
+    """
+    started = time.perf_counter()
+    if isinstance(declarations, str):
+        declarations = parse_declarations(declarations)
+    declarations = tuple(declarations)
+    findings: List[Finding] = []
+    inferred: List[str] = []
+    verified: List[str] = []
+    rejected: List[str] = []
+    exact_out: List[ExactMappingConstraint] = []
+    vfd_out: List[VfdConstraint] = []
+
+    have_assets = ontology is not None and mappings is not None
+    reasoner = reasoner or (QLReasoner(ontology) if ontology is not None else None)
+    cache = (
+        _ExtensionCache(database, mappings)
+        if database is not None and mappings is not None
+        else None
+    )
+
+    # -- exact mappings ------------------------------------------------------
+    exact_candidates: List[_ExactCandidate] = []
+    declared_exact_entities: Set[str] = set()
+    for declaration in declarations:
+        if declaration.kind != "exact":
+            continue
+        declared_exact_entities.add(declaration.entity)
+        if not have_assets:
+            findings.append(
+                Finding(
+                    CON_UNVERIFIABLE,
+                    Severity.WARNING,
+                    "constraints",
+                    declaration.label(),
+                    "no ontology/mappings loaded to verify against",
+                )
+            )
+            continue
+        try:
+            candidate = _declared_exact_candidate(
+                declaration, ontology, mappings, reasoner
+            )
+        except KeyError:
+            findings.append(
+                Finding(
+                    CON_UNVERIFIABLE,
+                    Severity.WARNING,
+                    "constraints",
+                    declaration.label(),
+                    f"entity {declaration.entity} not in the ontology",
+                )
+            )
+            continue
+        if candidate is None:
+            findings.append(
+                Finding(
+                    CON_UNVERIFIABLE,
+                    Severity.WARNING,
+                    "constraints",
+                    declaration.label(),
+                    f"entity {declaration.entity} has no mapping assertions",
+                )
+            )
+            continue
+        exact_candidates.append(candidate)
+    if have_assets:
+        for candidate in infer_exact_candidates(ontology, mappings, reasoner):
+            if candidate.constraint.entity in declared_exact_entities:
+                continue  # the declaration's obligation supersedes
+            exact_candidates.append(candidate)
+
+    for candidate in exact_candidates:
+        constraint = candidate.constraint
+        inferred.append(constraint.label())
+        if constraint.origin == "static" or not candidate.proper_generators:
+            verified.append(constraint.label())
+            exact_out.append(constraint)
+            continue
+        if not verify_data or cache is None:
+            if constraint.origin == "declared":
+                findings.append(
+                    Finding(
+                        CON_UNVERIFIABLE,
+                        Severity.WARNING,
+                        "constraints",
+                        constraint.entity,
+                        "data verification disabled; exactness not assumed",
+                    )
+                )
+            rejected.append(constraint.label())
+            continue
+        try:
+            counterexample = verify_exact(cache, candidate)
+        except (SqlError, KeyError) as exc:
+            # broken assets (e.g. a mapping over a dropped column) make
+            # the extension unmaterializable; the mapping pass reports
+            # the defect itself, here the candidate is just unverifiable
+            rejected.append(constraint.label())
+            if constraint.origin == "declared":
+                findings.append(
+                    Finding(
+                        CON_UNVERIFIABLE,
+                        Severity.WARNING,
+                        "constraints",
+                        constraint.entity,
+                        f"cannot verify: {exc}",
+                    )
+                )
+            continue
+        if counterexample is None:
+            verified.append(constraint.label())
+            exact_out.append(constraint)
+        else:
+            rejected.append(constraint.label())
+            if constraint.origin == "declared":
+                findings.append(
+                    Finding(
+                        CON_EXACT_VIOLATED,
+                        Severity.ERROR,
+                        "constraints",
+                        constraint.entity,
+                        f"declared exact mapping violated: {counterexample}",
+                    )
+                )
+
+    # -- virtual functional dependencies -------------------------------------
+    vfd_candidates: List[VfdConstraint] = []
+    declared_vfd_keys: Set[Tuple[str, Tuple[str, ...], str]] = set()
+    for declaration in declarations:
+        if declaration.kind != "vfd":
+            continue
+        vfd = VfdConstraint(
+            declaration.table,
+            declaration.determinants,
+            declaration.dependent,
+            "declared",
+        )
+        declared_vfd_keys.add((vfd.table, vfd.determinants, vfd.dependent))
+        vfd_candidates.append(vfd)
+    if database is not None and mappings is not None:
+        for vfd in infer_vfd_candidates(database, mappings):
+            key = (vfd.table, vfd.determinants, vfd.dependent)
+            if key not in declared_vfd_keys:
+                vfd_candidates.append(vfd)
+
+    for vfd in vfd_candidates:
+        inferred.append(vfd.label())
+        if database is None or not verify_data:
+            if vfd.origin == "declared":
+                findings.append(
+                    Finding(
+                        CON_UNVERIFIABLE,
+                        Severity.WARNING,
+                        "constraints",
+                        vfd.label(),
+                        "data verification disabled; VFD not assumed",
+                    )
+                )
+            rejected.append(vfd.label())
+            continue
+        try:
+            counterexample = verify_vfd(database, vfd)
+        except KeyError as exc:
+            rejected.append(vfd.label())
+            findings.append(
+                Finding(
+                    CON_UNVERIFIABLE,
+                    Severity.WARNING,
+                    "constraints",
+                    vfd.label(),
+                    f"cannot verify: {exc.args[0]}",
+                )
+            )
+            continue
+        if counterexample is None:
+            verified.append(vfd.label())
+            vfd_out.append(vfd)
+        else:
+            rejected.append(vfd.label())
+            if vfd.origin == "declared":
+                findings.append(
+                    Finding(
+                        CON_VFD_VIOLATED,
+                        Severity.ERROR,
+                        "constraints",
+                        vfd.label(),
+                        f"declared VFD violated: {counterexample}",
+                    )
+                )
+
+    generation = (
+        database.plan_generation if database is not None else None
+    )
+    constraints = ConstraintSet(
+        exact_out, vfd_out, declarations, generation=generation
+    )
+    return ConstraintReport(
+        constraints=constraints,
+        findings=findings,
+        inferred=inferred,
+        verified=verified,
+        rejected=rejected,
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -111,6 +111,10 @@ class FactBase:
         self.foreign_key_facts = tuple(foreign_keys)
         self.empty_entity_facts = tuple(empty_entities)
         self.exact_mapping_facts = tuple(exact_mappings)
+        #: data generation (``Database.plan_generation``) the facts were
+        #: verified at; the engine demotes the fact base when DML outruns
+        #: it.  None means "unknown" (e.g. hand-built fact bases)
+        self.generation: Optional[int] = None
         self._not_null: Dict[Tuple[str, str], NotNullFact] = {
             (f.table, f.column): f for f in self.not_null_facts
         }
@@ -342,4 +346,7 @@ def build_factbase(
         empties, exacts = _empty_entity_facts(
             ontology, mappings, reasoner or QLReasoner(ontology)
         )
-    return FactBase(not_null, unique, fks, empties, exacts)
+    factbase = FactBase(not_null, unique, fks, empties, exacts)
+    if database is not None:
+        factbase.generation = database.plan_generation
+    return factbase

@@ -16,6 +16,7 @@ from enum import IntEnum
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .constraints import ConstraintReport
     from .facts import FactBase
 
 
@@ -63,6 +64,7 @@ class AnalysisReport:
 
     findings: List[Finding] = field(default_factory=list)
     factbase: Optional["FactBase"] = None
+    constraints: Optional["ConstraintReport"] = None
     elapsed_seconds: float = 0.0
     passes: Tuple[str, ...] = ()
 
@@ -95,7 +97,13 @@ class AnalysisReport:
 
     def describe(self) -> str:
         lines = []
-        order = {"mapping": 0, "schema": 1, "ontology": 2, "query": 3}
+        order = {
+            "mapping": 0,
+            "schema": 1,
+            "ontology": 2,
+            "constraints": 3,
+            "query": 4,
+        }
         ranked = sorted(
             self.findings,
             key=lambda f: (-int(f.severity), order.get(f.layer, 9), f.code, f.subject),
@@ -113,6 +121,8 @@ class AnalysisReport:
         )
         if self.factbase is not None:
             lines.append("facts: " + self.factbase.describe())
+        if self.constraints is not None:
+            lines.append("constraints: " + self.constraints.constraints.describe())
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -122,5 +132,8 @@ class AnalysisReport:
             "elapsed_seconds": self.elapsed_seconds,
             "passes": list(self.passes),
             "facts": self.factbase.to_dict() if self.factbase is not None else None,
+            "constraints": (
+                self.constraints.to_dict() if self.constraints is not None else None
+            ),
         }
         return json.dumps(payload, indent=2, sort_keys=True)

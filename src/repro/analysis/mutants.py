@@ -43,6 +43,9 @@ class Mutant:
     #: finding codes of which at least one must surface as an ERROR
     expect_codes: Tuple[str, ...]
     apply: Callable[[Database, Ontology, MappingCollection, random.Random], Assets]
+    #: constraint declaration lines to analyze the mutant under (the
+    #: constraint mutants assert something the verifier must then refute)
+    declarations: Tuple[str, ...] = ()
 
 
 def _mapped_columns_of(table: Table, mappings: MappingCollection) -> List[str]:
@@ -234,6 +237,54 @@ def _unsat_class(
     return database, mutated, mappings
 
 
+def _identity(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    """The defect lives in the declarations, not the assets."""
+    return database, ontology, mappings
+
+
+def _vfd_dup_row(
+    database: Database,
+    ontology: Ontology,
+    mappings: MappingCollection,
+    rng: random.Random,
+) -> Assets:
+    """Break ``field_operator_hst(fldnpdidfield) -> cmpnpdidcompany``.
+
+    That VFD holds on the pristine seed (one operator per field in the
+    history sheet).  One extra row -- same field, fresh history date,
+    *different* existing company -- refutes it while keeping every key
+    and foreign key intact, so only the VFD verifier can notice.
+    """
+    table = database.catalog.table("field_operator_hst")
+    rows = list(table.iter_rows())
+    if not rows:  # pragma: no cover - the NPD seed always populates it
+        raise RuntimeError("field_operator_hst is empty, nothing to duplicate")
+    victim = list(rows[rng.randrange(len(rows))])
+    field_pos = table.column_position("fldnpdidfield")
+    date_pos = table.column_position("fldoperdatefrom")
+    company_pos = table.column_position("cmpnpdidcompany")
+    company = database.catalog.table("company")
+    company_pk = company.column_position("cmpnpdidcompany")
+    others = sorted(
+        {row[company_pk] for row in company.iter_rows()} - {victim[company_pos]}
+    )
+    if not others:  # pragma: no cover - the NPD seed has many companies
+        raise RuntimeError("no second company to reassign the field to")
+    victim[company_pos] = others[rng.randrange(len(others))]
+    taken = {row[date_pos] for row in rows if row[field_pos] == victim[field_pos]}
+    day = 1
+    while f"1899-01-{day:02d}" in taken:  # pragma: no cover - 1899 is free
+        day += 1
+    victim[date_pos] = f"1899-01-{day:02d}"
+    table.insert(tuple(victim))
+    return database, ontology, mappings
+
+
 MUTANTS: Dict[str, Mutant] = {
     mutant.name: mutant
     for mutant in (
@@ -266,6 +317,29 @@ MUTANTS: Dict[str, Mutant] = {
             "add a disjointness axiom contradicting the class hierarchy",
             ("ONT_UNSATISFIABLE",),
             _unsat_class,
+        ),
+        Mutant(
+            "false-exact",
+            "declare ProductionLicence exact although subclasses add tuples",
+            ("CON_EXACT_VIOLATED",),
+            _identity,
+            declarations=(f"exact <{NPDV}ProductionLicence>",),
+        ),
+        Mutant(
+            "vfd-dup-row",
+            "one duplicate history row breaking a declared VFD",
+            ("CON_VFD_VIOLATED",),
+            _vfd_dup_row,
+            declarations=(
+                "vfd field_operator_hst: fldnpdidfield -> cmpnpdidcompany",
+            ),
+        ),
+        Mutant(
+            "vfd-scale-trap",
+            "declare a VFD that holds at scale 0.1 but breaks at 0.25",
+            ("CON_VFD_VIOLATED",),
+            _identity,
+            declarations=("vfd licence: prlyeargranted -> prlstatus",),
         ),
     )
 }

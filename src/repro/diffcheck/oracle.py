@@ -92,6 +92,9 @@ class EngineConfig:
     sqo: bool = True
     #: attach an obdalint FactBase so fact-licensed unfolding fires
     facts: bool = False
+    #: additionally attach a verified ConstraintSet (exact mappings +
+    #: VFDs) so constraint-licensed pruning and merging fire
+    constraints: bool = False
     #: SQL execution path override ("row"/"vectorized"); None = default
     executor: Optional[str] = None
 
@@ -102,13 +105,20 @@ class EngineConfig:
         mappings: MappingCollection,
     ) -> OBDAEngine:
         factbase = None
-        if self.facts:
+        constraints = None
+        if self.facts or self.constraints:
             # lazy: the oracle must stay importable without the analyzer
             from ..analysis.facts import build_factbase
 
             factbase = build_factbase(
                 database=database, ontology=ontology, mappings=mappings
             )
+        if self.constraints:
+            from ..analysis.constraints import build_constraints
+
+            constraints = build_constraints(
+                database=database, ontology=ontology, mappings=mappings
+            ).constraints
         return OBDAEngine(
             database,
             ontology,
@@ -117,6 +127,7 @@ class EngineConfig:
             enable_existential=self.existential,
             enable_sqo=self.sqo,
             factbase=factbase,
+            constraints=constraints,
             executor=self.executor,
         )
 
@@ -130,6 +141,7 @@ DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
     EngineConfig("no-sqo", sqo=False),
     EngineConfig("facts", facts=True),
     EngineConfig("vectorized", executor="vectorized"),
+    EngineConfig("constraints", facts=True, constraints=True),
 )
 
 CONFIGS_BY_NAME: Dict[str, EngineConfig] = {

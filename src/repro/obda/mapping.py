@@ -247,6 +247,23 @@ class MappingAssertion:
         return f"{self.id}: ... <- {self.source_sql[:60]}"
 
 
+def assertion_body_key(assertion: MappingAssertion) -> Tuple[str, str, str, str]:
+    """Identity of an assertion's *body*, independent of its id.
+
+    T-mapping compilation re-emits raw assertions under fresh ids (and may
+    attribute a shared body to any one of several origins), so consumers
+    that must recognise "the entity's own assertions" — e.g. exact-mapping
+    enforcement — compare bodies, not ids.  Mirrors
+    ``TMappingCompiler._assertion_signature``.
+    """
+    return (
+        assertion.source_sql.strip().lower(),
+        repr(assertion.subject),
+        assertion.predicate,
+        repr(assertion.object),
+    )
+
+
 class MappingCollection:
     """All assertions of one OBDA specification, indexed by entity."""
 

@@ -72,6 +72,9 @@ class RewritingResult:
     empty_disjuncts_skipped: int = 0
     #: the empty entities that licensed those skips (deduped, sorted)
     skipped_entities: Tuple[str, ...] = ()
+    #: labels of exact-mapping constraints that suppressed hierarchy
+    #: expansion of an atom's entity (deduped, sorted)
+    exact_pruned: Tuple[str, ...] = ()
 
     @property
     def ucq_size(self) -> int:
@@ -109,6 +112,13 @@ class TreeWitnessRewriter:
         data) but *stays on the frontier*: tree-witness folding may
         replace the empty atom with a non-empty generator, so successors
         of a skipped CQ can still be answerable.
+    constraints:
+        optional :class:`repro.analysis.constraints.ConstraintSet`.  An
+        atom over an entity with a verified exact-mapping constraint
+        needs no hierarchy expansion: its own mapping provably covers
+        every subsumed entity's extension, so the subsumee disjuncts are
+        duplicates.  Callers must only supply this under deduplicating
+        unions (dropping disjuncts changes UNION ALL multiplicities).
     """
 
     #: bound on the per-rewriter result cache (a mix has 21 queries, so
@@ -123,6 +133,7 @@ class TreeWitnessRewriter:
         max_ucq: int = 2048,
         fingerprint: str = "",
         factbase=None,
+        constraints=None,
     ):
         self.reasoner = reasoner
         self.expand_hierarchy = expand_hierarchy
@@ -130,17 +141,19 @@ class TreeWitnessRewriter:
         self.max_ucq = max_ucq
         self.fingerprint = fingerprint
         self.factbase = factbase
+        self.constraints = constraints
         self._fb_digest = factbase.fingerprint() if factbase is not None else ""
+        self._con_digest = (
+            constraints.fingerprint() if constraints is not None else ""
+        )
         self._fresh_counter = itertools.count()
-        self._cache: Dict[Tuple[ConjunctiveQuery, bool, bool, int, str, str], RewritingResult] = {}
+        self._cache: Dict[Tuple, RewritingResult] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
     # ------------------------------------------------------------------
 
-    def _cache_key(
-        self, query: ConjunctiveQuery
-    ) -> Tuple[ConjunctiveQuery, bool, bool, int, str, str]:
+    def _cache_key(self, query: ConjunctiveQuery) -> Tuple:
         return (
             query.canonical(),
             self.expand_hierarchy,
@@ -148,6 +161,7 @@ class TreeWitnessRewriter:
             self.max_ucq,
             self.fingerprint,
             self._fb_digest,
+            self._con_digest,
         )
 
     def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
@@ -178,13 +192,14 @@ class TreeWitnessRewriter:
         results: List[ConjunctiveQuery] = []
         skipped = 0
         skipped_entities: Set[str] = set()
+        exact_pruned: Set[str] = set()
         if self._admit(query, skipped_entities):
             results.append(query)
         else:
             skipped += 1
         while frontier and len(results) < self.max_ucq:
             current = frontier.pop()
-            for successor in self._successors(current):
+            for successor in self._successors(current, exact_pruned):
                 canonical = successor.canonical()
                 if canonical in seen:
                     continue
@@ -208,6 +223,7 @@ class TreeWitnessRewriter:
             truncated=bool(frontier),
             empty_disjuncts_skipped=skipped,
             skipped_entities=tuple(sorted(skipped_entities)),
+            exact_pruned=tuple(sorted(exact_pruned)),
         )
 
     def _admit(self, cq: ConjunctiveQuery, skipped_entities: Set[str]) -> bool:
@@ -230,32 +246,63 @@ class TreeWitnessRewriter:
         while True:
             yield Var(f"_f{next(self._fresh_counter)}")
 
-    def _successors(self, cq: ConjunctiveQuery) -> Iterator[ConjunctiveQuery]:
+    def _successors(
+        self, cq: ConjunctiveQuery, exact_pruned: Optional[Set[str]] = None
+    ) -> Iterator[ConjunctiveQuery]:
         if self.expand_hierarchy:
-            yield from self._hierarchy_steps(cq)
+            yield from self._hierarchy_steps(cq, exact_pruned)
         if self.enable_existential:
             yield from self._absorption_steps(cq)
             yield from self._tree_witness_steps(cq)
             yield from self._reduce_steps(cq)
 
-    def _hierarchy_steps(self, cq: ConjunctiveQuery) -> Iterator[ConjunctiveQuery]:
+    def _exact_skip(self, entity: str, exact_pruned: Optional[Set[str]]) -> bool:
+        """True when exact-mapping makes hierarchy expansion redundant.
+
+        Exactness was verified over *every* mapped generator of the
+        entity (subclasses, existential generators, sub-properties), so
+        the subsumee disjuncts the skipped expansion would have produced
+        are covered by the entity's own disjunct; unmapped subsumees
+        unfold to nothing either way.
+        """
+        if self.constraints is None:
+            return False
+        constraint = self.constraints.exact(entity)
+        if constraint is None:
+            return False
+        if exact_pruned is not None:
+            exact_pruned.add(constraint.label())
+        return True
+
+    def _hierarchy_steps(
+        self, cq: ConjunctiveQuery, exact_pruned: Optional[Set[str]] = None
+    ) -> Iterator[ConjunctiveQuery]:
         fresh = self._fresh()
         for atom in cq.atoms:
             if isinstance(atom, ClassAtom):
-                for sub in self.reasoner.subconcepts_of(
+                subs = self.reasoner.subconcepts_of(
                     ClassConcept(atom.cls), reflexive=False
-                ):
+                )
+                if subs and self._exact_skip(atom.cls, exact_pruned):
+                    continue
+                for sub in subs:
                     replacement = atoms_of_basic_concept(sub, atom.term, fresh)
                     yield cq.replace_atoms([atom], [replacement])
             elif isinstance(atom, RoleAtom):
-                for sub in self.reasoner.subroles_of(Role(atom.role), reflexive=False):
+                subs = self.reasoner.subroles_of(Role(atom.role), reflexive=False)
+                if subs and self._exact_skip(atom.role, exact_pruned):
+                    continue
+                for sub in subs:
                     yield cq.replace_atoms(
                         [atom], [RoleAtom.of(sub, atom.subject, atom.object)]
                     )
             elif isinstance(atom, DataAtom):
-                for sub in self.reasoner.sub_data_properties_of(
+                subs = self.reasoner.sub_data_properties_of(
                     DataPropertyRef(atom.prop), reflexive=False
-                ):
+                )
+                if subs and self._exact_skip(atom.prop, exact_pruned):
+                    continue
+                for sub in subs:
                     yield cq.replace_atoms(
                         [atom], [DataAtom(sub.iri, atom.subject, atom.value)]
                     )

@@ -98,6 +98,11 @@ class QualityMetrics:
     eliminated_joins: int = 0
     empty_disjuncts_skipped: int = 0
     facts_fired: Tuple[str, ...] = ()
+    #: constraint-licensed optimizations (zero unless a ConstraintSet is
+    #: attached): VFD-merged self-joins and exact-pruned union disjuncts
+    merged_vfd_joins: int = 0
+    constraint_pruned_disjuncts: int = 0
+    constraints_fired: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -169,6 +174,7 @@ class OBDAEngine:
         max_ucq: int = 2048,
         enable_query_cache: bool = True,
         factbase=None,
+        constraints=None,
         validate_on_load: bool = False,
         executor: Optional[str] = None,
     ):
@@ -182,13 +188,22 @@ class OBDAEngine:
         self.enable_tmappings = enable_tmappings
         self.enable_existential = enable_existential
         self.enable_sqo = enable_sqo
+        self.distinct_unions = distinct_unions
+        self.max_ucq = max_ucq
         self.enable_query_cache = enable_query_cache
         #: optional :class:`repro.analysis.facts.FactBase` licensing the
         #: constraint-driven unfolding optimizations (duck-typed; the obda
         #: package never imports repro.analysis at runtime)
         self.factbase = factbase
+        #: optional :class:`repro.analysis.constraints.ConstraintSet` of
+        #: verified exact-mapping/VFD constraints.  Only enforced under
+        #: deduplicating unions -- dropping duplicate disjuncts is a bag
+        #: change under UNION ALL -- so the rewriter sees it gated
+        self.constraints = constraints
         #: findings of the validate-on-load pre-flight (empty when skipped)
         self.load_findings: List[Any] = []
+        #: FACT_STALE findings recorded when DML outran verified artifacts
+        self.stale_findings: List[Any] = []
         if validate_on_load:
             self.load_findings = self._validate_mappings()
         self.reasoner = QLReasoner(ontology)
@@ -203,23 +218,11 @@ class OBDAEngine:
             active_mappings = mappings
         self.mappings = active_mappings
         self.fingerprint = self._compute_fingerprint(max_ucq, distinct_unions)
-        self.rewriter = TreeWitnessRewriter(
-            self.reasoner,
-            expand_hierarchy=not enable_tmappings,
-            enable_existential=enable_existential,
-            max_ucq=max_ucq,
-            fingerprint=self.fingerprint,
-            factbase=factbase,
-        )
-        self.unfolder = Unfolder(
-            active_mappings,
-            ontology,
-            rewriter=self.rewriter,
-            catalog=database.catalog,
-            enable_sqo=enable_sqo,
-            distinct_unions=distinct_unions,
-            facts=factbase,
-        )
+        self._build_pipeline()
+        # verified-against generation of the attached artifacts: facts and
+        # constraints remember the data generation they were verified at;
+        # artifacts without one are pinned to the generation seen now
+        self._artifact_generation = self._verified_generation()
         self._compiled: "OrderedDict[Hashable, CompiledQuery]" = OrderedDict()
         # the unfolder keeps per-query mutable state, so compilation is
         # serialized; executing cached artifacts stays concurrent
@@ -230,6 +233,48 @@ class OBDAEngine:
         self.query_cache_hits = 0
         self.query_cache_misses = 0
         self.loading_seconds = time.perf_counter() - started
+
+    def _build_pipeline(self) -> None:
+        """(Re)build rewriter + unfolder from the current artifacts."""
+        self.rewriter = TreeWitnessRewriter(
+            self.reasoner,
+            expand_hierarchy=not self.enable_tmappings,
+            enable_existential=self.enable_existential,
+            max_ucq=self.max_ucq,
+            fingerprint=self.fingerprint,
+            factbase=self.factbase,
+            constraints=self.constraints if self.distinct_unions else None,
+        )
+        self.unfolder = Unfolder(
+            self.mappings,
+            self.ontology,
+            rewriter=self.rewriter,
+            catalog=self.database.catalog,
+            enable_sqo=self.enable_sqo,
+            distinct_unions=self.distinct_unions,
+            facts=self.factbase,
+            constraints=self.constraints,
+            raw_mappings=self.raw_mappings,
+        )
+
+    def _verified_generation(self) -> Optional[int]:
+        """The data generation the attached artifacts were verified at.
+
+        FactBase and ConstraintSet are stamped by their builders; an
+        artifact without a stamp is pinned to the generation current now.
+        None when no artifact is attached (nothing can go stale).
+        """
+        stamps = [
+            getattr(artifact, "generation", None)
+            for artifact in (self.factbase, self.constraints)
+            if artifact is not None
+        ]
+        if not stamps:
+            return None
+        known = [stamp for stamp in stamps if stamp is not None]
+        if len(known) < len(stamps):
+            known.append(self.database.plan_generation)
+        return min(known)
 
     def _compute_fingerprint(self, max_ucq: int, distinct_unions: bool) -> str:
         """Digest of everything outside the query that shapes compilation.
@@ -251,10 +296,15 @@ class OBDAEngine:
             digest.update(repr(assertion).encode("utf-8"))
             digest.update(b"\n")
         fb = self.factbase.fingerprint() if self.factbase is not None else "none"
+        con = (
+            self.constraints.fingerprint()
+            if self.constraints is not None
+            else "none"
+        )
         digest.update(
             f"tm={self.enable_tmappings};ex={self.enable_existential};"
             f"sqo={self.enable_sqo};ucq={max_ucq};du={distinct_unions};"
-            f"fb={fb}".encode("utf-8")
+            f"fb={fb};con={con}".encode("utf-8")
         )
         return digest.hexdigest()[:16]
 
@@ -279,10 +329,71 @@ class OBDAEngine:
             )
         return findings
 
+    # -- artifact staleness -----------------------------------------------------
+
+    def check_freshness(self) -> None:
+        """Demote verified artifacts the data has outrun.
+
+        Facts and constraints are verified against a snapshot of the data;
+        any DML since (tracked by the database's plan generation counter)
+        silently invalidates them.  Runs on *every* execute -- including
+        the compile-cache-hit path, since cached SQL artifacts were shaped
+        by the stale facts too.  Demotion drops the artifacts, rebuilds
+        the pipeline without them, clears every compile cache and records
+        a ``FACT_STALE`` warning finding; answers stay correct, only the
+        fact/constraint-licensed optimizations are lost.
+        """
+        expected = self._artifact_generation
+        if expected is None or self.database.plan_generation == expected:
+            return
+        with self._compile_lock:
+            expected = self._artifact_generation
+            if expected is None or self.database.plan_generation == expected:
+                return
+            self._demote_stale_artifacts(expected)
+
+    def _demote_stale_artifacts(self, expected: int) -> None:
+        """Caller holds ``_compile_lock``."""
+        from ..analysis.model import Finding, Severity
+
+        stale = []
+        if self.factbase is not None:
+            stale.append(f"factbase[{len(self.factbase)} facts]")
+        if self.constraints is not None:
+            counts = self.constraints.counts()
+            stale.append(
+                f"constraints[{counts['exact']} exact, {counts['vfd']} vfd]"
+            )
+        current = self.database.plan_generation
+        self.stale_findings.append(
+            Finding(
+                code="FACT_STALE",
+                severity=Severity.WARNING,
+                layer="facts",
+                subject=", ".join(stale),
+                message=(
+                    f"data generation moved {expected} -> {current} since "
+                    f"verification; demoting {' and '.join(stale)} and "
+                    f"recompiling without them (re-run the analysis passes "
+                    f"to restore the optimizations)"
+                ),
+            )
+        )
+        self.factbase = None
+        self.constraints = None
+        self._artifact_generation = None
+        self.fingerprint = self._compute_fingerprint(
+            self.max_ucq, self.distinct_unions
+        )
+        self._build_pipeline()
+        with self._cache_lock:
+            self._compiled.clear()
+
     # ------------------------------------------------------------------
 
     def unfold(self, sparql: str | SelectQuery) -> UnfoldResult:
         """Phases 2+3 only: produce the SQL without executing it."""
+        self.check_freshness()
         query = parse_query(sparql) if isinstance(sparql, str) else sparql
         with self._compile_lock:
             return self.unfolder.unfold_query(query)
@@ -387,6 +498,7 @@ class OBDAEngine:
         """
         if token is not None:
             token.check()
+        self.check_freshness()
         compile_started = time.perf_counter()
         artifact, cache_hit = self._compile_query(sparql)
         compile_elapsed = time.perf_counter() - compile_started
@@ -421,6 +533,9 @@ class OBDAEngine:
             eliminated_joins=unfolded.eliminated_joins,
             empty_disjuncts_skipped=unfolded.empty_disjuncts_skipped,
             facts_fired=unfolded.fired_facts,
+            merged_vfd_joins=unfolded.merged_vfd_joins,
+            constraint_pruned_disjuncts=unfolded.constraint_pruned_disjuncts,
+            constraints_fired=unfolded.fired_constraints,
         )
         if artifact.plan is None:
             return OBDAResult(unfolded.columns, [], timings, metrics, unfolded.sql_text)
@@ -473,6 +588,7 @@ class OBDAEngine:
         per-join actual (and, with fresh statistics, estimated) row
         counts plus per-disjunct row counts and timings.
         """
+        self.check_freshness()
         artifact, cache_hit = self._compile_query(sparql)
         unfolded = artifact.unfolded
         lines = [
@@ -498,6 +614,15 @@ class OBDAEngine:
         )
         for label in unfolded.fired_facts:
             lines.append(f"fact fired: {label}")
+        lines.append(
+            f"constraints: merged_vfd_joins={unfolded.merged_vfd_joins}"
+            f" constraint_pruned_disjuncts="
+            f"{unfolded.constraint_pruned_disjuncts}"
+        )
+        for label in unfolded.fired_constraints:
+            lines.append(f"constraint fired: {label}")
+        for finding in self.stale_findings:
+            lines.append(f"stale: {finding.describe()}")
         if unfolded.statement is not None:
             lines.append("plan:")
             lines.extend(
@@ -522,6 +647,10 @@ class OBDAEngine:
             "query_cache": self.enable_query_cache,
             "fingerprint": self.fingerprint,
             "facts": len(self.factbase) if self.factbase is not None else 0,
+            "constraints": (
+                self.constraints.counts() if self.constraints is not None else {}
+            ),
+            "stale_findings": len(self.stale_findings),
         }
 
 

@@ -62,6 +62,7 @@ from .mapping import (
     MappingAssertion,
     MappingCollection,
     TermMap,
+    assertion_body_key,
 )
 from .rewriter import RewritingResult, TreeWitnessRewriter
 
@@ -137,10 +138,39 @@ class UnfoldResult:
     empty_disjuncts_skipped: int = 0
     #: labels of the facts that licensed the above, in firing order
     fired_facts: Tuple[str, ...] = ()
+    #: self-joins collapsed into a shared (possibly synthesized) scan by a
+    #: verified virtual functional dependency or cross-source unique key
+    merged_vfd_joins: int = 0
+    #: candidate union disjuncts dropped because an exact-mapping
+    #: constraint proves the entity's own assertions already cover them
+    constraint_pruned_disjuncts: int = 0
+    #: labels of the verified constraints that licensed the above
+    fired_constraints: Tuple[str, ...] = ()
 
     @property
     def sql_text(self) -> str:
         return self.statement.to_sql() if self.statement is not None else "-- empty --"
+
+
+@dataclass
+class _SharedScan:
+    """One alias shared by several VFD-merged atoms of a CQ.
+
+    Accumulates every base column any member projects; when members came
+    from *different* source texts the FROM clause synthesizes a single
+    bare scan over the union of those columns.
+    """
+
+    table: str
+    columns: Set[str]
+    sources: Set[str]
+    labels: List[Tuple[str, str]]  # ("fact" | "constraint", label)
+
+    def scan_statement(self) -> sql.SelectStatement:
+        items = tuple(
+            sql.SelectItem(sql.ColumnRef(column)) for column in sorted(self.columns)
+        )
+        return sql.SelectStatement(items=items, source=sql.NamedTable(self.table))
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +188,8 @@ class Unfolder:
         enable_sqo: bool = True,
         distinct_unions: bool = True,
         facts=None,
+        constraints=None,
+        raw_mappings: Optional[MappingCollection] = None,
     ):
         self.mappings = mappings
         self.vocabulary = Vocabulary.from_ontology(ontology)
@@ -168,6 +200,14 @@ class Unfolder:
         #: optional repro.analysis.facts.FactBase; every fact-licensed
         #: optimization records the licensing fact's label in fired_facts
         self.facts = facts
+        #: optional repro.analysis.constraints.ConstraintSet of verified
+        #: exact-mapping and VFD constraints (Hovland et al.); every
+        #: constraint-licensed optimization records the constraint label
+        self.constraints = constraints
+        #: the pre-T-mapping assertions, needed to recognise an exact
+        #: entity's *own* disjuncts among the compiled T-mapping ones
+        #: (by body, not id: the compiler re-keys shared bodies)
+        self.raw_mappings = raw_mappings
         self._alias_counter = itertools.count()
         self._pruned = 0
         self._merged = 0
@@ -176,7 +216,15 @@ class Unfolder:
         self._elided_guards = 0
         self._eliminated_joins = 0
         self._empty_skipped = 0
+        self._vfd_merged = 0
+        self._constraint_pruned = 0
         self._fired_facts: Dict[str, None] = {}
+        self._fired_constraints: Dict[str, None] = {}
+        # per entity: body keys of its own raw assertions (exact pruning),
+        # or None when it has no raw assertions of its own
+        self._own_body_cache: Dict[str, Optional[frozenset]] = {}
+        # per assertion id: VFD merge eligibility, see _vfd_eligibility
+        self._vfd_cache: Dict[str, object] = {}
         # per assertion id: (guarded columns, fact-elided (column, label)s)
         self._nullable_cache: Dict[
             str, Tuple[Tuple[str, ...], Tuple[Tuple[str, str], ...]]
@@ -204,7 +252,10 @@ class Unfolder:
         self._elided_guards = 0
         self._eliminated_joins = 0
         self._empty_skipped = 0
+        self._vfd_merged = 0
+        self._constraint_pruned = 0
         self._fired_facts = {}
+        self._fired_constraints = {}
         algebra = simplify(translate(query.where))
         needed = self._query_level_variables(query, algebra)
         fragment = self._unfold_node(algebra, needed)
@@ -224,10 +275,16 @@ class Unfolder:
             eliminated_joins=self._eliminated_joins,
             empty_disjuncts_skipped=self._empty_skipped,
             fired_facts=tuple(self._fired_facts),
+            merged_vfd_joins=self._vfd_merged,
+            constraint_pruned_disjuncts=self._constraint_pruned,
+            fired_constraints=tuple(self._fired_constraints),
         )
 
     def _record_fact(self, label: str) -> None:
         self._fired_facts.setdefault(label)
+
+    def _record_constraint(self, label: str) -> None:
+        self._fired_constraints.setdefault(label)
 
     # -- algebra lowering ------------------------------------------------------
 
@@ -346,6 +403,8 @@ class Unfolder:
             self._empty_skipped += rewriting.empty_disjuncts_skipped
             for entity in rewriting.skipped_entities:
                 self._record_fact(f"empty:{entity}")
+            for label in rewriting.exact_pruned:
+                self._record_constraint(label)
             cqs = rewriting.cqs
         else:
             cqs = [cq]
@@ -380,6 +439,7 @@ class Unfolder:
                 for assertion in self.mappings.for_entity(entity)
                 if _assertion_matches_atom(assertion, atom)
             ]
+            candidates = self._exact_filter(entity, candidates)
             if not candidates:
                 return []
             candidate_lists.append(candidates)
@@ -401,22 +461,60 @@ class Unfolder:
         aliases: List[Tuple[str, MappingAssertion]] = []
         alias_by_merge_key: Dict[Tuple, str] = {}
         atom_alias: List[str] = []
+        shared_scans: Dict[str, _SharedScan] = {}
         for atom, assertion in zip(cq.atoms, combination):
             merge_key = None
+            eligibility = None
             if self.enable_sqo:
-                merge_key = self._self_join_key(atom, assertion)
+                eligibility = self._vfd_eligibility_for_atom(atom, assertion)
+                if eligibility is not None:
+                    # VFD keys ignore the source text: scans of the same
+                    # table joined on the same subject template may share
+                    # one alias even across different projections
+                    merge_key = (
+                        atom.terms()[0],
+                        "vfd",
+                        eligibility[0],
+                        eligibility[1],
+                        assertion.subject.template.pattern,
+                    )
+                else:
+                    merge_key = self._self_join_key(atom, assertion)
             if merge_key is not None and merge_key in alias_by_merge_key:
-                atom_alias.append(alias_by_merge_key[merge_key])
-                self._merged += 1
-                unique_info = self._unique_subject_info(assertion)
-                if unique_info is not None and unique_info[1] is not None:
-                    self._record_fact(unique_info[1])
+                alias = alias_by_merge_key[merge_key]
+                atom_alias.append(alias)
+                if eligibility is not None:
+                    _, _, columns, source_norm, labels = eligibility
+                    group = shared_scans[alias]
+                    cross_source = source_norm not in group.sources
+                    group.columns.update(columns)
+                    group.sources.add(source_norm)
+                    if cross_source:
+                        self._vfd_merged += 1
+                    else:
+                        self._merged += 1
+                    for kind, label in list(labels) + group.labels:
+                        if kind == "constraint":
+                            self._record_constraint(label)
+                        else:
+                            self._record_fact(label)
+                    group.labels.extend(labels)
+                else:
+                    self._merged += 1
+                    unique_info = self._unique_subject_info(assertion)
+                    if unique_info is not None and unique_info[1] is not None:
+                        self._record_fact(unique_info[1])
                 continue
             alias = f"m{next(self._alias_counter)}"
             aliases.append((alias, assertion))
             atom_alias.append(alias)
             if merge_key is not None:
                 alias_by_merge_key[merge_key] = alias
+                if eligibility is not None:
+                    table, _, columns, source_norm, labels = eligibility
+                    shared_scans[alias] = _SharedScan(
+                        table, set(columns), {source_norm}, list(labels)
+                    )
         # bind each CQ term occurrence to a (term map, alias)
         bindings: Dict[sp.Var, List[Tuple[TermMap, str]]] = {}
         constant_constraints: List[sql.Expr] = []
@@ -488,10 +586,15 @@ class Unfolder:
                     elided_keys.add(key)
                     self._elided_guards += 1
                     self._record_fact(label)
-        # assemble FROM
+        # assemble FROM; aliases merged across different source texts get
+        # a synthesized bare scan projecting every column any member needs
         source: Optional[sql.TableRef] = None
         for alias, assertion in aliases:
-            table_ref = self._source_ref(assertion, alias)
+            group = shared_scans.get(alias)
+            if group is not None and len(group.sources) > 1:
+                table_ref = sql.SubquerySource(group.scan_statement(), alias)
+            else:
+                table_ref = self._source_ref(assertion, alias)
             source = (
                 table_ref if source is None else sql.Join("INNER", source, table_ref)
             )
@@ -536,6 +639,142 @@ class Unfolder:
             subject,
             assertion.source_sql.strip().lower(),
             assertion.subject.template.pattern,
+        )
+
+    # -- constraint-licensed pruning and merging ----------------------------
+
+    def _exact_filter(
+        self, entity: str, candidates: List[MappingAssertion]
+    ) -> List[MappingAssertion]:
+        """Keep only an exact entity's own disjuncts.
+
+        A verified exact-mapping constraint proves the entity's own raw
+        assertions already produce its full extension, so compiled
+        T-mapping disjuncts inherited from proper sub-entities are
+        duplicate-producing and can be dropped.  Sound only under
+        deduplicating unions: dropping a disjunct changes multiplicities
+        of a UNION ALL.
+        """
+        if (
+            self.constraints is None
+            or self.raw_mappings is None
+            or not self.distinct_unions
+            or not self.enable_sqo
+            or len(candidates) < 2
+        ):
+            return candidates
+        constraint = self.constraints.exact(entity)
+        if constraint is None:
+            return candidates
+        keep = self._own_body_keys(entity)
+        if keep is None:
+            return candidates
+        kept = [a for a in candidates if assertion_body_key(a) in keep]
+        if not kept or len(kept) == len(candidates):
+            return candidates
+        self._constraint_pruned += len(candidates) - len(kept)
+        self._record_constraint(constraint.label())
+        return kept
+
+    def _own_body_keys(self, entity: str) -> Optional[frozenset]:
+        """Body keys of the entity's *raw* (pre-T-mapping) assertions.
+
+        T-mapping compilation re-keys assertions and may attribute shared
+        bodies to sub-entity origins, so ownership is recognised by body,
+        not id (see :func:`assertion_body_key`).  None when the entity has
+        no raw assertions of its own.
+        """
+        cached = self._own_body_cache.get(entity, "missing")
+        if cached != "missing":
+            return cached
+        assert self.raw_mappings is not None
+        keys = frozenset(
+            assertion_body_key(a) for a in self.raw_mappings.for_entity(entity)
+        )
+        result = keys or None
+        self._own_body_cache[entity] = result
+        return result
+
+    def _vfd_eligibility_for_atom(
+        self, atom: Atom, assertion: MappingAssertion
+    ) -> Optional[Tuple]:
+        if self.constraints is None or not self.distinct_unions:
+            return None
+        subject = atom.terms()[0]
+        if not isinstance(subject, sp.Var):
+            return None
+        if not isinstance(assertion.subject, IriTermMap):
+            return None
+        return self._vfd_eligibility(assertion)
+
+    def _vfd_eligibility(self, assertion: MappingAssertion) -> Optional[Tuple]:
+        cached = self._vfd_cache.get(assertion.id, "missing")
+        if cached != "missing":
+            return cached
+        result = self._compute_vfd_eligibility(assertion)
+        self._vfd_cache[assertion.id] = result
+        return result
+
+    def _compute_vfd_eligibility(
+        self, assertion: MappingAssertion
+    ) -> Optional[Tuple]:
+        """(table, determinants, columns, source, labels) when this scan
+        may share an alias with sibling scans of the same table joined on
+        the same subject template.
+
+        Requires a bare identity projection of one table, with every
+        non-subject column functionally determined by the subject columns:
+        either via a unique-key fact (the classic case, but now merging
+        *across* different projections of the table) or via verified
+        VFDs.  Labels carry the licensing facts/constraints for
+        explain().
+        """
+        try:
+            statement = assertion.parsed_source()
+        except Exception:  # noqa: BLE001 - malformed sources opt out
+            return None
+        if (
+            statement.union is not None
+            or statement.where is not None
+            or statement.group_by
+            or statement.having is not None
+            or statement.distinct
+            or statement.limit is not None
+        ):
+            return None
+        info = self._branch_base_map(statement)
+        if info is None:
+            return None
+        table, base, star = info
+        if star or any(out != col for out, col in base.items()):
+            return None
+        columns = tuple(
+            dict.fromkeys(c.lower() for c in assertion.referenced_columns())
+        )
+        if any(column not in base for column in columns):
+            return None
+        determinants = tuple(sorted({c.lower() for c in assertion.subject.columns}))
+        if not determinants:
+            return None
+        labels: List[Tuple[str, str]] = []
+        unique = self._unique_subject_info(assertion)
+        if unique is not None:
+            if unique[1] is not None:
+                labels.append(("fact", unique[1]))
+        else:
+            for column in columns:
+                if column in determinants:
+                    continue
+                vfd = self.constraints.vfd_covers(table, determinants, column)
+                if vfd is None:
+                    return None
+                labels.append(("constraint", vfd.label()))
+        return (
+            table,
+            determinants,
+            columns,
+            assertion.source_sql.strip().lower(),
+            tuple(labels),
         )
 
     def _null_guard_info(
